@@ -1,0 +1,132 @@
+"""A2 (ablation) — lossless-subset enumeration strategy.
+
+DESIGN choice: Corollary 3.1(b) expressions need *all* minimal lossless
+subsets, which requires the exact (exponential) chase-based enumeration;
+the rooted extension-join enumeration is polynomial but incomplete on
+split schemes.  This ablation shows (a) the completeness gap is real —
+on Example 4 the rooted plan loses answers — and (b) on split-free
+schemes both enumerations coincide, so the cheap one is safe exactly
+where Corollary 3.2(a) says it is.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.expressions import Project, RelationRef, join_all, union_all_exprs
+from repro.core.split import is_split_free
+from repro.schema.lossless import (
+    extension_join_subsets_covering,
+    minimal_lossless_subsets_covering,
+)
+from repro.state.consistency import total_projection
+from repro.state.database_state import DatabaseState, tuples_from_rows
+from repro.workloads.paper import example4_split_scheme
+from repro.workloads.random_schemes import random_key_equivalent_scheme
+
+
+def _evaluate_union(subsets, state, target):
+    branches = [
+        Project(
+            join_all(
+                [RelationRef(m.name, m.attributes) for m in subset]
+            ),
+            target,
+        )
+        for subset in subsets
+    ]
+    relation = union_all_exprs(branches).evaluate(state)
+    ordered = sorted(target)
+    return {tuple(row[a] for a in ordered) for row in relation}
+
+
+def _example4_state():
+    scheme = example4_split_scheme()
+    return DatabaseState(
+        scheme,
+        {
+            "R1": tuples_from_rows("AB", [("a", "b")]),
+            "R2": tuples_from_rows("AC", [("a", "c")]),
+            "R4": tuples_from_rows("EB", [("e", "b")]),
+            "R5": tuples_from_rows("EC", [("e", "c")]),
+        },
+    )
+
+
+def test_rooted_enumeration_loses_answers_on_split_scheme(benchmark, record):
+    """The completeness gap: the converging subset is needed for [AE]."""
+    scheme = example4_split_scheme()
+    state = _example4_state()
+    target = frozenset("AE")
+
+    def run():
+        exact = _evaluate_union(
+            minimal_lossless_subsets_covering(scheme, target), state, target
+        )
+        rooted = _evaluate_union(
+            extension_join_subsets_covering(scheme, target), state, target
+        )
+        return exact, rooted
+
+    exact, rooted = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = total_projection(state, target)
+    record(
+        "A2",
+        "[AE] answers exact vs rooted",
+        f"{len(exact)} vs {len(rooted)} (chase: {len(baseline)})",
+    )
+    assert exact == baseline
+    assert rooted < exact  # the rooted plan silently drops ('a','e')
+
+
+def test_enumerations_coincide_on_split_free_schemes(benchmark, record):
+    rng = random.Random(7)
+    schemes = []
+    while len(schemes) < 10:
+        scheme = random_key_equivalent_scheme(rng, n_relations=4)
+        if is_split_free(scheme):
+            schemes.append(scheme)
+
+    def sweep():
+        matches = 0
+        for scheme in schemes:
+            target = scheme.universe
+            exact = {
+                frozenset(m.name for m in s)
+                for s in minimal_lossless_subsets_covering(scheme, target)
+            }
+            rooted = {
+                frozenset(m.name for m in s)
+                for s in extension_join_subsets_covering(scheme, target)
+            }
+            # Rooted results may be non-minimal supersets; every exact
+            # subset must be found, and every rooted one must contain an
+            # exact one.
+            complete = all(
+                any(r <= e or e <= r for r in rooted) for e in exact
+            )
+            sound = all(any(e <= r for e in exact) for r in rooted)
+            matches += complete and sound
+        return matches
+
+    matches = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("A2", "split-free agreement", f"{matches}/10")
+    assert matches == 10
+
+
+@pytest.mark.parametrize("n_relations", [3, 5, 7])
+def test_exact_enumeration_latency(benchmark, n_relations):
+    rng = random.Random(3)
+    scheme = random_key_equivalent_scheme(rng, n_relations=n_relations)
+    benchmark(
+        lambda: minimal_lossless_subsets_covering(scheme, scheme.universe)
+    )
+
+
+@pytest.mark.parametrize("n_relations", [3, 5, 7])
+def test_rooted_enumeration_latency(benchmark, n_relations):
+    rng = random.Random(3)
+    scheme = random_key_equivalent_scheme(rng, n_relations=n_relations)
+    benchmark(
+        lambda: extension_join_subsets_covering(scheme, scheme.universe)
+    )

@@ -1,0 +1,63 @@
+"""E2 — Example 2: {AB, BC, AC} with {A→C, B→C} is not
+algebraic-maintainable.
+
+The paper's adversarial chain forces any refutation of the killer
+insert to examine Θ(n) tuples: dropping any single chain tuple makes
+the updated state consistent.  We regenerate the construction, verify
+the all-tuples-necessary property, and measure how full-chase
+maintenance cost grows with the chain.
+"""
+
+import pytest
+
+from repro.core.reducible import recognize_independence_reducible
+from repro.state.consistency import is_consistent, maintain_by_chase
+from repro.workloads.adversarial import (
+    example2_chain_state,
+    example2_killer_insert,
+)
+from repro.workloads.paper import example2_not_algebraic
+
+SIZES = [8, 32, 128]
+
+
+def test_rejected_by_recognition(benchmark):
+    scheme = example2_not_algebraic()
+    result = benchmark(lambda: recognize_independence_reducible(scheme))
+    assert not result.accepted
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_chase_refutation_cost_grows(benchmark, record, n):
+    state = example2_chain_state(n)
+    name, values = example2_killer_insert(n)
+
+    outcome = benchmark(lambda: maintain_by_chase(state, name, values))
+    assert not outcome.consistent
+    record("E2", f"tuples examined by chase at n={n}", outcome.tuples_examined)
+    # The refutation reads the whole state: 2n chain tuples + anchor + insert.
+    assert outcome.tuples_examined == state.total_tuples() + 1
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_every_tuple_is_necessary(benchmark, record, n):
+    """The lower-bound witness: each proper substate with the insert is
+    consistent, so no sub-linear strategy can refute."""
+    state = example2_chain_state(n)
+    name, values = example2_killer_insert(n)
+    inserted = state.insert(name, values)
+    assert not is_consistent(inserted)
+
+    def count_necessary():
+        necessary = 0
+        for relation_name, relation in state:
+            for tuple_values in relation:
+                if is_consistent(
+                    inserted.delete(relation_name, tuple_values)
+                ):
+                    necessary += 1
+        return necessary
+
+    necessary = benchmark.pedantic(count_necessary, rounds=1, iterations=1)
+    record("E2", f"necessary tuples at n={n}", necessary)
+    assert necessary == state.total_tuples()

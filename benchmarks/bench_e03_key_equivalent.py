@@ -1,0 +1,44 @@
+"""E3 — Examples 3, 9, 10: key-equivalence recognition and ctm chains.
+
+Regenerates: the triangle is key-equivalent but not independent and not
+even α-acyclic (Example 3); single-attribute-key chains are split-free
+and ctm (Example 9); recognition scales polynomially with chain length.
+"""
+
+import pytest
+
+from repro.core.ctm import is_ctm
+from repro.core.independence import is_independent
+from repro.core.key_equivalent import is_key_equivalent
+from repro.core.split import is_split_free
+from repro.hypergraph.acyclicity import is_alpha_acyclic
+from repro.workloads.paper import example3_triangle, example9_chain
+from repro.workloads.scaling import both_way_chain
+
+CHAIN_LENGTHS = [4, 16, 64]
+
+
+def test_example3_classification(benchmark):
+    scheme = example3_triangle()
+    key_equivalent = benchmark(lambda: is_key_equivalent(scheme))
+    assert key_equivalent
+    assert not is_independent(scheme)
+    assert not is_alpha_acyclic([m.attributes for m in scheme.relations])
+
+
+def test_example9_split_free_and_ctm(benchmark):
+    scheme = example9_chain()
+    assert benchmark(lambda: is_split_free(scheme))
+    assert is_ctm(scheme)
+
+
+@pytest.mark.parametrize("length", CHAIN_LENGTHS)
+def test_recognition_scales_on_chains(benchmark, record, length):
+    scheme = both_way_chain(length)
+
+    def classify():
+        return is_key_equivalent(scheme) and is_split_free(scheme)
+
+    result = benchmark(classify)
+    assert result
+    record("E3", f"chain length {length} key-equivalent+split-free", result)

@@ -1,0 +1,68 @@
+"""E7 — Lemma 3.8: the efficient splitness test.
+
+Regenerates: agreement between the chase-based test and the definitional
+exhaustive witness search on random key-equivalent schemes, and the
+polynomial scaling of the efficient test vs. the exponential search.
+"""
+
+import random
+
+import pytest
+
+from repro.core.split import find_split_witness, is_key_split
+from repro.workloads.random_schemes import random_key_equivalent_scheme
+
+SIZES = [3, 5, 7]
+
+
+@pytest.mark.parametrize("n_relations", SIZES)
+def test_lemma38_agreement(benchmark, record, n_relations):
+    rng = random.Random(42 + n_relations)
+    schemes = [
+        random_key_equivalent_scheme(rng, n_relations=n_relations)
+        for _ in range(10)
+    ]
+
+    def sweep():
+        agreements = 0
+        checks = 0
+        for scheme in schemes:
+            for key in scheme.all_keys():
+                checks += 1
+                efficient = is_key_split(scheme, key)
+                definitional = find_split_witness(scheme, key) is not None
+                agreements += efficient == definitional
+        return agreements, checks
+
+    agreements, checks = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        "E7",
+        f"Lemma 3.8 agreement at {n_relations} relations",
+        f"{agreements}/{checks}",
+    )
+    assert agreements == checks
+
+
+@pytest.mark.parametrize("n_relations", SIZES)
+def test_efficient_test_latency(benchmark, n_relations):
+    rng = random.Random(7)
+    scheme = random_key_equivalent_scheme(rng, n_relations=n_relations)
+
+    def sweep():
+        return [is_key_split(scheme, key) for key in scheme.all_keys()]
+
+    benchmark(sweep)
+
+
+@pytest.mark.parametrize("n_relations", SIZES)
+def test_definitional_search_latency(benchmark, n_relations):
+    rng = random.Random(7)
+    scheme = random_key_equivalent_scheme(rng, n_relations=n_relations)
+
+    def sweep():
+        return [
+            find_split_witness(scheme, key) is not None
+            for key in scheme.all_keys()
+        ]
+
+    benchmark(sweep)

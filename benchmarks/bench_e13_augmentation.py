@@ -1,0 +1,76 @@
+"""E13 — Theorem 4.3 / Corollary 4.2: closure under augmentation and
+reduction.
+
+Regenerates: every augmentation of a random independence-reducible
+scheme by subsets of its members stays in the class; reduction preserves
+membership; and the recognition cost of augmented schemes stays
+polynomial.
+"""
+
+import random
+
+import pytest
+
+from repro.core.reducible import (
+    is_independence_reducible,
+    recognize_independence_reducible,
+)
+from repro.schema.operations import augment, reduce_scheme, subset_family
+from repro.workloads.paper import example1_university
+from repro.workloads.random_schemes import random_reducible_scheme
+
+AUGMENTATION_COUNTS = [1, 4, 8]
+
+
+def test_closure_rate(benchmark, record):
+    rng = random.Random(43)
+    trials = 25
+
+    def sweep():
+        preserved = 0
+        for _ in range(trials):
+            scheme, _ = random_reducible_scheme(
+                rng, n_blocks=2, relations_per_block=2
+            )
+            addition = rng.choice(subset_family(scheme))
+            augmented = augment(scheme, [("AUGX", addition)])
+            preserved += is_independence_reducible(augmented)
+        return preserved
+
+    preserved = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("E13", "augmentations preserved", f"{preserved}/{trials}")
+    assert preserved == trials
+
+
+def test_reduction_preserved(benchmark, record):
+    rng = random.Random(44)
+    trials = 25
+
+    def sweep():
+        preserved = 0
+        for _ in range(trials):
+            scheme, _ = random_reducible_scheme(
+                rng, n_blocks=2, relations_per_block=2
+            )
+            addition = rng.choice(subset_family(scheme))
+            augmented = augment(scheme, [("AUGX", addition)])
+            preserved += is_independence_reducible(reduce_scheme(augmented))
+        return preserved
+
+    preserved = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("E13", "reductions preserved", f"{preserved}/{trials}")
+    assert preserved == trials
+
+
+@pytest.mark.parametrize("k", AUGMENTATION_COUNTS)
+def test_recognition_latency_under_augmentation(benchmark, record, k):
+    rng = random.Random(45)
+    scheme = example1_university()
+    subsets = subset_family(scheme)
+    additions = [
+        (f"AUG{i}", rng.choice(subsets)) for i in range(k)
+    ]
+    augmented = augment(scheme, additions)
+    result = benchmark(lambda: recognize_independence_reducible(augmented))
+    assert result.accepted
+    record("E13", f"accepted with {k} augmentations", result.accepted)

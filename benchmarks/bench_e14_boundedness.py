@@ -1,0 +1,114 @@
+"""E14 — boundedness made measurable (Section 2.5 definition).
+
+Boundedness counts *fd-rule applications*: a scheme is bounded when any
+single total tuple of the representative instance is derivable within a
+scheme-dependent constant number of applications.  Two measurable
+consequences are regenerated here:
+
+* on the bounded Example 12 scheme, the number of applications the
+  chase performs **per derived class** is a small constant — total
+  applications grow only because the number of entities does;
+* on Example 2's chain family, refuting the killer insert requires a
+  number of applications that grows linearly with the chain — deriving
+  *one* fact (the contradiction) costs Θ(n), the unboundedness
+  signature (the necessity of every tuple is E2's half of the
+  argument).
+"""
+
+import random
+
+import pytest
+
+from repro.state.consistency import chase_state
+from repro.workloads.adversarial import (
+    example2_chain_state,
+    example2_killer_insert,
+)
+from repro.workloads.paper import example12_reducible
+from repro.workloads.states import dense_consistent_state
+
+SIZES = [8, 32, 128]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bounded_scheme_steps_per_class_flat(benchmark, record, n):
+    scheme = example12_reducible()
+    state = dense_consistent_state(scheme, n)
+    result = benchmark(lambda: chase_state(state))
+    # Every entity produces one or two merged classes; the applications
+    # per entity are scheme-bounded.
+    per_entity = result.steps / n
+    record(
+        "E14",
+        f"bounded-scheme fd-applications per entity at n={n}",
+        round(per_entity, 2),
+    )
+    # ~22 on this scheme (6 relations per entity merging pairwise);
+    # the claim is flatness, bounded by a scheme constant.
+    assert per_entity <= 30
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_unbounded_refutation_steps_grow(benchmark, record, n):
+    state = example2_chain_state(n)
+    name, values = example2_killer_insert(n)
+    inserted = state.insert(name, values)
+    result = benchmark(lambda: chase_state(inserted))
+    assert not result.consistent
+    record("E14", f"chain refutation fd-applications at n={n}", result.steps)
+    # The contradiction is one derived fact, yet it needs the whole
+    # chain's worth of applications.
+    assert result.steps >= n
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_per_tuple_derivation_length_flat_on_bounded(benchmark, record, n):
+    """The definition, verbatim: the proof-producing chase reports the
+    fd-rule applications each individual total tuple depends on; the
+    maximum is a scheme constant on the bounded Example 12 scheme."""
+    from repro.tableau.provenance import ProvenanceChase
+
+    scheme = example12_reducible()
+    state = dense_consistent_state(scheme, n)
+
+    def run():
+        tracked = ProvenanceChase(state.tableau(), scheme.fds)
+        return tracked.max_derivation_length(scheme.universe)
+
+    length = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E14", f"max per-tuple derivation at n={n}", length)
+    assert length <= 12
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_conflict_lineage_linear_on_chain(benchmark, record, n):
+    from repro.tableau.provenance import ProvenanceChase
+
+    state = example2_chain_state(n)
+    name, values = example2_killer_insert(n)
+    inserted = state.insert(name, values)
+
+    def run():
+        tracked = ProvenanceChase(inserted.tableau(), state.scheme.fds)
+        assert not tracked.consistent
+        return len(tracked.conflict_events)
+
+    lineage = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E14", f"conflict lineage at n={n}", lineage)
+    assert lineage == 2 * n + 1
+
+
+def test_refutation_step_growth_is_linear(benchmark, record):
+    def sweep():
+        steps = []
+        for n in SIZES:
+            state = example2_chain_state(n)
+            name, values = example2_killer_insert(n)
+            steps.append(chase_state(state.insert(name, values)).steps)
+        return steps
+
+    steps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("E14", "chain refutation step series", dict(zip(SIZES, steps)))
+    # Quadrupling n quadruples the applications (within slack).
+    assert steps[1] >= 3 * steps[0]
+    assert steps[2] >= 3 * steps[1]

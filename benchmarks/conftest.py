@@ -1,0 +1,35 @@
+"""Shared benchmark helpers.
+
+Each benchmark module regenerates one experiment from DESIGN.md's
+per-experiment index.  Benchmarks both *measure* (via pytest-benchmark)
+and *assert the paper's claim shape* (flat-vs-growing probe counts,
+acceptance rates, agreement with baselines), so a green
+``pytest benchmarks/ --benchmark-only`` run is itself a reproduction
+check.  Measured series are also appended to ``benchmarks/results.txt``
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+def record_series(experiment: str, label: str, series) -> None:
+    """Append a measured series to the results file (idempotent per
+    process: the file is truncated once per run)."""
+    flag = f"_repro_results_truncated_{os.getpid()}"
+    if not getattr(record_series, flag, False):
+        RESULTS_PATH.write_text("")
+        setattr(record_series, flag, True)
+    with RESULTS_PATH.open("a") as handle:
+        handle.write(f"{experiment:6s} {label}: {series}\n")
+
+
+@pytest.fixture
+def record():
+    return record_series

@@ -1,0 +1,74 @@
+"""Quickstart: declare a scheme, classify it, maintain a state, query it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DatabaseScheme,
+    DatabaseState,
+    InsertMaintainer,
+    analyze_scheme,
+    total_projection,
+    tuples_from_rows,
+)
+
+# ----------------------------------------------------------------------
+# 1. Declare a database scheme with embedded keys (Example 1's
+#    university database: H=hour, R=room, C=course, T=teacher,
+#    S=student, G=grade).
+# ----------------------------------------------------------------------
+university = DatabaseScheme.from_spec(
+    {
+        "R1": ("HRC", ["HR"]),        # a room at an hour hosts one course
+        "R2": ("HTR", ["HT", "HR"]),  # teacher/hour <-> room/hour
+        "R3": ("HTC", ["HT"]),        # a teacher at an hour teaches one course
+        "R4": ("CSG", ["CS"]),        # a student gets one grade per course
+        "R5": ("HSR", ["HS"]),        # a student at an hour sits in one room
+    }
+)
+
+# ----------------------------------------------------------------------
+# 2. Classify it: BCNF? independent? γ-acyclic? independence-reducible?
+#    constant-time-maintainable?
+# ----------------------------------------------------------------------
+report = analyze_scheme(university)
+print(report.describe())
+print()
+
+# ----------------------------------------------------------------------
+# 3. Load a state and enforce constraints incrementally.  The maintainer
+#    routes each insert to the cheapest correct algorithm (here
+#    Algorithm 5, since the scheme is ctm).
+# ----------------------------------------------------------------------
+maintainer = InsertMaintainer(university)
+state = DatabaseState(
+    university,
+    {
+        "R1": tuples_from_rows("HRC", [("9am", "DC128", "CS445")]),
+        "R4": tuples_from_rows("CSG", [("CS445", "sue", "A")]),
+        "R5": tuples_from_rows("HSR", [("9am", "sue", "DC128")]),
+    },
+)
+
+# A consistent insert: the same course's teacher at 9am in DC128.
+outcome = maintainer.insert(
+    state, "R2", {"H": "9am", "T": "chan", "R": "DC128"}
+)
+print("insert (9am, chan, DC128) into R2:", "ok" if outcome else "REJECTED")
+state = outcome.state
+
+# An inconsistent insert: DC128 at 9am already hosts CS445.
+outcome = maintainer.insert(
+    state, "R1", {"H": "9am", "R": "DC128", "C": "CS888"}
+)
+print("insert (9am, DC128, CS888) into R1:", "ok" if outcome else "REJECTED")
+print(f"(decided after examining {outcome.tuples_examined} stored tuples)")
+print()
+
+# ----------------------------------------------------------------------
+# 4. Query through the weak-instance model: which course is each
+#    student taking, even though no stored relation links S and C?
+# ----------------------------------------------------------------------
+print("[CS] total projection (student -> course):")
+for course, student in sorted(total_projection(state, "CS")):
+    print(f"  {student} takes {course}")

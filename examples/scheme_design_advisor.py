@@ -1,0 +1,76 @@
+"""Scheme design advisor: compare candidate decompositions.
+
+A designer deciding how to split a universe into relation schemes wants
+to know what each candidate costs at run time.  This example classifies
+three designs for the same constraint set and prints the maintenance /
+query-answering guarantees the paper attaches to each class.
+
+Run:  python examples/scheme_design_advisor.py
+"""
+
+from repro import DatabaseScheme, analyze_scheme
+from repro.workloads.paper import (
+    example1_university,
+    example4_split_scheme,
+    intro_scheme_s,
+)
+
+CANDIDATES = [
+    (
+        "A: five small relations (Example 1's R)",
+        example1_university(),
+    ),
+    (
+        "B: the merged design (the introduction's S)",
+        intro_scheme_s(),
+    ),
+    (
+        "C: a fragmented design whose key BC is split (Example 5)",
+        example4_split_scheme(),
+    ),
+    (
+        "D: a design outside the class (Example 2)",
+        DatabaseScheme.from_spec(
+            {"R1": "AB", "R2": ("BC", ["B"]), "R3": ("AC", ["A"])}
+        ),
+    ),
+]
+
+
+def advise(label: str, scheme: DatabaseScheme) -> None:
+    report = analyze_scheme(scheme)
+    print("=" * 72)
+    print(label)
+    print("-" * 72)
+    print(report.describe())
+    print()
+    if report.ctm:
+        print(
+            ">>> ADVICE: inserts validate in constant time (Algorithm 5); "
+            "queries\n    evaluate by predetermined expressions. "
+            "Ship it."
+        )
+    elif report.independence_reducible:
+        print(
+            ">>> ADVICE: inserts validate via a bounded number of "
+            "predetermined\n    expressions (Algorithm 2), but a split key "
+            f"({', '.join(''.join(sorted(k)) for k in report.split_keys)}) "
+            "prevents constant-time\n    maintenance. Consider merging the "
+            "relations that fragment that key."
+        )
+    else:
+        print(
+            ">>> ADVICE: the paper offers no sub-linear guarantee; every "
+            "insert may\n    require re-examining the whole state. "
+            "Restructure toward an\n    independence-reducible design."
+        )
+    print()
+
+
+def main() -> None:
+    for label, scheme in CANDIDATES:
+        advise(label, scheme)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Streaming inserts against per-block materialized views.
+
+Replays a registrar's enrollment stream through
+:class:`repro.core.views.BlockMaterializedViews`: each insert validates
+block-locally against an incrementally maintained representative
+instance (no re-chasing, no per-insert re-validation pass), and queries
+are answered straight from the views.
+
+Run:  python examples/streaming_inserts.py
+"""
+
+import random
+import time
+
+from repro.core.views import BlockMaterializedViews
+from repro.state.consistency import is_consistent
+from repro.workloads.paper import example1_university
+from repro.workloads.registrar import (
+    enrollment_stream,
+    generate_registrar_workload,
+)
+
+
+def main() -> None:
+    rng = random.Random(1988)
+    workload = generate_registrar_workload(
+        rng, n_students=40, enrollments_per_student=2
+    )
+
+    # Start from the timetable (a consistent base state).
+    base = workload.state()
+    timetable_only = base
+    for name in ("R4", "R5"):
+        for values in list(base[name]):
+            timetable_only = timetable_only.delete(name, values)
+
+    views = BlockMaterializedViews(timetable_only)
+    print("partition blocks and initial view sizes:", views.sizes())
+
+    accepted = rejected = 0
+    start = time.perf_counter()
+    for name, values in enrollment_stream(workload):
+        if views.insert(name, values):
+            accepted += 1
+        else:
+            rejected += 1
+    elapsed_ms = (time.perf_counter() - start) * 1000
+
+    print(
+        f"streamed {accepted + rejected} enrollment tuples in "
+        f"{elapsed_ms:.1f} ms: {accepted} accepted, {rejected} rejected"
+    )
+    print("view sizes after the stream:", views.sizes())
+
+    # Queries served from the views (single block) and via the bounded
+    # plan (cross block).
+    grades = views.query("SG")
+    print(f"grades recorded for {len(grades)} (student, grade) pairs")
+    teachers = views.query("ST")
+    print(f"teacher-student pairs derivable: {len(teachers)}")
+
+    # The tracked state is still genuinely consistent.
+    assert is_consistent(views.state)
+
+    # A double-booking attempt bounces off the views too.
+    offering = workload.offerings[0]
+    clash = views.insert(
+        "R1", {"H": offering.hour, "R": offering.room, "C": "crs_clash"}
+    )
+    print("double-booking attempt accepted?", clash)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so legacy editable installs (`pip install -e .`) work in offline
+environments that lack the `wheel` package; all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,277 @@
+"""Relational-algebra expressions.
+
+The paper's boundedness and maintainability results hinge on
+*predetermined relational expressions*: expressions built from the
+database scheme alone whose evaluation on any consistent state yields
+total projections (Corollary 3.1(b), Theorem 4.1) or the single tuples
+a maintenance step must examine (Theorem 3.2).  This module provides an
+expression AST — relation references, natural joins, projections,
+unions and conjunctive selections — with deterministic pretty-printing
+in the paper's notation and evaluation over database states.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence, Union
+
+from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs, sorted_attrs
+from repro.foundations.errors import StateError
+from repro.state.relation import Relation
+
+#: What expressions evaluate against: a state-like mapping of relation
+#: name to Relation (a DatabaseState also satisfies this protocol via
+#: __getitem__).
+RelationSource = Mapping[str, Relation]
+
+
+class Expression:
+    """Base class for relational-algebra expressions."""
+
+    #: The output attributes of the expression.
+    attributes: frozenset[str]
+
+    def evaluate(self, source: RelationSource) -> Relation:
+        """Evaluate against stored relations."""
+        raise NotImplementedError
+
+    def relation_names(self) -> frozenset[str]:
+        """All base relations mentioned by the expression."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+class RelationRef(Expression):
+    """A reference to a stored relation."""
+
+    def __init__(self, name: str, attributes: AttrsLike) -> None:
+        self.name = name
+        self.attributes = attrs(attributes)
+
+    def evaluate(self, source: RelationSource) -> Relation:
+        relation = source[self.name]
+        if relation.attributes != self.attributes:
+            raise StateError(
+                f"stored relation {self.name} has attributes "
+                f"{fmt_attrs(relation.attributes)}, expression expects "
+                f"{fmt_attrs(self.attributes)}"
+            )
+        return relation
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class LiteralRelation(Expression):
+    """An inline constant relation (e.g. an inserted tuple)."""
+
+    def __init__(self, relation: Relation, label: str = "τ") -> None:
+        self.relation = relation
+        self.attributes = relation.attributes
+        self.label = label
+
+    def evaluate(self, source: RelationSource) -> Relation:
+        return self.relation
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class NaturalJoin(Expression):
+    """The natural join of two or more expressions (``⋈``)."""
+
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        if len(operands) < 2:
+            raise StateError("a join needs at least two operands")
+        self.operands = tuple(operands)
+        out: frozenset[str] = frozenset()
+        for operand in operands:
+            out = out | operand.attributes
+        self.attributes = out
+
+    def evaluate(self, source: RelationSource) -> Relation:
+        result = self.operands[0].evaluate(source)
+        for operand in self.operands[1:]:
+            result = join_relations(result, operand.evaluate(source))
+        return result
+
+    def relation_names(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for operand in self.operands:
+            names = names | operand.relation_names()
+        return names
+
+    def __str__(self) -> str:
+        parts = [
+            f"({operand})" if isinstance(operand, (NaturalJoin, UnionExpr)) else str(operand)
+            for operand in self.operands
+        ]
+        return " ⋈ ".join(parts)
+
+
+class Project(Expression):
+    """Projection ``π_X`` onto a subset of the operand's attributes."""
+
+    def __init__(self, operand: Expression, attributes: AttrsLike) -> None:
+        target = attrs(attributes)
+        if not target <= operand.attributes:
+            raise StateError(
+                f"cannot project {fmt_attrs(operand.attributes)} onto "
+                f"{fmt_attrs(target)}"
+            )
+        self.operand = operand
+        self.attributes = target
+
+    def evaluate(self, source: RelationSource) -> Relation:
+        return project_relation(self.operand.evaluate(source), self.attributes)
+
+    def relation_names(self) -> frozenset[str]:
+        return self.operand.relation_names()
+
+    def __str__(self) -> str:
+        return f"π_{fmt_attrs(self.attributes)}({self.operand})"
+
+
+class UnionExpr(Expression):
+    """Union of expressions over the same output attributes."""
+
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        if not operands:
+            raise StateError("a union needs at least one operand")
+        first = operands[0].attributes
+        for operand in operands[1:]:
+            if operand.attributes != first:
+                raise StateError("union operands must share attributes")
+        self.operands = tuple(operands)
+        self.attributes = first
+
+    def evaluate(self, source: RelationSource) -> Relation:
+        result = self.operands[0].evaluate(source)
+        for operand in self.operands[1:]:
+            result = result.union(operand.evaluate(source))
+        return result
+
+    def relation_names(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for operand in self.operands:
+            names = names | operand.relation_names()
+        return names
+
+    def __str__(self) -> str:
+        return " ∪ ".join(
+            f"({operand})" if isinstance(operand, UnionExpr) else str(operand)
+            for operand in self.operands
+        )
+
+
+class Select(Expression):
+    """Conjunctive selection ``σ_{A='a' ∧ ...}`` (paper, Section 2.7)."""
+
+    def __init__(
+        self, operand: Expression, equalities: Mapping[str, Hashable]
+    ) -> None:
+        condition = dict(equalities)
+        unknown = set(condition) - set(operand.attributes)
+        if unknown:
+            raise StateError(
+                f"selection on attributes outside the operand: {sorted(unknown)}"
+            )
+        self.operand = operand
+        self.equalities = condition
+        self.attributes = operand.attributes
+
+    def evaluate(self, source: RelationSource) -> Relation:
+        return select_relation(self.operand.evaluate(source), self.equalities)
+
+    def relation_names(self) -> frozenset[str]:
+        return self.operand.relation_names()
+
+    def constants(self) -> set[Hashable]:
+        """``CST(Φ)``: the constants mentioned by the selection formula."""
+        return set(self.equalities.values())
+
+    def __str__(self) -> str:
+        condition = " ∧ ".join(
+            f"{attribute}='{value}'"
+            for attribute, value in sorted(self.equalities.items())
+        )
+        return f"σ_{{{condition}}}({self.operand})"
+
+
+# -- evaluation primitives ------------------------------------------------------
+
+
+def join_relations(left: Relation, right: Relation) -> Relation:
+    """Natural join (hash join on the common attributes; a cartesian
+    product when the attribute sets are disjoint)."""
+    common = sorted(left.attributes & right.attributes)
+    output_attributes = left.attributes | right.attributes
+    index: dict[tuple, list[dict]] = {}
+    for row in right:
+        key = tuple(row[a] for a in common)
+        index.setdefault(key, []).append(row)
+    joined = []
+    for row in left:
+        key = tuple(row[a] for a in common)
+        for match in index.get(key, ()):
+            merged = dict(match)
+            merged.update(row)
+            joined.append(merged)
+    return Relation(output_attributes, joined)
+
+
+def project_relation(relation: Relation, attributes: AttrsLike) -> Relation:
+    """Projection onto a subset of the relation's attributes."""
+    target = attrs(attributes)
+    if not target <= relation.attributes:
+        raise StateError("projection outside the relation's attributes")
+    ordered = sorted_attrs(target)
+    return Relation(
+        target, ({a: row[a] for a in ordered} for row in relation)
+    )
+
+
+def select_relation(
+    relation: Relation, equalities: Mapping[str, Hashable]
+) -> Relation:
+    """Conjunctive selection by attribute-equals-constant conditions."""
+    items = list(equalities.items())
+    return Relation(
+        relation.attributes,
+        (
+            row
+            for row in relation
+            if all(row[attribute] == value for attribute, value in items)
+        ),
+    )
+
+
+# -- convenience constructors -----------------------------------------------------
+
+
+def ref(name: str, attributes: AttrsLike) -> RelationRef:
+    return RelationRef(name, attributes)
+
+
+def join_all(operands: Sequence[Expression]) -> Expression:
+    """Join a sequence of expressions (identity for a single operand)."""
+    if len(operands) == 1:
+        return operands[0]
+    return NaturalJoin(list(operands))
+
+
+def union_all_exprs(operands: Sequence[Expression]) -> Expression:
+    """Union a sequence of expressions (identity for a single operand)."""
+    if len(operands) == 1:
+        return operands[0]
+    return UnionExpr(list(operands))

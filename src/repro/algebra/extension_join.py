@@ -1,0 +1,82 @@
+"""Extension joins and sequential join enumeration (paper, Section 2.6).
+
+An extension join glues a relation onto an accumulated expression along
+attributes that functionally determine the new attributes; under the
+paper's embedded-key assumption this specializes to: the new relation's
+intersection with the accumulated attribute set contains one of its
+declared keys.  A *sequential* join orders distinct relation schemes so
+that each join step is an extension join — these are exactly the access
+paths Sagiv's independent-scheme query evaluation and the paper's
+Theorem 4.1 use.
+
+The subsets of a scheme that admit such an ordering coincide with the
+rooted lossless subsets of :mod:`repro.schema.lossless`; here we expose
+the *orderings* and turn subsets into executable expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.algebra.expressions import (
+    Expression,
+    Project,
+    RelationRef,
+    join_all,
+)
+from repro.foundations.attrs import AttrsLike, attrs
+from repro.foundations.errors import SchemaError
+from repro.schema.relation_scheme import RelationScheme
+
+
+def extension_join_order(
+    subset: Sequence[RelationScheme],
+) -> Optional[list[RelationScheme]]:
+    """Order a set of relation schemes as a sequential extension join.
+
+    The first scheme is arbitrary among valid roots; every later scheme
+    must have a declared key inside the union of its predecessors'
+    attributes.  Returns None when no ordering exists (the subset is not
+    lossless / not an extension-join set).
+    """
+    remaining = list(subset)
+    for root_index, root in enumerate(remaining):
+        order = [root]
+        covered = set(root.attributes)
+        pool = remaining[:root_index] + remaining[root_index + 1 :]
+        progressed = True
+        while pool and progressed:
+            progressed = False
+            for candidate in list(pool):
+                if any(key <= covered for key in candidate.keys):
+                    order.append(candidate)
+                    covered |= candidate.attributes
+                    pool.remove(candidate)
+                    progressed = True
+        if not pool:
+            return order
+    return None
+
+
+def sequential_join_expression(
+    subset: Sequence[RelationScheme],
+    project_onto: Optional[AttrsLike] = None,
+) -> Expression:
+    """Build the (optionally projected) sequential join expression of an
+    extension-join set of relation schemes.
+
+    Raises :class:`SchemaError` when the subset admits no extension-join
+    ordering.
+    """
+    order = extension_join_order(subset)
+    if order is None:
+        raise SchemaError(
+            "subset admits no sequential extension-join ordering: "
+            + ", ".join(member.name for member in subset)
+        )
+    expression: Expression = join_all(
+        [RelationRef(member.name, member.attributes) for member in order]
+    )
+    if project_onto is not None:
+        expression = Project(expression, attrs(project_onto))
+    return expression

@@ -1,0 +1,5 @@
+"""Scheme classification front-end."""
+
+from repro.analysis.report import SchemeReport, analyze_scheme
+
+__all__ = ["SchemeReport", "analyze_scheme"]

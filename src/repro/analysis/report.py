@@ -1,0 +1,158 @@
+"""One-call scheme analysis.
+
+``analyze_scheme`` runs every classifier the paper discusses against a
+database scheme and returns a structured report: normal form,
+hypergraph acyclicity degrees, independence, the key-equivalent
+partition, independence-reducibility and constant-time-maintainability.
+This is the "scheme design advisor" view of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ctm import is_ctm
+from repro.core.independence import is_independent
+from repro.core.key_equivalent import is_key_equivalent
+from repro.core.reducible import (
+    RecognitionResult,
+    recognize_independence_reducible,
+)
+from repro.core.split import split_keys
+from repro.fd.normal_forms import database_scheme_is_bcnf
+from repro.foundations.attrs import fmt_attrs
+from repro.hypergraph.acyclicity import (
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+from repro.schema.database_scheme import DatabaseScheme
+
+
+@dataclass(frozen=True)
+class SchemeReport:
+    """Everything the paper lets us say about one database scheme."""
+
+    scheme: DatabaseScheme
+    bcnf: bool
+    alpha_acyclic: bool
+    beta_acyclic: bool
+    gamma_acyclic: bool
+    independent: bool
+    key_equivalent: bool
+    independence_reducible: bool
+    recognition: RecognitionResult
+    split_keys: tuple[frozenset[str], ...]
+    ctm: Optional[bool]
+    maintenance_guarantee: str = field(default="")
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (used by the CLI's ``--json``)."""
+        partition = [
+            {
+                "name": induced_member.name,
+                "attributes": sorted(induced_member.attributes),
+                "members": [m.name for m in block.relations],
+            }
+            for block, induced_member in zip(
+                self.recognition.partition, self.recognition.induced
+            )
+        ]
+        return {
+            "relations": {
+                member.name: {
+                    "attributes": sorted(member.attributes),
+                    "keys": [sorted(key) for key in member.keys],
+                }
+                for member in self.scheme.relations
+            },
+            "bcnf": self.bcnf,
+            "alpha_acyclic": self.alpha_acyclic,
+            "beta_acyclic": self.beta_acyclic,
+            "gamma_acyclic": self.gamma_acyclic,
+            "independent": self.independent,
+            "key_equivalent": self.key_equivalent,
+            "independence_reducible": self.independence_reducible,
+            "partition": partition if self.independence_reducible else None,
+            "split_keys": [sorted(key) for key in self.split_keys],
+            "ctm": self.ctm,
+            "maintenance_guarantee": self.maintenance_guarantee,
+        }
+
+    def describe(self) -> str:
+        lines = [f"scheme: {self.scheme}"]
+        lines.append(f"  embedded key dependencies: {self.scheme.fds}")
+        lines.append(f"  BCNF:                     {self.bcnf}")
+        lines.append(
+            "  hypergraph acyclicity:    "
+            f"α={self.alpha_acyclic} β={self.beta_acyclic} "
+            f"γ={self.gamma_acyclic}"
+        )
+        lines.append(f"  independent:              {self.independent}")
+        lines.append(f"  key-equivalent:           {self.key_equivalent}")
+        lines.append(
+            f"  independence-reducible:   {self.independence_reducible}"
+        )
+        if self.independence_reducible:
+            for block, member in zip(
+                self.recognition.partition, self.recognition.induced
+            ):
+                names = ", ".join(m.name for m in block.relations)
+                lines.append(
+                    f"    block {member.name}"
+                    f"({fmt_attrs(member.attributes)}) = {{{names}}}"
+                )
+        if self.split_keys:
+            rendered = ", ".join(fmt_attrs(key) for key in self.split_keys)
+            lines.append(f"  split keys:               {rendered}")
+        ctm_text = "unknown (outside the reducible class)" if self.ctm is None else self.ctm
+        lines.append(f"  constant-time-maintainable: {ctm_text}")
+        lines.append(f"  maintenance guarantee:    {self.maintenance_guarantee}")
+        return "\n".join(lines)
+
+
+def analyze_scheme(scheme: DatabaseScheme) -> SchemeReport:
+    """Run all classifiers on a database scheme."""
+    edges = [member.attributes for member in scheme.relations]
+    recognition = recognize_independence_reducible(scheme)
+    ctm: Optional[bool]
+    if recognition.accepted:
+        ctm = is_ctm(scheme, recognition)
+        # Theorem 5.5's notion of splitness is per partition block.
+        reported_split_keys = sorted(
+            {
+                key
+                for block in recognition.partition
+                for key in split_keys(block)
+            },
+            key=lambda key: tuple(sorted(key)),
+        )
+    else:
+        ctm = None
+        reported_split_keys = split_keys(scheme)
+    if recognition.accepted and ctm:
+        guarantee = (
+            "bounded; ctm (Algorithm 5 probes are state-size independent)"
+        )
+    elif recognition.accepted:
+        guarantee = (
+            "bounded; algebraic-maintainable via predetermined expressions "
+            "(Algorithm 2), but not ctm (a key is split)"
+        )
+    else:
+        guarantee = "no guarantee from the paper; full chase required"
+    return SchemeReport(
+        scheme=scheme,
+        bcnf=database_scheme_is_bcnf(edges, scheme.fds),
+        alpha_acyclic=is_alpha_acyclic(edges),
+        beta_acyclic=is_beta_acyclic(edges),
+        gamma_acyclic=is_gamma_acyclic(edges),
+        independent=is_independent(scheme),
+        key_equivalent=is_key_equivalent(scheme),
+        independence_reducible=recognition.accepted,
+        recognition=recognition,
+        split_keys=tuple(reported_split_keys),
+        ctm=ctm,
+        maintenance_guarantee=guarantee,
+    )

@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro analyze SCHEME.json
+        Classify a scheme (BCNF, acyclicity, independence,
+        key-equivalent partition, reducibility, ctm).
+
+    python -m repro explain SCHEME.json --target ACG
+        Print the predetermined total-projection plan for [X].
+
+    python -m repro check SCHEME.json STATE.json
+        Report local and global consistency of a state.
+
+    python -m repro query SCHEME.json STATE.json --target ACG
+        Evaluate the X-total projection.
+
+    python -m repro insert SCHEME.json STATE.json \
+            --relation R1 --values H=9am,R=DC128,C=CS445 [--out NEW.json]
+        Validate one insertion; write the updated state when accepted.
+
+    python -m repro synthesize --fds "A->B, B->C" [--universe ABCD] \
+            [--out SCHEME.json]
+        Synthesize a cover-embedding 3NF scheme from fds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.report import analyze_scheme
+from repro.core.engine import WeakInstanceEngine
+from repro.fd.fdset import FDSet
+from repro.foundations.attrs import attrs, fmt_attrs
+from repro.foundations.errors import ReproError
+from repro.io import (
+    dump_scheme,
+    dump_state,
+    load_scheme,
+    load_state,
+    scheme_to_dict,
+    state_to_dict,
+)
+from repro.schema.synthesis import synthesize_3nf
+from repro.state.consistency import is_consistent, is_locally_consistent
+
+
+def _parse_values(text: str) -> dict[str, str]:
+    """Parse ``A=a,B=b`` tuple notation."""
+    values: dict[str, str] = {}
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if "=" not in piece:
+            raise argparse.ArgumentTypeError(
+                f"expected ATTR=value, got {piece!r}"
+            )
+        attribute, _, value = piece.partition("=")
+        values[attribute.strip()] = value.strip()
+    if not values:
+        raise argparse.ArgumentTypeError("no values given")
+    return values
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.scheme)
+    report = analyze_scheme(scheme)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.scheme)
+    engine = WeakInstanceEngine(scheme)
+    try:
+        print(engine.explain(args.target))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.scheme)
+    state = load_state(scheme, args.state)
+    local = is_locally_consistent(state)
+    globally = is_consistent(state)
+    print(f"locally consistent:  {local}")
+    print(f"globally consistent: {globally}")
+    if local and not globally:
+        print(
+            "note: the state is in LSAT − WSAT; this scheme does not "
+            "enforce global consistency locally"
+        )
+    return 0 if globally else 2
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.scheme)
+    state = load_state(scheme, args.state)
+    engine = WeakInstanceEngine(scheme)
+    target = attrs(args.target)
+    rows = engine.query(state, target)
+    ordered = sorted(target)
+    print("\t".join(ordered))
+    for row in sorted(rows):
+        print("\t".join(str(value) for value in row))
+    return 0
+
+
+def _cmd_insert(args: argparse.Namespace) -> int:
+    scheme = load_scheme(args.scheme)
+    state = load_state(scheme, args.state)
+    engine = WeakInstanceEngine(scheme)
+    outcome = engine.insert(state, args.relation, args.values)
+    if not outcome.consistent:
+        print(
+            f"REJECTED: inserting into {args.relation} would make the "
+            f"state inconsistent (examined {outcome.tuples_examined} "
+            "stored tuples)"
+        )
+        return 2
+    print(
+        f"accepted (examined {outcome.tuples_examined} stored tuples)"
+    )
+    if args.out:
+        dump_state(outcome.state, args.out)
+        print(f"updated state written to {args.out}")
+    else:
+        print(json.dumps(state_to_dict(outcome.state), sort_keys=True))
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    from repro.fd.armstrong import explain_key
+
+    scheme = load_scheme(args.scheme)
+    for member in scheme.relations:
+        rendered = ", ".join(fmt_attrs(key) for key in member.keys)
+        print(f"{member.name}({fmt_attrs(member.attributes)}): keys {rendered}")
+        if args.explain:
+            for key in member.keys:
+                if key == member.attributes:
+                    print("   (all-key: nothing to derive)")
+                    continue
+                derivation = explain_key(member.attributes, key, scheme.fds)
+                for line in derivation.render().splitlines():
+                    print("   " + line)
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.core.reducible import recognize_independence_reducible
+
+    scheme = load_scheme(args.scheme)
+    result = recognize_independence_reducible(scheme)
+    print(result.describe())
+    return 0 if result.accepted else 2
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.schema.decompose import decompose_bcnf
+
+    fds = FDSet(args.fds)
+    if args.bcnf:
+        universe = args.universe if args.universe else fds.attributes
+        scheme = decompose_bcnf(universe, fds)
+    else:
+        scheme = synthesize_3nf(
+            fds, universe=args.universe if args.universe else None
+        )
+    if args.out:
+        dump_scheme(scheme, args.out)
+        print(f"scheme written to {args.out}")
+    else:
+        print(json.dumps(scheme_to_dict(scheme), indent=2, sort_keys=True))
+    print(f"# embedded key dependencies: {scheme.fds}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Independence-reducible database schemes "
+            "(Chan & Hernández, PODS 1988)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="classify a scheme")
+    analyze.add_argument("scheme", help="scheme JSON file")
+    analyze.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    explain = commands.add_parser(
+        "explain", help="show the predetermined plan for a total projection"
+    )
+    explain.add_argument("scheme", help="scheme JSON file")
+    explain.add_argument("--target", required=True, help="attributes, e.g. ACG")
+    explain.set_defaults(func=_cmd_explain)
+
+    check = commands.add_parser("check", help="check a state's consistency")
+    check.add_argument("scheme", help="scheme JSON file")
+    check.add_argument("state", help="state JSON file")
+    check.set_defaults(func=_cmd_check)
+
+    query = commands.add_parser("query", help="evaluate a total projection")
+    query.add_argument("scheme", help="scheme JSON file")
+    query.add_argument("state", help="state JSON file")
+    query.add_argument("--target", required=True, help="attributes, e.g. ACG")
+    query.set_defaults(func=_cmd_query)
+
+    insert = commands.add_parser("insert", help="validate one insertion")
+    insert.add_argument("scheme", help="scheme JSON file")
+    insert.add_argument("state", help="state JSON file")
+    insert.add_argument("--relation", required=True)
+    insert.add_argument(
+        "--values", required=True, type=_parse_values, help="A=a,B=b,..."
+    )
+    insert.add_argument("--out", help="write the updated state here")
+    insert.set_defaults(func=_cmd_insert)
+
+    keys = commands.add_parser(
+        "keys", help="list (and optionally derive) every declared key"
+    )
+    keys.add_argument("scheme", help="scheme JSON file")
+    keys.add_argument(
+        "--explain",
+        action="store_true",
+        help="print an Armstrong derivation for each key",
+    )
+    keys.set_defaults(func=_cmd_keys)
+
+    partition = commands.add_parser(
+        "partition",
+        help="show the key-equivalent partition and the Algorithm 6 verdict",
+    )
+    partition.add_argument("scheme", help="scheme JSON file")
+    partition.set_defaults(func=_cmd_partition)
+
+    synthesize = commands.add_parser(
+        "synthesize", help="3NF-synthesize a scheme from fds"
+    )
+    synthesize.add_argument(
+        "--fds", required=True, help='arrow notation, e.g. "A->B, B->C"'
+    )
+    synthesize.add_argument("--universe", default=None)
+    synthesize.add_argument(
+        "--bcnf",
+        action="store_true",
+        help="lossless BCNF decomposition instead of 3NF synthesis "
+        "(may lose dependency preservation)",
+    )
+    synthesize.add_argument("--out", help="write the scheme here")
+    synthesize.set_defaults(func=_cmd_synthesize)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

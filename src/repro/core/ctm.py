@@ -1,0 +1,182 @@
+"""Constant-time maintainability and the unified maintenance front-end
+(paper, Sections 3.3, 4.2, 5.4).
+
+Theorem 5.5: an independence-reducible scheme is ctm iff every block of
+its independence-reducible partition is split-free.  Section 4.2: to
+validate an insertion it suffices to validate it inside the block
+containing the target relation — independence of the induced scheme
+lifts block consistency to global consistency.
+
+:class:`InsertMaintainer` packages this: at construction it recognizes
+the scheme, partitions it, and chooses per-block strategies (Algorithm 5
+for split-free blocks, Algorithm 2 otherwise); inserts are validated
+against the block substate only, with the full-chase baseline available
+for schemes outside the class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Optional
+
+from repro.core.maintenance import (
+    ExpressionRILookup,
+    StateIndex,
+    algebraic_insert,
+    ctm_insert,
+)
+from repro.core.reducible import (
+    RecognitionResult,
+    recognize_independence_reducible,
+)
+from repro.core.split import is_split_free
+from repro.foundations.errors import NotApplicableError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.state.consistency import MaintenanceOutcome, maintain_by_chase
+from repro.state.database_state import DatabaseState
+
+
+def is_ctm(
+    scheme: DatabaseScheme,
+    recognition: Optional[RecognitionResult] = None,
+) -> bool:
+    """Theorem 5.5: an independence-reducible scheme is ctm iff it is
+    split-free (every partition block is split-free).
+
+    Raises :class:`NotApplicableError` for schemes outside the
+    independence-reducible class, where the paper gives no
+    characterization.
+    """
+    if recognition is None:
+        recognition = recognize_independence_reducible(scheme)
+    if not recognition.accepted:
+        raise NotApplicableError(
+            "the ctm characterization (Theorem 5.5) applies to "
+            "independence-reducible schemes only"
+        )
+    return all(is_split_free(block) for block in recognition.partition)
+
+
+def split_blocks(
+    recognition: RecognitionResult,
+) -> list[DatabaseScheme]:
+    """The partition blocks that are split (hence maintained by
+    Algorithm 2 rather than Algorithm 5)."""
+    return [
+        block for block in recognition.partition if not is_split_free(block)
+    ]
+
+
+@dataclass(frozen=True)
+class MaintainerReport:
+    """How the maintainer will treat each relation scheme."""
+
+    reducible: bool
+    ctm: bool
+    strategy_by_relation: dict[str, str]
+
+    def __str__(self) -> str:
+        lines = [
+            f"independence-reducible: {self.reducible}; ctm: {self.ctm}",
+        ]
+        for name, strategy in sorted(self.strategy_by_relation.items()):
+            lines.append(f"  {name}: {strategy}")
+        return "\n".join(lines)
+
+
+class InsertMaintainer:
+    """Unified incremental constraint enforcement for a database scheme.
+
+    Per Section 4.2, an insertion into a relation of block ``Tp`` is
+    globally safe iff the updated substate on ``Tp`` is consistent; the
+    maintainer therefore restricts work to the block and picks:
+
+    * **Algorithm 5** when the block is split-free (ctm; probes
+      independent of state size),
+    * **Algorithm 2** otherwise (algebraic-maintainable; a bounded
+      number of predetermined expressions),
+    * the **full chase** when the scheme is not independence-reducible
+      at all (no guarantee from the paper; correctness only).
+    """
+
+    def __init__(self, scheme: DatabaseScheme) -> None:
+        self.scheme = scheme
+        self.recognition = recognize_independence_reducible(scheme)
+        self._strategy: dict[str, str] = {}
+        self._block_of: dict[str, DatabaseScheme] = {}
+        if self.recognition.accepted:
+            for block in self.recognition.partition:
+                block_ctm = is_split_free(block)
+                for member in block.relations:
+                    self._block_of[member.name] = block
+                    self._strategy[member.name] = (
+                        "algorithm-5 (ctm)" if block_ctm else "algorithm-2"
+                    )
+        else:
+            for member in scheme.relations:
+                self._strategy[member.name] = "full-chase"
+
+    def report(self) -> MaintainerReport:
+        """Describe the chosen strategies."""
+        ctm = self.recognition.accepted and all(
+            strategy.startswith("algorithm-5")
+            for strategy in self._strategy.values()
+        )
+        return MaintainerReport(
+            reducible=self.recognition.accepted,
+            ctm=ctm,
+            strategy_by_relation=dict(self._strategy),
+        )
+
+    def _substate(
+        self, state: DatabaseState, block: DatabaseScheme
+    ) -> DatabaseState:
+        return DatabaseState(
+            block, {name: list(state[name]) for name in block.names}
+        )
+
+    def insert(
+        self,
+        state: DatabaseState,
+        relation_name: str,
+        values: Mapping[str, Hashable],
+    ) -> MaintenanceOutcome:
+        """Validate and apply one insertion on a consistent state.
+
+        Returns the block-level decision lifted to the full state: the
+        outcome's ``state`` is the updated full state when consistent.
+        """
+        strategy = self._strategy.get(relation_name)
+        if strategy is None:
+            raise NotApplicableError(f"unknown relation {relation_name!r}")
+        if strategy == "full-chase":
+            return maintain_by_chase(state, relation_name, values)
+        block = self._block_of[relation_name]
+        substate = self._substate(state, block)
+        if strategy.startswith("algorithm-5"):
+            outcome = ctm_insert(
+                substate,
+                relation_name,
+                values,
+                index=StateIndex(substate),
+                check_scheme=False,
+            )
+        else:
+            outcome = algebraic_insert(
+                substate,
+                relation_name,
+                values,
+                lookup=ExpressionRILookup(substate),
+                check_scheme=False,
+            )
+        if not outcome.consistent:
+            return MaintenanceOutcome(
+                consistent=False,
+                state=None,
+                tuples_examined=outcome.tuples_examined,
+            )
+        return MaintenanceOutcome(
+            consistent=True,
+            state=state.insert(relation_name, values),
+            tuples_examined=outcome.tuples_examined,
+        )

@@ -1,0 +1,192 @@
+"""A weak-instance engine: the library's batteries-included façade.
+
+:class:`WeakInstanceEngine` wraps a database scheme with everything a
+downstream application needs:
+
+* cached recognition (Algorithm 6) and per-relation maintenance
+  strategies;
+* cached total-projection plans per target attribute set (the paper's
+  predetermined expressions), with ``explain`` output;
+* insert / delete / batch-update against immutable states —
+  deletions are always consistency-preserving in the weak-instance
+  model (the old weak instance still witnesses the smaller state), so
+  only insertions need validation;
+* query evaluation routed to the cheapest correct method for the
+  scheme's class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.ctm import InsertMaintainer
+from repro.core.query import (
+    QueryPlan,
+    total_projection_plan,
+    total_projection_reducible,
+)
+from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs
+from repro.foundations.errors import StateError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.state.consistency import (
+    MaintenanceOutcome,
+    representative_instance,
+)
+from repro.state.database_state import DatabaseState
+
+#: One batch operation: ("insert" | "delete", relation name, tuple).
+Update = tuple[str, str, Mapping[str, Hashable]]
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Result of a batch of updates: the final state when every insert
+    validated, or the index and outcome of the first rejection."""
+
+    state: Optional[DatabaseState]
+    applied: int
+    failed_index: Optional[int] = None
+    failure: Optional[MaintenanceOutcome] = None
+
+    def __bool__(self) -> bool:
+        return self.state is not None
+
+
+class WeakInstanceEngine:
+    """Scheme-bound query/update engine with plan caching."""
+
+    def __init__(self, scheme: DatabaseScheme) -> None:
+        self.scheme = scheme
+        self.maintainer = InsertMaintainer(scheme)
+        self.recognition = self.maintainer.recognition
+        self._plans: dict[frozenset[str], QueryPlan] = {}
+
+    # -- classification -------------------------------------------------------
+    @property
+    def reducible(self) -> bool:
+        return self.recognition.accepted
+
+    def strategy_report(self) -> str:
+        return str(self.maintainer.report())
+
+    # -- states ----------------------------------------------------------------
+    def empty_state(self) -> DatabaseState:
+        return DatabaseState(self.scheme)
+
+    def load(
+        self, relations: Mapping[str, Iterable[Mapping[str, Hashable]]]
+    ) -> DatabaseState:
+        """Bulk-load a state and verify it is consistent."""
+        state = DatabaseState(self.scheme, relations)
+        representative_instance(state)  # raises when inconsistent
+        return state
+
+    # -- updates -----------------------------------------------------------------
+    def insert(
+        self,
+        state: DatabaseState,
+        relation_name: str,
+        values: Mapping[str, Hashable],
+    ) -> MaintenanceOutcome:
+        """Validate and apply one insertion (Algorithm 5 / 2 / chase)."""
+        return self.maintainer.insert(state, relation_name, values)
+
+    def delete(
+        self,
+        state: DatabaseState,
+        relation_name: str,
+        values: Mapping[str, Hashable],
+    ) -> DatabaseState:
+        """Apply a deletion — always consistency-preserving."""
+        return state.delete(relation_name, values)
+
+    def modify(
+        self,
+        state: DatabaseState,
+        relation_name: str,
+        old_values: Mapping[str, Hashable],
+        new_values: Mapping[str, Hashable],
+    ) -> MaintenanceOutcome:
+        """Replace one tuple: delete ``old_values`` then validate the
+        insertion of ``new_values``; the original state is returned
+        untouched inside a rejecting outcome when the new tuple would be
+        inconsistent."""
+        if old_values not in state[relation_name]:
+            raise StateError(
+                f"{dict(old_values)} is not stored in {relation_name}"
+            )
+        without = state.delete(relation_name, old_values)
+        outcome = self.insert(without, relation_name, new_values)
+        if not outcome.consistent:
+            return MaintenanceOutcome(
+                consistent=False,
+                state=None,
+                tuples_examined=outcome.tuples_examined,
+            )
+        return outcome
+
+    def apply_batch(
+        self, state: DatabaseState, updates: Sequence[Update]
+    ) -> BatchOutcome:
+        """Apply updates atomically: on the first rejected insert the
+        original state is kept and the failure reported."""
+        current = state
+        for index, (operation, relation_name, values) in enumerate(updates):
+            if operation == "insert":
+                outcome = self.insert(current, relation_name, values)
+                if not outcome.consistent:
+                    return BatchOutcome(
+                        state=None,
+                        applied=index,
+                        failed_index=index,
+                        failure=outcome,
+                    )
+                assert outcome.state is not None
+                current = outcome.state
+            elif operation == "delete":
+                current = self.delete(current, relation_name, values)
+            else:
+                raise StateError(f"unknown batch operation {operation!r}")
+        return BatchOutcome(state=current, applied=len(updates))
+
+    def streaming(self, state: DatabaseState):
+        """Per-block materialized views over ``state`` — the insert-heavy
+        companion API (see :class:`repro.core.views.BlockMaterializedViews`).
+        Only available for independence-reducible schemes."""
+        from repro.core.views import BlockMaterializedViews
+
+        return BlockMaterializedViews(state, self.recognition)
+
+    # -- queries ------------------------------------------------------------------
+    def plan(self, attributes: AttrsLike) -> QueryPlan:
+        """The cached predetermined plan for ``[X]`` (reducible schemes
+        only)."""
+        target = attrs(attributes)
+        cached = self._plans.get(target)
+        if cached is None:
+            cached = total_projection_plan(
+                self.scheme, target, self.recognition
+            )
+            self._plans[target] = cached
+        return cached
+
+    def explain(self, attributes: AttrsLike) -> str:
+        """Human-readable account of how ``[X]`` will be evaluated."""
+        target = attrs(attributes)
+        if self.reducible:
+            return str(self.plan(target))
+        return (
+            f"[{fmt_attrs(target)}] = π!_{fmt_attrs(target)}(CHASE_F(T_r)) "
+            "(scheme outside the independence-reducible class; "
+            "no predetermined expression is available)"
+        )
+
+    def query(
+        self, state: DatabaseState, attributes: AttrsLike
+    ) -> set[tuple[Hashable, ...]]:
+        """``[X]`` evaluated by the cheapest correct route."""
+        target = attrs(attributes)
+        if self.reducible:
+            return total_projection_reducible(state, target, self.recognition)
+        return representative_instance(state).total_projection(target)

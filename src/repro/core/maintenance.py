@@ -1,0 +1,516 @@
+"""Incremental constraint enforcement (paper, Sections 3.2 and 3.3).
+
+Three maintenance strategies for insertions into consistent states on
+key-equivalent schemes, all validated against the full-chase baseline:
+
+* **Algorithm 5** (:func:`ctm_insert`) — for *split-free* key-equivalent
+  schemes: extend the inserted tuple along each of its keys with
+  Algorithm 4 (:func:`extend_tuple`) and join the extensions; the number
+  of tuples retrieved depends only on the scheme (Theorem 3.3).
+* **Algorithm 2** (:func:`algebraic_insert`) — for any key-equivalent
+  scheme: repeatedly join the inserted tuple with the representative-
+  instance tuple sharing each newly available key (Theorem 3.1).  The
+  representative-instance lookup is pluggable: a chase-backed index
+  (ground truth) or the predetermined lossless-join expressions of
+  Theorem 3.2 (:class:`ExpressionRILookup`), which make the scheme
+  algebraic-maintainable.
+* **Full chase** — :func:`repro.state.consistency.maintain_by_chase`.
+
+Every routine reports how many stored tuples it retrieved, which is the
+quantity the paper's ctm lower bound (Theorem 3.4) speaks about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Optional, Protocol
+
+from repro.algebra.expressions import Select
+from repro.core.key_equivalent import (
+    KERepInstance,
+    key_equivalent_chase,
+    require_key_equivalent,
+    total_projection_expression,
+)
+from repro.core.split import is_split_free
+from repro.foundations.attrs import attrs, fmt_attrs, sorted_attrs
+from repro.foundations.errors import (
+    InconsistentStateError,
+    NotApplicableError,
+    StateError,
+)
+from repro.state.consistency import MaintenanceOutcome
+from repro.state.database_state import DatabaseState
+
+
+class StateIndex:
+    """Hash indexes over a state's relations, by (relation, key attrs).
+
+    Models the storage layer the ctm definition assumes: a single-tuple
+    conjunctive selection ``σ_{K='k'}(π_X(Ri))`` is one indexed probe.
+    Retrieved-tuple counts are accumulated for the experiments.
+    """
+
+    def __init__(self, state: DatabaseState) -> None:
+        self.state = state
+        self.scheme = state.scheme
+        self.tuples_retrieved = 0
+        self.probes = 0
+        self._indexes: dict[
+            tuple[str, tuple[str, ...]], dict[tuple, list[dict[str, Hashable]]]
+        ] = {}
+
+    def _index_for(
+        self, relation_name: str, key_attrs: tuple[str, ...]
+    ) -> dict[tuple, list[dict[str, Hashable]]]:
+        signature = (relation_name, key_attrs)
+        index = self._indexes.get(signature)
+        if index is None:
+            index = {}
+            for values in self.state[relation_name]:
+                key_values = tuple(values[a] for a in key_attrs)
+                index.setdefault(key_values, []).append(values)
+            self._indexes[signature] = index
+        return index
+
+    def lookup(
+        self,
+        relation_name: str,
+        key: frozenset[str],
+        key_values: Mapping[str, Hashable],
+    ) -> list[dict[str, Hashable]]:
+        """All tuples of the relation matching the key values; counts the
+        probe and the retrieved tuples."""
+        ordered = tuple(sorted_attrs(key))
+        index = self._index_for(relation_name, ordered)
+        matches = index.get(tuple(key_values[a] for a in ordered), [])
+        self.probes += 1
+        self.tuples_retrieved += len(matches)
+        return matches
+
+
+@dataclass(frozen=True)
+class Extension:
+    """Result of Algorithm 4: the extended total tuple ``t'`` on the
+    attribute set ``C`` it reached."""
+
+    values: dict[str, Hashable]
+    attributes: frozenset[str]
+
+
+def extend_tuple(
+    index: StateIndex,
+    key: frozenset[str],
+    key_values: Mapping[str, Hashable],
+) -> Extension:
+    """Algorithm 4: extend a tuple on a key as far as the stored tuples
+    allow, following declared keys.
+
+    While some member ``Si`` has a declared key inside the current
+    attribute set ``C``, contributes new attributes, and stores a tuple
+    matching the extension on that key, absorb that tuple.  On a
+    consistent state the result is independent of the absorption order
+    (Lemma 3.3(b)); conflicting absorptions mean the input state was
+    inconsistent.
+    """
+    scheme = index.scheme
+    extension: dict[str, Hashable] = {a: key_values[a] for a in key}
+    covered = set(key)
+    grew = True
+    while grew:
+        grew = False
+        for member in scheme.relations:
+            if member.attributes <= covered:
+                continue
+            for member_key in member.keys:
+                if not member_key <= covered:
+                    continue
+                matches = index.lookup(
+                    member.name, member_key, extension
+                )
+                if len(matches) > 1:
+                    raise InconsistentStateError(
+                        f"{member.name} stores {len(matches)} tuples for key "
+                        f"{fmt_attrs(member_key)}; the state violates its "
+                        "key dependencies"
+                    )
+                if not matches:
+                    continue
+                match = matches[0]
+                for attribute, value in match.items():
+                    # Membership, not truthiness/None checks: stored
+                    # constants may legitimately be None or falsy.
+                    if attribute in extension and extension[attribute] != value:
+                        raise InconsistentStateError(
+                            "conflicting extensions; the input state was "
+                            "not consistent"
+                        )
+                    extension[attribute] = value
+                covered |= member.attributes
+                grew = True
+                break
+    return Extension(values=extension, attributes=frozenset(covered))
+
+
+def _join_partial(
+    left: dict[str, Hashable], right: Mapping[str, Hashable]
+) -> Optional[dict[str, Hashable]]:
+    """Join two partial tuples on their common attributes; None when the
+    join is empty (a disagreement)."""
+    merged = dict(left)
+    for attribute, value in right.items():
+        if attribute in merged and merged[attribute] != value:
+            return None
+        merged[attribute] = value
+    return merged
+
+
+def ctm_insert(
+    state: DatabaseState,
+    relation_name: str,
+    values: Mapping[str, Hashable],
+    *,
+    index: Optional[StateIndex] = None,
+    check_scheme: bool = True,
+) -> MaintenanceOutcome:
+    """Algorithm 5: constant-time maintenance for split-free
+    key-equivalent schemes.
+
+    For each key of the target relation, extend the inserted tuple with
+    Algorithm 4 and join the extensions with the tuple; the insertion is
+    consistent iff the join is non-empty (Lemma 3.4).
+    """
+    scheme = state.scheme
+    if check_scheme:
+        require_key_equivalent(scheme)
+        if not is_split_free(scheme):
+            raise NotApplicableError(
+                "Algorithm 5 requires a split-free scheme (Theorem 3.3); "
+                "use algebraic_insert for split key-equivalent schemes"
+            )
+    member = scheme[relation_name]
+    if frozenset(values) != member.attributes:
+        raise StateError(
+            f"tuple attributes do not match {relation_name}'s scheme"
+        )
+    if index is None:
+        index = StateIndex(state)
+    before = index.tuples_retrieved
+    joined: Optional[dict[str, Hashable]] = dict(values)
+    for key in member.keys:
+        extension = extend_tuple(index, key, {a: values[a] for a in key})
+        joined = _join_partial(joined, extension.values) if joined else None
+        if joined is None:
+            break
+    retrieved = index.tuples_retrieved - before
+    if joined is None:
+        return MaintenanceOutcome(
+            consistent=False, state=None, tuples_examined=retrieved
+        )
+    return MaintenanceOutcome(
+        consistent=True,
+        state=state.insert(relation_name, values),
+        tuples_examined=retrieved,
+        witness=joined,
+    )
+
+
+class RILookup(Protocol):
+    """Find the representative-instance row total on a key with the given
+    values — the step-(4) lookup of Algorithm 2."""
+
+    def find(
+        self, key: frozenset[str], values: Mapping[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]: ...
+
+    @property
+    def tuples_retrieved(self) -> int: ...
+
+
+class ChaseRILookup:
+    """Ground-truth lookup: materialize the representative instance with
+    Algorithm 1 and index it by the scheme's keys.  Reads the whole
+    state once (reported in ``tuples_retrieved``)."""
+
+    def __init__(self, state: DatabaseState) -> None:
+        instance = key_equivalent_chase(state, check_scheme=False)
+        if instance is None:
+            raise InconsistentStateError(
+                "cannot maintain an inconsistent state"
+            )
+        self.instance: KERepInstance = instance
+        self.tuples_retrieved = state.total_tuples()
+
+    def find(
+        self, key: frozenset[str], values: Mapping[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]:
+        ordered = sorted_attrs(key)
+        return self.instance.lookup(key, [values[a] for a in ordered])
+
+
+class ExpressionRILookup:
+    """Theorem 3.2's lookup: assemble the representative-instance row for
+    a key value by single-tuple conjunctive selections over the
+    predetermined lossless-join expressions.
+
+    For each key that becomes total in the accumulating row, evaluate
+    ``σ_{K='k'}`` over each branch of the Corollary 3.1(b) expression
+    for that key (a join of a minimal lossless subset covering it); the
+    non-empty results are single tuples of the unique representative-
+    instance row and are merged until a fixpoint.  The number of
+    selections depends only on the scheme — this is what makes
+    key-equivalent schemes algebraic-maintainable — while the *cost* of
+    evaluating a branch still scales with the state, which is why split
+    schemes are nonetheless not ctm (Theorem 3.4).
+    """
+
+    def __init__(self, state: DatabaseState) -> None:
+        self.state = state
+        self.scheme = state.scheme
+        self.tuples_retrieved = 0
+        self.selections_issued = 0
+        self._branches: dict[frozenset[str], list] = {}
+
+    def _branches_for(self, key: frozenset[str]) -> list:
+        branches = self._branches.get(key)
+        if branches is None:
+            expression = total_projection_expression(self.scheme, key)
+            # A union's branches are the per-subset joins; a single
+            # subset yields the projection itself.
+            from repro.algebra.expressions import UnionExpr
+
+            if isinstance(expression, UnionExpr):
+                branches = list(expression.operands)
+            else:
+                branches = [expression]
+            # Selections need the full join (not the projection onto the
+            # key), so peel the projection and keep its operand.
+            from repro.algebra.expressions import Project
+
+            branches = [
+                branch.operand if isinstance(branch, Project) else branch
+                for branch in branches
+            ]
+            self._branches[key] = branches
+        return branches
+
+    def find(
+        self, key: frozenset[str], values: Mapping[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]:
+        row: dict[str, Hashable] = {a: values[a] for a in key}
+        matched = False
+        grew = True
+        while grew:
+            grew = False
+            for probe_key in self.scheme.all_keys():
+                if not probe_key <= set(row):
+                    continue
+                condition = {a: row[a] for a in probe_key}
+                for branch in self._branches_for(probe_key):
+                    selection = Select(branch, condition)
+                    result = selection.evaluate(self.state)
+                    self.selections_issued += 1
+                    if len(result) > 1:
+                        raise InconsistentStateError(
+                            "a lossless-join selection returned more than "
+                            "one tuple; the state is inconsistent"
+                        )
+                    for match in result:
+                        matched = True
+                        self.tuples_retrieved += 1
+                        merged = _join_partial(row, match)
+                        if merged is None:
+                            raise InconsistentStateError(
+                                "lossless-join selections disagree; the "
+                                "state is inconsistent"
+                            )
+                        if len(merged) > len(row):
+                            grew = True
+                        row = merged
+        return row if matched else None
+
+
+class GreatestExpressionRILookup:
+    """The paper's literal Theorem 3.2 / Example 7 mechanism: evaluate
+    ``σ_{K='k'}`` over the join of *every* lossless subset covering
+    ``K`` and keep the greatest non-empty one (the expression over the
+    largest subset; the paper shows the non-empty results are totally
+    informative and the greatest carries the whole representative-
+    instance row).
+
+    Exponential in the number of relation schemes — this class exists
+    for fidelity and cross-validation; :class:`ExpressionRILookup` is
+    the practical backend with identical answers (property-tested).
+    """
+
+    def __init__(self, state: DatabaseState, max_relations: int = 12) -> None:
+        scheme = state.scheme
+        if len(scheme.relations) > max_relations:
+            raise NotApplicableError(
+                "the exhaustive lossless-subset enumeration is capped at "
+                f"{max_relations} relations"
+            )
+        self.state = state
+        self.scheme = scheme
+        self.tuples_retrieved = 0
+        self.selections_issued = 0
+        self._subsets_by_key: dict[frozenset[str], list] = {}
+
+    def _subsets_for(self, key: frozenset[str]) -> list:
+        cached = self._subsets_by_key.get(key)
+        if cached is None:
+            from itertools import combinations
+
+            from repro.schema.lossless import is_lossless_subset
+
+            members = self.scheme.relations
+            cached = []
+            for size in range(1, len(members) + 1):
+                for combo in combinations(members, size):
+                    union = frozenset().union(
+                        *(m.attributes for m in combo)
+                    )
+                    if not key <= union:
+                        continue
+                    if is_lossless_subset(
+                        list(combo), self.scheme.fds, self.scheme.universe
+                    ):
+                        cached.append(combo)
+            self._subsets_by_key[key] = cached
+        return cached
+
+    def find(
+        self, key: frozenset[str], values: Mapping[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]:
+        from repro.algebra.expressions import RelationRef, Select, join_all
+
+        condition = {a: values[a] for a in key}
+        merged: Optional[dict[str, Hashable]] = None
+        for subset in self._subsets_for(key):
+            expression = Select(
+                join_all(
+                    [RelationRef(m.name, m.attributes) for m in subset]
+                ),
+                condition,
+            )
+            result = expression.evaluate(self.state)
+            self.selections_issued += 1
+            if len(result) > 1:
+                raise InconsistentStateError(
+                    "a lossless-join selection returned more than one "
+                    "tuple; the state is inconsistent"
+                )
+            for match in result:
+                self.tuples_retrieved += 1
+                if merged is None:
+                    merged = dict(match)
+                    continue
+                # All non-empty results are fragments of the unique
+                # representative-instance row (Lemma 3.2(c)); the
+                # greatest expression's output is their union, which we
+                # assemble directly.
+                joined = _join_partial(merged, match)
+                if joined is None:
+                    raise InconsistentStateError(
+                        "lossless-join selections disagree; the state "
+                        "is inconsistent"
+                    )
+                merged = joined
+        return merged
+
+
+@dataclass(frozen=True)
+class InsertTraceStep:
+    """One iteration of Algorithm 2's while loop: the key processed,
+    the representative-instance row found for it (None when absent),
+    and the accumulated tuple ``q`` after the join (None when the join
+    emptied and the insert was rejected)."""
+
+    key: frozenset[str]
+    found: Optional[dict[str, Hashable]]
+    joined: Optional[dict[str, Hashable]]
+
+    def render(self) -> str:
+        key_text = fmt_attrs(self.key)
+        if self.joined is None:
+            return (
+                f"key {key_text}: found {self.found} — join EMPTY, output no"
+            )
+        found_text = self.found if self.found is not None else "(no row)"
+        return f"key {key_text}: found {found_text} → q = {self.joined}"
+
+
+def algebraic_insert(
+    state: DatabaseState,
+    relation_name: str,
+    values: Mapping[str, Hashable],
+    *,
+    lookup: Optional[RILookup] = None,
+    check_scheme: bool = True,
+    trace: Optional[list[InsertTraceStep]] = None,
+) -> MaintenanceOutcome:
+    """Algorithm 2: insert validation for key-equivalent schemes.
+
+    Starting from the keys of the target relation, repeatedly join the
+    inserted tuple with the representative-instance row sharing each
+    processed key; newly covered attributes may embed further keys,
+    which are processed in turn.  The updated state is consistent iff no
+    join ever empties (Theorem 3.1).
+
+    Pass a list as ``trace`` to receive one :class:`InsertTraceStep`
+    per loop iteration — the paper's Example 6 walk-through, machine
+    readable.
+    """
+    scheme = state.scheme
+    if check_scheme:
+        require_key_equivalent(scheme)
+    member = scheme[relation_name]
+    if frozenset(values) != member.attributes:
+        raise StateError(
+            f"tuple attributes do not match {relation_name}'s scheme"
+        )
+    if lookup is None:
+        lookup = ChaseRILookup(state)
+
+    unprocessed = {frozenset(key) for key in member.keys}
+    processed: set[frozenset[str]] = set()
+    closure = set(member.attributes)
+    joined: dict[str, Hashable] = dict(values)
+
+    while unprocessed:
+        key = min(unprocessed, key=lambda k: tuple(sorted(k)))
+        row = lookup.find(key, joined)
+        if row is not None:
+            piece: Mapping[str, Hashable] = row
+            covered = frozenset(row)
+        else:
+            piece = {a: joined[a] for a in key}
+            covered = key
+        merged = _join_partial(joined, piece)
+        if trace is not None:
+            trace.append(
+                InsertTraceStep(
+                    key=key,
+                    found=dict(row) if row is not None else None,
+                    joined=dict(merged) if merged is not None else None,
+                )
+            )
+        if merged is None:
+            return MaintenanceOutcome(
+                consistent=False,
+                state=None,
+                tuples_examined=lookup.tuples_retrieved,
+            )
+        joined = merged
+        closure |= covered
+        processed.add(key)
+        unprocessed = {
+            frozenset(k) for k in scheme.keys_embedded_in(closure)
+        } - processed
+
+    return MaintenanceOutcome(
+        consistent=True,
+        state=state.insert(relation_name, values),
+        tuples_examined=lookup.tuples_retrieved,
+        witness=joined,
+    )

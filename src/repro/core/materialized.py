@@ -1,0 +1,151 @@
+"""Incrementally maintained representative instances.
+
+Section 3.2 shows constraint enforcement on key-equivalent schemes is
+incremental: an insertion's effect on the representative instance is
+local to the classes that share a key with the (extended) new tuple.
+:class:`MaterializedRepInstance` exploits this to keep the instance
+materialized across a stream of insertions — Algorithm 1 runs once at
+construction, and each accepted insert merges the new tuple's class in,
+cascading only through the merges the new constants enable.
+
+This is the natural "view maintenance" companion to Algorithm 2: the
+outcome decisions are identical (validated against the full rebuild by
+property tests), queries read the always-current instance, and the work
+per insert is proportional to the merged classes, not to the state.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+from repro.core.key_equivalent import require_key_equivalent
+from repro.foundations.attrs import sorted_attrs
+from repro.foundations.errors import StateError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.state.database_state import DatabaseState
+
+
+class MaterializedRepInstance:
+    """A representative instance kept current under insertions.
+
+    Classes are stored as constant-component dicts; an index per
+    declared key maps key values to the unique class total on that key
+    (Lemma 3.2(c) guarantees uniqueness on consistent data).
+    """
+
+    def __init__(self, state: DatabaseState, *, check_scheme: bool = True) -> None:
+        scheme = state.scheme
+        if check_scheme:
+            require_key_equivalent(scheme)
+        self.scheme: DatabaseScheme = scheme
+        self._keys = [tuple(sorted_attrs(key)) for key in scheme.all_keys()]
+        self._classes: dict[int, dict[str, Hashable]] = {}
+        self._next_id = 0
+        self._index: dict[tuple, int] = {}
+        self.merges = 0
+        for name, relation in state:
+            for values in relation:
+                if self._absorb(dict(values)) is None:
+                    raise StateError(
+                        "cannot materialize an inconsistent state"
+                    )
+
+    # -- internals -------------------------------------------------------------
+    def _signatures(self, row: Mapping[str, Hashable]) -> list[tuple]:
+        """Index signatures for every declared key the row is total on."""
+        out = []
+        for ordered in self._keys:
+            if all(a in row for a in ordered):
+                out.append((ordered, tuple(row[a] for a in ordered)))
+        return out
+
+    def _absorb(
+        self, row: dict[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]:
+        """Merge a new constant-dict into the instance, cascading through
+        key agreements.  Returns the final merged class, or None when a
+        constant conflict was found (in which case the instance is left
+        unchanged)."""
+        merged = dict(row)
+        victims: set[int] = set()
+        # Cascade: repeatedly look for a class agreeing with `merged` on
+        # a key; only `merged` ever grows, so the loop terminates.
+        changed = True
+        while changed:
+            changed = False
+            for signature in self._signatures(merged):
+                class_id = self._index.get(signature)
+                if class_id is None or class_id in victims:
+                    continue
+                other = self._classes[class_id]
+                for attribute, value in other.items():
+                    if attribute in merged and merged[attribute] != value:
+                        return None  # conflict; nothing was mutated yet
+                    merged[attribute] = value
+                victims.add(class_id)
+                changed = True
+        # Commit: remove absorbed classes, insert the merged one.  (The
+        # merge counter moves here so a rejected insert — which must
+        # leave the instance untouched — also leaves the counter alone.)
+        self.merges += len(victims)
+        for class_id in victims:
+            self._drop(class_id)
+        self._add(merged)
+        return merged
+
+    def _add(self, row: dict[str, Hashable]) -> None:
+        class_id = self._next_id
+        self._next_id += 1
+        self._classes[class_id] = row
+        for signature in self._signatures(row):
+            self._index[signature] = class_id
+
+    def _drop(self, class_id: int) -> None:
+        row = self._classes.pop(class_id)
+        for signature in self._signatures(row):
+            if self._index.get(signature) == class_id:
+                del self._index[signature]
+
+    # -- public API ----------------------------------------------------------------
+    def insert(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]:
+        """Validate one insertion and, when consistent, fold it into the
+        materialized instance.
+
+        Returns the merged class (the paper's output tuple ``q``) on
+        acceptance, None on rejection; the instance is untouched on
+        rejection.
+        """
+        member = self.scheme[relation_name]
+        if frozenset(values) != member.attributes:
+            raise StateError(
+                f"tuple attributes do not match {relation_name}'s scheme"
+            )
+        return self._absorb(dict(values))
+
+    def lookup(
+        self, key: Iterable[str], values: Mapping[str, Hashable]
+    ) -> Optional[dict[str, Hashable]]:
+        """The class total on ``key`` with the given values, or None."""
+        ordered = tuple(sorted_attrs(frozenset(key)))
+        class_id = self._index.get(
+            (ordered, tuple(values[a] for a in ordered))
+        )
+        return None if class_id is None else dict(self._classes[class_id])
+
+    def total_projection(self, attributes) -> set[tuple[Hashable, ...]]:
+        """``[X]`` read off the materialized instance."""
+        ordered = sorted_attrs(frozenset(attributes))
+        out: set[tuple[Hashable, ...]] = set()
+        for row in self._classes.values():
+            if all(a in row for a in ordered):
+                out.add(tuple(row[a] for a in ordered))
+        return out
+
+    def classes(self) -> list[dict[str, Hashable]]:
+        """Snapshot of the current classes (copies)."""
+        return [dict(row) for row in self._classes.values()]
+
+    def __len__(self) -> int:
+        return len(self._classes)

@@ -1,0 +1,107 @@
+"""Per-block materialized views for independence-reducible schemes.
+
+The streaming counterpart of :class:`~repro.core.engine.WeakInstanceEngine`:
+one :class:`~repro.core.materialized.MaterializedRepInstance` per
+partition block, kept current under validated insertions.  By the
+paper's Section 4.2 argument, block-local consistency lifts to global
+consistency, so the views jointly decide insertions AND answer
+single-block total projections with zero re-chasing; cross-block
+queries are delegated to the Theorem 4.1 evaluator over the stored
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+from repro.core.materialized import MaterializedRepInstance
+from repro.core.query import total_projection_reducible
+from repro.core.reducible import (
+    RecognitionResult,
+    recognize_independence_reducible,
+)
+from repro.foundations.attrs import AttrsLike, attrs
+from repro.foundations.errors import NotApplicableError
+from repro.state.database_state import DatabaseState
+
+
+class BlockMaterializedViews:
+    """Materialized representative instances, one per partition block.
+
+    Construction validates the initial state; ``insert`` validates
+    block-locally and folds accepted tuples into the owning block's
+    view; ``query`` answers from a single block's view when the target
+    fits inside one block and falls back to the Theorem 4.1 evaluation
+    otherwise (which needs the current stored state, tracked here too).
+    """
+
+    def __init__(
+        self,
+        state: DatabaseState,
+        recognition: Optional[RecognitionResult] = None,
+    ) -> None:
+        scheme = state.scheme
+        if recognition is None:
+            recognition = recognize_independence_reducible(scheme)
+        if not recognition.accepted:
+            raise NotApplicableError(
+                "block views exist for independence-reducible schemes only"
+            )
+        self.scheme = scheme
+        self.recognition = recognition
+        self.state = state
+        self._views: dict[str, MaterializedRepInstance] = {}
+        self._block_of: dict[str, str] = {}
+        for induced_member, block in zip(
+            recognition.induced, recognition.partition
+        ):
+            substate = DatabaseState(
+                block, {name: list(state[name]) for name in block.names}
+            )
+            self._views[induced_member.name] = MaterializedRepInstance(
+                substate, check_scheme=False
+            )
+            for member in block.relations:
+                self._block_of[member.name] = induced_member.name
+
+    # -- updates -----------------------------------------------------------------
+    def insert(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> bool:
+        """Validate and apply one insertion.  True when accepted (the
+        view and the tracked state advance), False when rejected
+        (nothing changes)."""
+        block_name = self._block_of.get(relation_name)
+        if block_name is None:
+            raise NotApplicableError(f"unknown relation {relation_name!r}")
+        merged = self._views[block_name].insert(relation_name, values)
+        if merged is None:
+            return False
+        self.state = self.state.insert(relation_name, values)
+        return True
+
+    # -- queries -------------------------------------------------------------------
+    def query(self, attributes: AttrsLike) -> set[tuple[Hashable, ...]]:
+        """``[X]`` on the current state.
+
+        Served directly from one block's view when ``X`` fits inside a
+        single induced relation; otherwise evaluated with the bounded
+        Theorem 4.1 plan over the tracked state.
+        """
+        target = attrs(attributes)
+        for induced_member in self.recognition.induced:
+            if target <= induced_member.attributes:
+                return self._views[induced_member.name].total_projection(
+                    target
+                )
+        return total_projection_reducible(
+            self.state, target, self.recognition
+        )
+
+    def view(self, induced_name: str) -> MaterializedRepInstance:
+        """The materialized instance of one induced relation."""
+        return self._views[induced_name]
+
+    def sizes(self) -> dict[str, int]:
+        """Class counts per block view."""
+        return {name: len(view) for name, view in self._views.items()}

@@ -1,0 +1,113 @@
+"""Functional dependencies.
+
+A functional dependency (fd) ``X → Y`` over a universe ``U`` states that
+any relation on ``U`` in which two tuples agree on every attribute of
+``X`` must also agree on every attribute of ``Y`` (paper, Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs
+from repro.foundations.errors import DependencyError
+
+
+@dataclass(frozen=True)
+class FD:
+    """An immutable functional dependency ``lhs → rhs``.
+
+    ``lhs`` must be non-empty; ``rhs`` may overlap ``lhs`` (such attributes
+    are trivially implied and tolerated for convenience).  FDs carry a
+    deterministic total order (by sorted renderings) so fd sets sort
+    reproducibly.
+    """
+
+    lhs: frozenset[str]
+    rhs: frozenset[str]
+
+    def __init__(self, lhs: AttrsLike, rhs: AttrsLike) -> None:
+        lhs_set = attrs(lhs)
+        rhs_set = attrs(rhs)
+        if not lhs_set:
+            raise DependencyError("fd left-hand side must be non-empty")
+        if not rhs_set:
+            raise DependencyError("fd right-hand side must be non-empty")
+        object.__setattr__(self, "lhs", lhs_set)
+        object.__setattr__(self, "rhs", rhs_set)
+
+    def _sort_key(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        return (tuple(sorted(self.lhs)), tuple(sorted(self.rhs)))
+
+    def __lt__(self, other: "FD") -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "FD") -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "FD") -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "FD") -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self._sort_key() >= other._sort_key()
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by the dependency (``lhs ∪ rhs``)."""
+        return self.lhs | self.rhs
+
+    def is_trivial(self) -> bool:
+        """True iff ``rhs ⊆ lhs`` (implied by reflexivity alone)."""
+        return self.rhs <= self.lhs
+
+    def is_embedded_in(self, scheme: AttrsLike) -> bool:
+        """True iff ``lhs ∪ rhs`` is contained in ``scheme`` (Section 2.3)."""
+        return self.attributes <= attrs(scheme)
+
+    def split_rhs(self) -> list["FD"]:
+        """Decompose ``X → A1...Ak`` into singleton-rhs fds ``X → Ai``."""
+        return [FD(self.lhs, frozenset({a})) for a in sorted(self.rhs)]
+
+    def __str__(self) -> str:
+        return f"{fmt_attrs(self.lhs)}→{fmt_attrs(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"FD({fmt_attrs(self.lhs)!r}, {fmt_attrs(self.rhs)!r})"
+
+
+def fd(lhs: AttrsLike, rhs: AttrsLike) -> FD:
+    """Shorthand constructor: ``fd("AB", "C")`` is ``FD({A,B}, {C})``."""
+    return FD(lhs, rhs)
+
+
+def parse_fd(text: str) -> FD:
+    """Parse the paper's arrow notation, e.g. ``"AB->C"`` or ``"AB→C"``.
+
+    Attribute names are single characters in this notation.
+    """
+    for arrow in ("→", "->"):
+        if arrow in text:
+            lhs_text, rhs_text = text.split(arrow, 1)
+            return FD(lhs_text.strip(), rhs_text.strip())
+    raise DependencyError(f"cannot parse fd from {text!r}: no arrow found")
+
+
+def parse_fds(text: str) -> list[FD]:
+    """Parse a comma/semicolon-separated list of fds in arrow notation.
+
+    >>> [str(d) for d in parse_fds("A->B, B->C")]
+    ['A→B', 'B→C']
+    """
+    pieces: Iterable[str] = (
+        piece for chunk in text.split(";") for piece in chunk.split(",")
+    )
+    return [parse_fd(piece) for piece in pieces if piece.strip()]

@@ -1,0 +1,88 @@
+"""Candidate keys.
+
+A *key* of a relation scheme ``R`` with respect to fds ``F`` is a minimal
+``K ⊆ R`` with ``K → R ∈ F⁺``; a *superkey* is any superset of a key
+inside ``R`` (paper, Section 2.3).  :func:`candidate_keys` enumerates all
+keys with the Lucchesi–Osborn algorithm, whose running time is polynomial
+in the number of keys produced.
+"""
+
+from __future__ import annotations
+
+from repro.fd.fdset import FDSet, FDsLike
+from repro.foundations.attrs import AttrsLike, attrs
+
+
+def is_superkey(candidate: AttrsLike, scheme: AttrsLike, fds: FDsLike) -> bool:
+    """True iff ``candidate ⊆ scheme`` and ``candidate → scheme ∈ F⁺``."""
+    candidate_set = attrs(candidate)
+    scheme_set = attrs(scheme)
+    if not candidate_set <= scheme_set:
+        return False
+    return scheme_set <= FDSet(fds).closure(candidate_set)
+
+
+def minimize_superkey(
+    superkey: AttrsLike, scheme: AttrsLike, fds: FDsLike
+) -> frozenset[str]:
+    """Shrink ``superkey`` to a candidate key of ``scheme`` (deterministic:
+    attributes are tried for removal in sorted order)."""
+    fd_set = FDSet(fds)
+    scheme_set = attrs(scheme)
+    key = set(attrs(superkey))
+    for attribute in sorted(attrs(superkey)):
+        trial = frozenset(key - {attribute})
+        if trial and scheme_set <= fd_set.closure(trial):
+            key.discard(attribute)
+    return frozenset(key)
+
+
+def is_key(candidate: AttrsLike, scheme: AttrsLike, fds: FDsLike) -> bool:
+    """True iff ``candidate`` is a *minimal* superkey of ``scheme``."""
+    candidate_set = attrs(candidate)
+    if not is_superkey(candidate_set, scheme, fds):
+        return False
+    return all(
+        not is_superkey(candidate_set - {attribute}, scheme, fds)
+        for attribute in candidate_set
+    )
+
+
+def candidate_keys(scheme: AttrsLike, fds: FDsLike) -> list[frozenset[str]]:
+    """All candidate keys of ``scheme`` with respect to ``fds``.
+
+    Lucchesi–Osborn: start from one minimized key; for each found key ``K``
+    and each fd ``X → Y``, the set ``X ∪ (K − Y)`` is a superkey whose
+    minimization may reveal a new key.
+
+    The generation step is complete only when the fds speak about the
+    scheme's own attributes, so ``fds`` is first replaced by a cover of
+    its projection ``F⁺|scheme`` — keys induced through attributes
+    outside the scheme (e.g. the key ``A`` of ``ACD`` under
+    ``{A→B, B→C, C→AD}``) would otherwise be missed.  Superkey tests
+    still use the original fds, which agree with the projection on
+    subsets of the scheme.
+    """
+    from repro.fd.projection import project_fds
+
+    scheme_set = attrs(scheme)
+    fd_set = FDSet(fds)
+    generator_fds = project_fds(fd_set, scheme_set)
+    first = minimize_superkey(scheme_set, scheme_set, fd_set)
+    keys = {first}
+    queue = [first]
+    while queue:
+        key = queue.pop()
+        for dependency in generator_fds:
+            candidate = (dependency.lhs & scheme_set) | (key - dependency.rhs)
+            if not candidate or not candidate <= scheme_set:
+                continue
+            if any(existing <= candidate for existing in keys):
+                continue
+            if not is_superkey(candidate, scheme_set, fd_set):
+                continue
+            new_key = minimize_superkey(candidate, scheme_set, fd_set)
+            if new_key not in keys:
+                keys.add(new_key)
+                queue.append(new_key)
+    return sorted(keys, key=lambda key: tuple(sorted(key)))

@@ -1,0 +1,49 @@
+"""Normal-form tests.
+
+A database scheme ``R`` is in BCNF with respect to ``F`` when for every
+non-trivial ``X → Y ∈ F⁺`` embedded in some ``Ri``, ``X`` is a superkey
+of ``Ri`` (paper, Section 2.3).  3NF is provided as a substrate utility
+for the workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.fd.fdset import FDSet, FDsLike
+from repro.fd.keys import candidate_keys, is_superkey
+from repro.fd.projection import project_fds
+from repro.foundations.attrs import AttrsLike, attrs
+
+
+def scheme_is_bcnf(scheme: AttrsLike, fds: FDsLike) -> bool:
+    """True iff relation scheme ``scheme`` is in BCNF with respect to
+    ``fds``: every non-trivial projected fd has a superkey left-hand side."""
+    scheme_set = attrs(scheme)
+    fd_set = FDSet(fds)
+    for dependency in project_fds(fd_set, scheme_set).nontrivial():
+        if not is_superkey(dependency.lhs, scheme_set, fd_set):
+            return False
+    return True
+
+
+def database_scheme_is_bcnf(schemes: Iterable[AttrsLike], fds: FDsLike) -> bool:
+    """True iff every relation scheme of the database scheme is in BCNF."""
+    fd_set = FDSet(fds)
+    return all(scheme_is_bcnf(scheme, fd_set) for scheme in schemes)
+
+
+def scheme_is_3nf(scheme: AttrsLike, fds: FDsLike) -> bool:
+    """True iff ``scheme`` is in 3NF: every non-trivial projected fd has a
+    superkey left-hand side or a prime (key-member) right-hand side."""
+    scheme_set = attrs(scheme)
+    fd_set = FDSet(fds)
+    prime = frozenset(
+        attribute for key in candidate_keys(scheme_set, fd_set) for attribute in key
+    )
+    for dependency in project_fds(fd_set, scheme_set).nontrivial():
+        if is_superkey(dependency.lhs, scheme_set, fd_set):
+            continue
+        if not dependency.rhs <= prime | dependency.lhs:
+            return False
+    return True

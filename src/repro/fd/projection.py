@@ -1,0 +1,51 @@
+"""Projection of fd sets onto a relation scheme.
+
+``F⁺|R`` is the set of fds ``X → A ∈ F⁺`` with ``XA ⊆ R`` (paper,
+Section 2.3).  Computing a *cover* of the projection requires closing
+subsets of ``R`` — exponential in |R| in the worst case, which is the
+textbook bound; relation schemes in this domain are small.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.fd.fd import FD
+from repro.fd.fdset import FDSet, FDsLike
+from repro.foundations.attrs import AttrsLike, attrs
+
+
+def project_fds(fds: FDsLike, scheme: AttrsLike) -> FDSet:
+    """A cover of ``F⁺|scheme`` with singleton right-hand sides.
+
+    For every ``X ⊆ scheme`` we add ``X → A`` for each
+    ``A ∈ (X⁺ ∩ scheme) − X``.  Non-minimal left-hand sides whose proper
+    subset already yields the same attribute are pruned, keeping the
+    output close to canonical without changing its closure.
+    """
+    fd_set = FDSet(fds)
+    scheme_attrs = sorted(attrs(scheme))
+    projected: list[FD] = []
+    # Track, per derived attribute, the minimal LHSs found so far so we
+    # can skip dominated (superset) LHSs.
+    minimal_lhs: dict[str, list[frozenset[str]]] = {}
+    for size in range(1, len(scheme_attrs) + 1):
+        for subset in combinations(scheme_attrs, size):
+            lhs = frozenset(subset)
+            closure = fd_set.closure(lhs)
+            for attribute in sorted((closure & attrs(scheme)) - lhs):
+                dominated = any(
+                    existing <= lhs for existing in minimal_lhs.get(attribute, ())
+                )
+                if dominated:
+                    continue
+                minimal_lhs.setdefault(attribute, []).append(lhs)
+                projected.append(FD(lhs, frozenset({attribute})))
+    return FDSet(projected)
+
+
+def satisfies_projection(fds: FDsLike, scheme: AttrsLike, local: FDsLike) -> bool:
+    """True iff ``local`` covers ``F⁺|scheme`` (used by the independence
+    machinery: Lemma 4.1 requires each embedded cover to cover its own
+    projection)."""
+    return FDSet(local).covers(project_fds(fds, scheme))

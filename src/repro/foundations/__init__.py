@@ -1,0 +1,42 @@
+"""Foundational helpers shared by every subsystem: attribute sets and the
+library's exception hierarchy."""
+
+from repro.foundations.attrs import (
+    Attrs,
+    AttrsLike,
+    EMPTY,
+    attrs,
+    fmt_attrs,
+    incomparable,
+    is_subset,
+    sorted_attrs,
+    union_all,
+)
+from repro.foundations.errors import (
+    ChaseError,
+    DependencyError,
+    InconsistentStateError,
+    NotApplicableError,
+    ReproError,
+    SchemaError,
+    StateError,
+)
+
+__all__ = [
+    "Attrs",
+    "AttrsLike",
+    "EMPTY",
+    "attrs",
+    "fmt_attrs",
+    "incomparable",
+    "is_subset",
+    "sorted_attrs",
+    "union_all",
+    "ChaseError",
+    "DependencyError",
+    "InconsistentStateError",
+    "NotApplicableError",
+    "ReproError",
+    "SchemaError",
+    "StateError",
+]

@@ -1,0 +1,100 @@
+"""Attribute sets.
+
+The paper fixes a finite universe ``U = {A1, ..., An}`` of attributes
+(Section 2.1).  We represent an attribute as a non-empty string and an
+attribute *set* as a ``frozenset`` of such strings.  Throughout the library
+attribute sets are immutable; helpers in this module parse the compact
+notation used in the paper (``"ABC"`` for ``{A, B, C}``) and render sets
+back in a deterministic order.
+
+Two spellings are accepted when parsing:
+
+* a string — split into single-character attributes (``"HRC"`` becomes
+  ``{"H", "R", "C"}``); multi-character names must be passed via an
+  iterable instead;
+* any iterable of attribute names (each a non-empty string).
+
+All public functions in the library funnel user input through
+:func:`attrs`, so the rest of the code can assume well-formed frozensets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Union
+
+from repro.foundations.errors import SchemaError
+
+#: Type accepted wherever an attribute set is expected.
+AttrsLike = Union[str, Iterable[str]]
+
+#: Canonical attribute-set type.
+Attrs = frozenset
+
+EMPTY: frozenset[str] = frozenset()
+
+
+def attrs(spec: AttrsLike) -> frozenset[str]:
+    """Parse an attribute-set specification into a frozenset of names.
+
+    >>> sorted(attrs("HRC"))
+    ['C', 'H', 'R']
+    >>> sorted(attrs(["hour", "room"]))
+    ['hour', 'room']
+
+    Raises :class:`SchemaError` on empty attribute names.
+    """
+    if isinstance(spec, str):
+        names: Iterable[str] = spec
+    elif isinstance(spec, (frozenset, set, list, tuple)):
+        names = spec
+    else:
+        names = list(spec)
+    result = frozenset(names)
+    for name in result:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"invalid attribute name: {name!r}")
+    return result
+
+
+def sorted_attrs(attribute_set: Iterable[str]) -> list[str]:
+    """The attributes of ``attribute_set`` in canonical (sorted) order.
+
+    Sorting keeps every rendering, tuple layout and iteration order in the
+    library deterministic, which matters both for reproducible benchmarks
+    and for golden-output tests.
+    """
+    return sorted(attribute_set)
+
+
+def fmt_attrs(attribute_set: Iterable[str]) -> str:
+    """Render an attribute set in the paper's compact notation.
+
+    Single-character attributes are concatenated (``"CHR"``); longer names
+    are joined with commas so the rendering stays unambiguous.
+    """
+    names = sorted_attrs(attribute_set)
+    if not names:
+        return "∅"
+    if all(len(name) == 1 for name in names):
+        return "".join(names)
+    return ",".join(names)
+
+
+def is_subset(left: Iterable[str], right: Iterable[str]) -> bool:
+    """True iff ``left`` ⊆ ``right`` (accepting any iterables)."""
+    return frozenset(left) <= frozenset(right)
+
+
+def incomparable(left: Iterable[str], right: Iterable[str]) -> bool:
+    """True iff neither set contains the other (paper, Section 2.1)."""
+    left_set, right_set = frozenset(left), frozenset(right)
+    return not (left_set <= right_set) and not (right_set <= left_set)
+
+
+def union_all(sets: Iterable[Iterable[str]]) -> frozenset[str]:
+    """Union of a family of attribute sets."""
+    out: set[str] = set()
+    for member in sets:
+        out.update(member)
+    return frozenset(out)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """An ill-formed relation scheme, database scheme or key declaration."""
+
+
+class DependencyError(ReproError):
+    """An ill-formed functional dependency or dependency set."""
+
+
+class StateError(ReproError):
+    """An ill-formed relation, tuple or database state."""
+
+
+class InconsistentStateError(StateError):
+    """A database state admits no weak instance with respect to its
+    dependencies (the chase of its state tableau finds a contradiction)."""
+
+
+class ChaseError(ReproError):
+    """An internal error while chasing a tableau."""
+
+
+class NotApplicableError(ReproError):
+    """An algorithm was invoked on an input outside its stated domain
+    (e.g. Algorithm 5 on a scheme that is not split-free)."""

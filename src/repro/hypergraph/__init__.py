@@ -1,0 +1,42 @@
+"""Hypergraphs: connectivity, Bachman closure, unique minimal
+connections and acyclicity degrees (paper, Section 2.4)."""
+
+from repro.hypergraph.acyclicity import (
+    find_beta_cycle,
+    find_gamma_cycle,
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+from repro.hypergraph.bachman import bachman_closure
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.paths import (
+    connected_components,
+    family_union,
+    find_path,
+    is_connected_family,
+)
+from repro.hypergraph.umc import (
+    has_umc_for_all_subsets,
+    minimal_connected_covers,
+    unique_minimal_connection,
+)
+
+__all__ = [
+    "Hypergraph",
+    "bachman_closure",
+    "connected_components",
+    "family_union",
+    "find_beta_cycle",
+    "find_gamma_cycle",
+    "find_path",
+    "gyo_reduction",
+    "has_umc_for_all_subsets",
+    "is_alpha_acyclic",
+    "is_beta_acyclic",
+    "is_connected_family",
+    "is_gamma_acyclic",
+    "minimal_connected_covers",
+    "unique_minimal_connection",
+]

@@ -1,0 +1,172 @@
+"""Hypergraph acyclicity: α (GYO), β and γ (cycle search).
+
+The paper's results need γ-acyclicity (Theorem 5.2: γ-acyclic
+cover-embedding BCNF schemes are accepted by the recognition algorithm).
+Following Fagin ("Degrees of acyclicity", JACM 1983):
+
+* **α-acyclic** — the GYO reduction (delete isolated nodes, delete edges
+  contained in other edges) empties the hypergraph.
+* **β-cycle** — a sequence ``(S1, x1, S2, x2, ..., Sm, xm, S1)``, m ≥ 3,
+  of distinct edges and distinct nodes with ``x_i ∈ S_i ∩ S_{i+1}`` and
+  every ``x_i`` in *no other edge of the cycle*.  β-acyclic = no β-cycle
+  (equivalently: every subset of edges is α-acyclic, a fact the test
+  suite cross-validates).
+* **γ-cycle** — like a β-cycle except the purity condition is waived for
+  the last node ``x_m``.  γ-acyclic = no γ-cycle.  Theorem 2.1 links
+  this to the existence of unique minimal connections, the second
+  cross-validation used by the tests.
+
+γ-acyclic ⟹ β-acyclic ⟹ α-acyclic; the inclusions are strict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.foundations.attrs import AttrsLike, attrs
+
+
+def _edge_sets(edges: Iterable[AttrsLike]) -> list[frozenset[str]]:
+    unique: list[frozenset[str]] = []
+    seen: set[frozenset[str]] = set()
+    for edge in edges:
+        edge_set = attrs(edge)
+        if edge_set and edge_set not in seen:
+            seen.add(edge_set)
+            unique.append(edge_set)
+    return unique
+
+
+def gyo_reduction(edges: Iterable[AttrsLike]) -> list[frozenset[str]]:
+    """Run the GYO reduction to fixpoint and return the residual edges.
+
+    Rules: (1) delete a node occurring in exactly one edge; (2) delete an
+    edge contained in another edge (including duplicates and edges
+    emptied by rule 1).
+    """
+    working = [set(edge) for edge in _edge_sets(edges)]
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: remove nodes that occur in exactly one edge.
+        occurrence: dict[str, int] = {}
+        for edge in working:
+            for node in edge:
+                occurrence[node] = occurrence.get(node, 0) + 1
+        for edge in working:
+            lonely = {node for node in edge if occurrence[node] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        # Rule 2: remove empty edges and edges contained in another edge.
+        survivors: list[set[str]] = []
+        for index, edge in enumerate(working):
+            if not edge:
+                changed = True
+                continue
+            contained = any(
+                (edge < other) or (edge == other and index > other_index)
+                for other_index, other in enumerate(working)
+                if other_index != index
+            )
+            if contained:
+                changed = True
+            else:
+                survivors.append(edge)
+        working = survivors
+    return [frozenset(edge) for edge in working]
+
+
+def is_alpha_acyclic(edges: Iterable[AttrsLike]) -> bool:
+    """True iff the GYO reduction empties the hypergraph."""
+    edge_sets = _edge_sets(edges)
+    if not edge_sets:
+        return True
+    return len(gyo_reduction(edge_sets)) == 0
+
+
+def _find_cycle(
+    edges: Sequence[frozenset[str]], relax_last: bool
+) -> Optional[list[tuple[frozenset[str], str]]]:
+    """Search for a β-cycle (``relax_last=False``) or γ-cycle (True).
+
+    Returns the cycle as ``[(S1, x1), ..., (Sm, xm)]`` or None.  DFS over
+    alternating edge/node sequences with the purity condition checked
+    incrementally; exponential in the worst case, which is acceptable at
+    database-scheme sizes.
+    """
+    n = len(edges)
+
+    def purity_holds(sequence: list[tuple[int, str]]) -> bool:
+        # Check x_i ∉ S_j for j ∉ {i, i+1} over the cycle's edges, for
+        # every i except (when relax_last) the last one.
+        m = len(sequence)
+        cycle_edges = [edges[index] for index, _ in sequence]
+        for i, (_, node) in enumerate(sequence):
+            if relax_last and i == m - 1:
+                continue
+            for j, edge in enumerate(cycle_edges):
+                if j in (i, (i + 1) % m):
+                    continue
+                if node in edge:
+                    return False
+        return True
+
+    def extend(sequence: list[tuple[int, str]], used_nodes: set[str]) -> Optional[
+        list[tuple[int, str]]
+    ]:
+        last_node = sequence[-1][1]
+        used_edges = {index for index, _ in sequence}
+        # Try to close the cycle: the last node must lie in the first edge.
+        if len(sequence) >= 3:
+            first_index = sequence[0][0]
+            if last_node in edges[first_index] and purity_holds(sequence):
+                return sequence
+        if len(sequence) >= n:
+            return None
+        for next_index in range(n):
+            if next_index in used_edges:
+                continue
+            if last_node not in edges[next_index]:
+                continue
+            for next_node in sorted(edges[next_index]):
+                if next_node in used_nodes:
+                    continue
+                result = extend(
+                    sequence + [(next_index, next_node)],
+                    used_nodes | {next_node},
+                )
+                if result is not None:
+                    return result
+        return None
+
+    for start in range(n):
+        for first_node in sorted(edges[start]):
+            result = extend([(start, first_node)], {first_node})
+            if result is not None:
+                return [(edges[index], node) for index, node in result]
+    return None
+
+
+def find_beta_cycle(
+    edges: Iterable[AttrsLike],
+) -> Optional[list[tuple[frozenset[str], str]]]:
+    """A β-cycle of the hypergraph, or None."""
+    return _find_cycle(_edge_sets(edges), relax_last=False)
+
+
+def find_gamma_cycle(
+    edges: Iterable[AttrsLike],
+) -> Optional[list[tuple[frozenset[str], str]]]:
+    """A γ-cycle of the hypergraph, or None."""
+    return _find_cycle(_edge_sets(edges), relax_last=True)
+
+
+def is_beta_acyclic(edges: Iterable[AttrsLike]) -> bool:
+    """True iff the hypergraph has no β-cycle."""
+    return find_beta_cycle(edges) is None
+
+
+def is_gamma_acyclic(edges: Iterable[AttrsLike]) -> bool:
+    """True iff the hypergraph has no γ-cycle."""
+    return find_gamma_cycle(edges) is None

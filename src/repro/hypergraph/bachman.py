@@ -1,0 +1,39 @@
+"""Bachman closure (paper, Section 2.4).
+
+``Bachman(E)`` is the closure of a family of sets under pairwise
+intersection: every member of ``E`` is in it, and the intersection of
+any two members is in it.  Empty intersections are dropped — hypergraph
+edges are non-empty, and the unique-minimal-connection machinery only
+ever quantifies over non-empty blocks.
+
+The closure can be exponentially larger than ``E``; it is used by the
+u.m.c. cross-validation of the γ-acyclicity tests on small inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.foundations.attrs import AttrsLike, attrs
+
+
+def bachman_closure(edges: Iterable[AttrsLike]) -> list[frozenset[str]]:
+    """Close a family of sets under non-empty pairwise intersections.
+
+    The result is sorted (by size, then lexicographically) for
+    determinism.
+    """
+    closure: set[frozenset[str]] = {attrs(edge) for edge in edges}
+    closure.discard(frozenset())
+    frontier = list(closure)
+    while frontier:
+        new_member = frontier.pop()
+        additions = []
+        for member in closure:
+            intersection = member & new_member
+            if intersection and intersection not in closure:
+                additions.append(intersection)
+        for addition in additions:
+            closure.add(addition)
+            frontier.append(addition)
+    return sorted(closure, key=lambda s: (len(s), tuple(sorted(s))))

@@ -1,0 +1,85 @@
+"""Hypergraphs for database schemes.
+
+A hypergraph is a pair ``<V, E>`` of nodes and non-empty edges (paper,
+Section 2.4, after Berge).  The hypergraph of a database scheme has the
+universe as nodes and the relation schemes as edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs, union_all
+from repro.foundations.errors import SchemaError
+
+
+class Hypergraph:
+    """An immutable hypergraph: a node set and a family of edges.
+
+    Duplicate edges collapse (edges form a set family, as in the paper's
+    definition of a database scheme's hypergraph).
+    """
+
+    __slots__ = ("nodes", "edges")
+
+    def __init__(
+        self,
+        edges: Iterable[AttrsLike],
+        nodes: Optional[AttrsLike] = None,
+    ) -> None:
+        edge_sets = []
+        seen: set[frozenset[str]] = set()
+        for edge in edges:
+            edge_set = attrs(edge)
+            if not edge_set:
+                raise SchemaError("hypergraph edges must be non-empty")
+            if edge_set not in seen:
+                seen.add(edge_set)
+                edge_sets.append(edge_set)
+        node_set = attrs(nodes) if nodes is not None else union_all(edge_sets)
+        if not union_all(edge_sets) <= node_set:
+            raise SchemaError("edges mention nodes outside the node set")
+        object.__setattr__(self, "nodes", node_set)
+        object.__setattr__(
+            self,
+            "edges",
+            tuple(sorted(edge_sets, key=lambda e: tuple(sorted(e)))),
+        )
+
+    def __setattr__(self, *_: object) -> None:
+        raise AttributeError("Hypergraph is immutable")
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        return iter(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self.nodes == other.nodes and set(self.edges) == set(other.edges)
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, frozenset(self.edges)))
+
+    def subhypergraph(self, edges: Iterable[AttrsLike]) -> "Hypergraph":
+        """The subhypergraph on a subset of this hypergraph's edges."""
+        chosen = [attrs(edge) for edge in edges]
+        missing = [edge for edge in chosen if edge not in set(self.edges)]
+        if missing:
+            raise SchemaError(
+                f"not edges of this hypergraph: {[fmt_attrs(e) for e in missing]}"
+            )
+        return Hypergraph(chosen)
+
+    def edges_containing(self, node: str) -> list[frozenset[str]]:
+        """All edges containing a given node."""
+        return [edge for edge in self.edges if node in edge]
+
+    def __repr__(self) -> str:
+        return (
+            "Hypergraph(["
+            + ", ".join(fmt_attrs(edge) for edge in self.edges)
+            + "])"
+        )

@@ -1,0 +1,112 @@
+"""Join trees for α-acyclic hypergraphs.
+
+A *join tree* of a hypergraph has the edges as nodes and satisfies the
+running-intersection (connected-subtree) property: for every attribute,
+the tree nodes containing it form a subtree.  A hypergraph admits a
+join tree iff it is α-acyclic (Beeri–Fagin–Maier–Yannakakis), which is
+the structural reason acyclic schemes answer joins efficiently — the
+backdrop of the paper's γ-acyclicity results.
+
+The construction is the GYO reduction with ear bookkeeping: an edge is
+an *ear* when every node it shares with the rest of the hypergraph lies
+inside a single witness edge; removing ears until one edge remains
+yields the tree (ear–witness links), and failure certifies α-cyclicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A join tree: the hypergraph's edges plus tree links between them.
+
+    ``links`` are (child, parent) pairs in elimination order; the last
+    surviving edge is the root.
+    """
+
+    edges: tuple[frozenset[str], ...]
+    links: tuple[tuple[frozenset[str], frozenset[str]], ...]
+    root: frozenset[str]
+
+    def neighbors(self, edge: frozenset[str]) -> list[frozenset[str]]:
+        """Tree neighbours of an edge."""
+        out = []
+        for child, parent in self.links:
+            if child == edge:
+                out.append(parent)
+            elif parent == edge:
+                out.append(child)
+        return out
+
+    def satisfies_running_intersection(self) -> bool:
+        """Check the connected-subtree property for every attribute."""
+        nodes = {node for edge in self.edges for node in edge}
+        for node in nodes:
+            holders = [edge for edge in self.edges if node in edge]
+            if len(holders) <= 1:
+                continue
+            # BFS within the subgraph induced by the holders.
+            seen = {holders[0]}
+            frontier = [holders[0]]
+            holder_set = set(holders)
+            while frontier:
+                current = frontier.pop()
+                for neighbor in self.neighbors(current):
+                    if neighbor in holder_set and neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            if seen != holder_set:
+                return False
+        return True
+
+    def render(self) -> str:
+        lines = [f"join tree rooted at {fmt_attrs(self.root)}:"]
+        for child, parent in reversed(self.links):
+            lines.append(
+                f"  {fmt_attrs(child)} — {fmt_attrs(parent)} "
+                f"(on {fmt_attrs(child & parent)})"
+            )
+        return "\n".join(lines)
+
+
+def build_join_tree(edges: Iterable[AttrsLike]) -> Optional[JoinTree]:
+    """A join tree of the hypergraph, or None when it is α-cyclic.
+
+    Duplicate edges collapse; an edge contained in another is attached
+    directly to one containing it (it is trivially an ear).
+    """
+    unique: list[frozenset[str]] = []
+    seen: set[frozenset[str]] = set()
+    for edge in edges:
+        edge_set = attrs(edge)
+        if edge_set and edge_set not in seen:
+            seen.add(edge_set)
+            unique.append(edge_set)
+    if not unique:
+        return None
+    remaining = list(unique)
+    links: list[tuple[frozenset[str], frozenset[str]]] = []
+    progressed = True
+    while len(remaining) > 1 and progressed:
+        progressed = False
+        for edge in list(remaining):
+            others = [other for other in remaining if other is not edge]
+            shared = edge & frozenset().union(*others)
+            witness = next(
+                (other for other in others if shared <= other), None
+            )
+            if witness is not None:
+                links.append((edge, witness))
+                remaining.remove(edge)
+                progressed = True
+                break
+    if len(remaining) > 1:
+        return None
+    return JoinTree(
+        edges=tuple(unique), links=tuple(links), root=remaining[0]
+    )

@@ -1,0 +1,84 @@
+"""Paths and connectivity in hypergraphs (paper, Section 2.4).
+
+A path between two nodes is a sequence of edges, consecutive ones
+intersecting, that is minimal under subsequence; for *connectivity*
+purposes plain edge-intersection reachability is equivalent and is what
+is implemented here.  A family of sets is connected when the hypergraph
+it induces is connected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.foundations.attrs import AttrsLike, attrs, union_all
+
+
+def connected_components(
+    edges: Iterable[AttrsLike],
+) -> list[list[frozenset[str]]]:
+    """Partition a family of sets into intersection-connected components.
+
+    Components are returned in a deterministic order; edges within a
+    component keep their input order.
+    """
+    edge_sets = [attrs(edge) for edge in edges]
+    unassigned = list(range(len(edge_sets)))
+    components: list[list[frozenset[str]]] = []
+    while unassigned:
+        seed = unassigned.pop(0)
+        component = [seed]
+        covered = set(edge_sets[seed])
+        grew = True
+        while grew:
+            grew = False
+            for index in list(unassigned):
+                if edge_sets[index] & covered:
+                    component.append(index)
+                    covered |= edge_sets[index]
+                    unassigned.remove(index)
+                    grew = True
+        components.append([edge_sets[i] for i in sorted(component)])
+    return components
+
+
+def is_connected_family(edges: Sequence[AttrsLike]) -> bool:
+    """True iff the family of sets is connected (paper, Section 2.4).
+
+    The empty family is vacuously disconnected; a singleton is connected.
+    """
+    materialized = [attrs(edge) for edge in edges]
+    if not materialized:
+        return False
+    return len(connected_components(materialized)) == 1
+
+
+def find_path(
+    edges: Sequence[AttrsLike], source: str, target: str
+) -> Optional[list[frozenset[str]]]:
+    """A shortest edge-path from a node to a node, or None.
+
+    Shortest paths satisfy the paper's minimal-subsequence condition
+    automatically.
+    """
+    edge_sets = [attrs(edge) for edge in edges]
+    starts = [i for i, edge in enumerate(edge_sets) if source in edge]
+    frontier = list(starts)
+    predecessor: dict[int, Optional[int]] = {i: None for i in starts}
+    while frontier:
+        current = frontier.pop(0)
+        if target in edge_sets[current]:
+            path = [current]
+            while predecessor[path[-1]] is not None:
+                path.append(predecessor[path[-1]])  # type: ignore[arg-type]
+            return [edge_sets[i] for i in reversed(path)]
+        for index, edge in enumerate(edge_sets):
+            if index not in predecessor and edge & edge_sets[current]:
+                predecessor[index] = current
+                frontier.append(index)
+    return None
+
+
+def family_union(edges: Iterable[AttrsLike]) -> frozenset[str]:
+    """Union of a family of sets."""
+    return union_all(attrs(edge) for edge in edges)

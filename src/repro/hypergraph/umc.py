@@ -1,0 +1,127 @@
+"""Unique minimal connections (paper, Section 2.4).
+
+A connected ``V = {V1,...,Vm} ⊆ Bachman(R)`` is a *unique minimal
+connection* (u.m.c.) among ``X`` when it covers ``X`` and every
+connected covering subset ``{W1,...,Wk}`` of ``Bachman(R)`` dominates it
+— contains members ``W_i1 ⊇ V_1, ..., W_im ⊇ V_m``.
+
+Theorem 2.1 (Fagin/Yannakakis, proven by Biskup et al.): a connected
+database scheme is γ-acyclic iff it has a u.m.c. among every ``X ⊆ U``.
+This module implements the definition directly (exponential, intended
+for the small hypergraphs of tests that cross-validate the polynomial
+γ-acyclicity test) by enumerating *minimal* connected covers: every
+connected cover contains a minimal connected cover, and domination by a
+subset lifts to its supersets, so checking domination against the
+minimal covers decides the universal condition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.foundations.attrs import AttrsLike, attrs
+from repro.hypergraph.bachman import bachman_closure
+from repro.hypergraph.paths import is_connected_family
+
+
+def minimal_connected_covers(
+    family: Sequence[frozenset[str]], target: frozenset[str]
+) -> list[list[frozenset[str]]]:
+    """All minimal connected subsets of ``family`` whose union covers
+    ``target``.
+
+    Grown by DFS from each member; a grown set is recorded when coverage
+    is reached and the result list is filtered to inclusion-minimal
+    entries.  Exponential in |family| by nature.
+    """
+    found: set[frozenset[int]] = set()
+    visited: set[frozenset[int]] = set()
+
+    def explore(chosen: frozenset[int], covered: frozenset[str]) -> None:
+        if chosen in visited:
+            return
+        visited.add(chosen)
+        if target <= covered:
+            found.add(chosen)
+            return
+        for index, member in enumerate(family):
+            if index in chosen:
+                continue
+            if member & covered:
+                explore(chosen | {index}, covered | member)
+
+    for index, member in enumerate(family):
+        explore(frozenset({index}), member)
+
+    minimal = [
+        chosen for chosen in found if not any(other < chosen for other in found)
+    ]
+    covers = [sorted(family[i] for i in chosen) for chosen in minimal]
+    return sorted(covers, key=lambda cover: [tuple(sorted(m)) for m in cover])
+
+
+def _dominates(
+    cover: Sequence[frozenset[str]], candidate: Sequence[frozenset[str]]
+) -> bool:
+    """True iff ``cover`` contains *distinct* members ``W_i1,...,W_im``
+    with ``W_ij ⊇ V_j`` for the members of ``candidate``.
+
+    The distinctness (an injective matching of candidate members to
+    covering members) is essential: allowing one ``W`` to witness two
+    blocks would declare a u.m.c. in hypergraphs such as
+    ``{AB, BC, ABC}`` that have a γ-cycle, breaking Theorem 2.1.
+    The matching is found by backtracking — candidate families are tiny.
+    """
+
+    def match(index: int, used: frozenset[int]) -> bool:
+        if index == len(candidate):
+            return True
+        for position, w in enumerate(cover):
+            if position not in used and candidate[index] <= w:
+                if match(index + 1, used | {position}):
+                    return True
+        return False
+
+    return match(0, frozenset())
+
+
+def unique_minimal_connection(
+    edges: Iterable[AttrsLike], target: AttrsLike
+) -> Optional[list[frozenset[str]]]:
+    """A u.m.c. among ``target`` over ``Bachman(edges)``, or None.
+
+    The candidate pool is the set of minimal connected covers; a
+    candidate is the u.m.c. when every minimal connected cover (hence
+    every connected cover) dominates it.
+    """
+    target_set = attrs(target)
+    if not target_set:
+        return []
+    family = bachman_closure(edges)
+    covers = minimal_connected_covers(family, target_set)
+    for candidate in covers:
+        if not is_connected_family(candidate):
+            continue
+        if all(_dominates(cover, candidate) for cover in covers):
+            return list(candidate)
+    return None
+
+
+def has_umc_for_all_subsets(
+    edges: Sequence[AttrsLike], max_subset_size: Optional[int] = None
+) -> bool:
+    """Exhaustively check Theorem 2.1's right-hand side: a u.m.c. exists
+    among every non-empty ``X ⊆ U`` (optionally capped in size).
+
+    Exponential in |U|; for cross-validation on small hypergraphs.
+    """
+    from itertools import combinations
+
+    edge_sets = [attrs(edge) for edge in edges]
+    universe = sorted({node for edge in edge_sets for node in edge})
+    limit = max_subset_size or len(universe)
+    for size in range(1, limit + 1):
+        for subset in combinations(universe, size):
+            if unique_minimal_connection(edge_sets, frozenset(subset)) is None:
+                return False
+    return True

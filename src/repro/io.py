@@ -1,0 +1,128 @@
+"""JSON serialization for schemes and states.
+
+Formats (used by the CLI and handy for fixtures):
+
+Scheme::
+
+    {
+      "relations": {
+        "R1": {"attributes": ["H", "R", "C"], "keys": [["H", "R"]]},
+        "R4": {"attributes": "CSG", "keys": ["CS"]}
+      }
+    }
+
+``attributes`` and each key accept either a list of attribute names or
+the paper's compact single-character string.  ``keys`` may be omitted
+for an all-key relation.
+
+State::
+
+    {"R1": [{"H": "9am", "R": "DC128", "C": "CS445"}], "R4": []}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from repro.foundations.attrs import attrs, sorted_attrs
+from repro.foundations.errors import SchemaError, StateError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.schema.relation_scheme import RelationScheme
+from repro.state.database_state import DatabaseState
+
+PathLike = Union[str, Path]
+
+
+# -- schemes ----------------------------------------------------------------
+
+
+def scheme_to_dict(scheme: DatabaseScheme) -> dict[str, Any]:
+    """Serialize a scheme to the JSON structure above."""
+    return {
+        "relations": {
+            member.name: {
+                "attributes": sorted_attrs(member.attributes),
+                "keys": [sorted_attrs(key) for key in member.keys],
+            }
+            for member in scheme.relations
+        }
+    }
+
+
+def scheme_from_dict(data: Mapping[str, Any]) -> DatabaseScheme:
+    """Deserialize a scheme; raises :class:`SchemaError` on malformed
+    input."""
+    if not isinstance(data, Mapping) or "relations" not in data:
+        raise SchemaError("scheme JSON must be an object with 'relations'")
+    relations = data["relations"]
+    if not isinstance(relations, Mapping) or not relations:
+        raise SchemaError("'relations' must be a non-empty object")
+    members = []
+    for name, spec in relations.items():
+        if isinstance(spec, str):
+            members.append(RelationScheme(name, attrs(spec)))
+            continue
+        if not isinstance(spec, Mapping) or "attributes" not in spec:
+            raise SchemaError(
+                f"relation {name!r} needs an 'attributes' field"
+            )
+        keys = spec.get("keys")
+        members.append(
+            RelationScheme(
+                name,
+                attrs(spec["attributes"]),
+                None if keys is None else [attrs(key) for key in keys],
+            )
+        )
+    return DatabaseScheme(members)
+
+
+def load_scheme(path: PathLike) -> DatabaseScheme:
+    """Load a scheme from a JSON file."""
+    with open(path) as handle:
+        return scheme_from_dict(json.load(handle))
+
+
+def dump_scheme(scheme: DatabaseScheme, path: PathLike) -> None:
+    """Write a scheme to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(scheme_to_dict(scheme), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# -- states -------------------------------------------------------------------
+
+
+def state_to_dict(state: DatabaseState) -> dict[str, Any]:
+    """Serialize a state to ``{relation: [tuple, ...]}``."""
+    return {
+        name: sorted(
+            (dict(values) for values in relation),
+            key=lambda row: tuple(sorted(row.items())),
+        )
+        for name, relation in state
+    }
+
+
+def state_from_dict(
+    scheme: DatabaseScheme, data: Mapping[str, Any]
+) -> DatabaseState:
+    """Deserialize a state over ``scheme``."""
+    if not isinstance(data, Mapping):
+        raise StateError("state JSON must be an object")
+    return DatabaseState(scheme, data)
+
+
+def load_state(scheme: DatabaseScheme, path: PathLike) -> DatabaseState:
+    """Load a state (over a known scheme) from a JSON file."""
+    with open(path) as handle:
+        return state_from_dict(scheme, json.load(handle))
+
+
+def dump_state(state: DatabaseState, path: PathLike) -> None:
+    """Write a state to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(state_to_dict(state), handle, indent=2, sort_keys=True)
+        handle.write("\n")

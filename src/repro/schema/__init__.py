@@ -1,0 +1,48 @@
+"""Database schemes with embedded keys, cover-embedding, lossless
+subsets and the SUBSET/AUG/RED operations (paper, Sections 2.1, 2.3, 4.3)."""
+
+from repro.schema.database_scheme import DatabaseScheme, scheme
+from repro.schema.decompose import decompose_bcnf
+from repro.schema.embedded import (
+    declared_keys_cover_fds,
+    embedded_cover,
+    is_cover_embedding,
+)
+from repro.schema.lossless import (
+    extension_join_subsets_covering,
+    is_lossless_subset,
+    lossless_subset_attributes,
+    minimal_lossless_subsets_covering,
+    subset_embedded_fds,
+)
+from repro.schema.operations import (
+    augment,
+    is_reduced,
+    normalize_keys,
+    reduce_scheme,
+    subset_family,
+)
+from repro.schema.relation_scheme import RelationScheme, relation
+from repro.schema.synthesis import synthesize_3nf
+
+__all__ = [
+    "DatabaseScheme",
+    "RelationScheme",
+    "augment",
+    "declared_keys_cover_fds",
+    "decompose_bcnf",
+    "embedded_cover",
+    "extension_join_subsets_covering",
+    "is_cover_embedding",
+    "is_lossless_subset",
+    "is_reduced",
+    "lossless_subset_attributes",
+    "minimal_lossless_subsets_covering",
+    "normalize_keys",
+    "reduce_scheme",
+    "relation",
+    "scheme",
+    "subset_embedded_fds",
+    "subset_family",
+    "synthesize_3nf",
+]

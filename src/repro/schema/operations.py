@@ -1,0 +1,114 @@
+"""Scheme operations: SUBSET, AUG and RED (paper, Section 4.3).
+
+``SUBSET(R)`` is the family of non-empty subsets of members of ``R``;
+``AUG(R) = R ∪ S`` for some ``S ⊆ SUBSET(R)``; ``RED(R)`` removes
+members that are proper subsets of other members.  Theorem 4.3 shows the
+class of independence-reducible schemes is closed under augmentation,
+and Corollary 4.2 that reducibility is invariant under reduction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.fd.keys import candidate_keys
+from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs
+from repro.foundations.errors import SchemaError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.schema.relation_scheme import RelationScheme
+
+
+def subset_family(scheme: DatabaseScheme) -> list[frozenset[str]]:
+    """``SUBSET(R)``: every non-empty subset of some member's attributes.
+
+    Exponential in member width by definition; intended for the small
+    schemes of examples and tests.
+    """
+    subsets: set[frozenset[str]] = set()
+    for member in scheme.relations:
+        ordered = sorted(member.attributes)
+        for size in range(1, len(ordered) + 1):
+            for combo in combinations(ordered, size):
+                subsets.add(frozenset(combo))
+    return sorted(subsets, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+def augment(
+    scheme: DatabaseScheme,
+    additions: Iterable[Tuple[str, AttrsLike]],
+    keys_for: Optional[dict[str, Sequence[AttrsLike]]] = None,
+) -> DatabaseScheme:
+    """``AUG(R)``: add new relation schemes, each a subset of an existing
+    member.
+
+    Declared keys for an addition are taken from ``keys_for`` when given,
+    otherwise derived as the candidate keys of the attribute set with
+    respect to the scheme's embedded key dependencies — so the augmented
+    scheme still embeds (a cover of) the same constraint set.
+    """
+    new_members = list(scheme.relations)
+    for name, attribute_spec in additions:
+        attribute_set = attrs(attribute_spec)
+        if not any(
+            attribute_set <= member.attributes for member in scheme.relations
+        ):
+            raise SchemaError(
+                f"augmentation {fmt_attrs(attribute_set)} is not a subset of "
+                "any existing relation scheme"
+            )
+        if keys_for and name in keys_for:
+            keys: Sequence[AttrsLike] = keys_for[name]
+        else:
+            keys = candidate_keys(attribute_set, scheme.fds)
+        new_members.append(RelationScheme(name, attribute_set, keys))
+    return DatabaseScheme(new_members)
+
+
+def reduce_scheme(scheme: DatabaseScheme) -> DatabaseScheme:
+    """``RED(R)``: drop members that are proper subsets of another member
+    (and later duplicates of an identical attribute set)."""
+    kept: list[RelationScheme] = []
+    seen_attribute_sets: set[frozenset[str]] = set()
+    for member in scheme.relations:
+        if member.attributes in seen_attribute_sets:
+            continue
+        properly_contained = any(
+            member.attributes < other.attributes for other in scheme.relations
+        )
+        if not properly_contained:
+            kept.append(member)
+            seen_attribute_sets.add(member.attributes)
+    return DatabaseScheme(kept)
+
+
+def normalize_keys(scheme: DatabaseScheme) -> DatabaseScheme:
+    """Redeclare every member's keys as its full candidate-key set with
+    respect to the scheme's embedded key dependencies.
+
+    The paper's notion of "keys embedded in R" means *all* candidate
+    keys under ``F⁺``, not just the generators of ``F``; under-declared
+    derived keys would weaken the splitness test (Lemma 3.8 quantifies
+    over the key dependencies embedded in ``W``) and hide lossless
+    subsets.  Since a derived key's dependency is already implied,
+    normalization never changes ``F⁺`` and is idempotent.
+    """
+    fds = scheme.fds
+    members = [
+        RelationScheme(
+            member.name,
+            member.attributes,
+            candidate_keys(member.attributes, fds),
+        )
+        for member in scheme.relations
+    ]
+    return DatabaseScheme(members)
+
+
+def is_reduced(scheme: DatabaseScheme) -> bool:
+    """True iff no member is a proper subset of another member."""
+    for member in scheme.relations:
+        for other in scheme.relations:
+            if member.name != other.name and member.attributes < other.attributes:
+                return False
+    return True

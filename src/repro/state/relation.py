@@ -1,0 +1,152 @@
+"""Relations: finite sets of total tuples on a relation scheme.
+
+Tuples are plain ``{attribute: value}`` mappings; internally each is
+normalized to a value vector in the scheme's canonical attribute order,
+so relations behave as proper sets with cheap hashing (paper, Section
+2.1: a relation is a set of total tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.fd.fd import FD
+from repro.fd.fdset import FDSet, FDsLike
+from repro.foundations.attrs import AttrsLike, attrs, sorted_attrs
+from repro.foundations.errors import StateError
+
+#: A tuple given by the user: attribute → constant.
+TupleLike = Mapping[str, Hashable]
+
+
+class Relation:
+    """An immutable set of total tuples over a fixed attribute set."""
+
+    __slots__ = ("attributes", "_order", "_rows")
+
+    def __init__(
+        self, attributes: AttrsLike, tuples: Iterable[TupleLike] = ()
+    ) -> None:
+        attribute_set = attrs(attributes)
+        if not attribute_set:
+            raise StateError("a relation needs at least one attribute")
+        order = tuple(sorted_attrs(attribute_set))
+        rows: set[tuple[Hashable, ...]] = set()
+        for values in tuples:
+            rows.add(_normalize(values, attribute_set, order))
+        object.__setattr__(self, "attributes", attribute_set)
+        object.__setattr__(self, "_order", order)
+        object.__setattr__(self, "_rows", frozenset(rows))
+
+    def __setattr__(self, *_: object) -> None:
+        raise AttributeError("Relation is immutable")
+
+    # -- container protocol ---------------------------------------------------
+    def __iter__(self) -> Iterator[dict[str, Hashable]]:
+        for row in sorted(self._rows, key=repr):
+            yield dict(zip(self._order, row))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, values: TupleLike) -> bool:
+        try:
+            return _normalize(values, self.attributes, self._order) in self._rows
+        except StateError:
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.attributes == other.attributes and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self._rows))
+
+    # -- algebra-lite (full algebra lives in repro.algebra) --------------------
+    def with_tuple(self, values: TupleLike) -> "Relation":
+        """A copy with one more tuple."""
+        row = _normalize(values, self.attributes, self._order)
+        return _from_rows(self.attributes, self._order, self._rows | {row})
+
+    def without_tuple(self, values: TupleLike) -> "Relation":
+        """A copy with one tuple removed (no error if absent)."""
+        row = _normalize(values, self.attributes, self._order)
+        return _from_rows(self.attributes, self._order, self._rows - {row})
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; both relations must share the attribute set."""
+        if self.attributes != other.attributes:
+            raise StateError("union of relations over different attributes")
+        return _from_rows(self.attributes, self._order, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; both relations must share the attribute set."""
+        if self.attributes != other.attributes:
+            raise StateError("difference of relations over different attributes")
+        return _from_rows(self.attributes, self._order, self._rows - other._rows)
+
+    # -- dependency satisfaction ------------------------------------------------
+    def satisfies_fd(self, dependency: FD) -> bool:
+        """True iff no two tuples agree on ``lhs`` but differ on ``rhs``.
+
+        Dependencies not embedded in this relation's attributes are
+        vacuously satisfied (a relation only constrains its own columns).
+        """
+        if not dependency.is_embedded_in(self.attributes):
+            return True
+        lhs = sorted_attrs(dependency.lhs)
+        rhs = sorted_attrs(dependency.rhs)
+        lhs_index = [self._order.index(a) for a in lhs]
+        rhs_index = [self._order.index(a) for a in rhs]
+        seen: dict[tuple, tuple] = {}
+        for row in self._rows:
+            left = tuple(row[i] for i in lhs_index)
+            right = tuple(row[i] for i in rhs_index)
+            previous = seen.setdefault(left, right)
+            if previous != right:
+                return False
+        return True
+
+    def satisfies(self, fds: FDsLike) -> bool:
+        """True iff every embedded fd of ``fds`` holds in this relation."""
+        return all(self.satisfies_fd(dependency) for dependency in FDSet(fds))
+
+    # -- rendering -------------------------------------------------------------
+    def __str__(self) -> str:
+        header = " ".join(self._order)
+        lines = [header]
+        for values in self:
+            lines.append(" ".join(str(values[a]) for a in self._order))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Relation({''.join(self._order)}, |tuples|={len(self._rows)})"
+
+
+def _normalize(
+    values: TupleLike,
+    attribute_set: frozenset[str],
+    order: tuple[str, ...],
+) -> tuple[Hashable, ...]:
+    if frozenset(values) != attribute_set:
+        raise StateError(
+            f"tuple attributes {sorted(values)} do not match relation "
+            f"attributes {sorted(attribute_set)}"
+        )
+    return tuple(values[a] for a in order)
+
+
+def _from_rows(
+    attribute_set: frozenset[str],
+    order: tuple[str, ...],
+    rows: frozenset[tuple[Hashable, ...]],
+) -> Relation:
+    relation = Relation.__new__(Relation)
+    object.__setattr__(relation, "attributes", attribute_set)
+    object.__setattr__(relation, "_order", order)
+    object.__setattr__(relation, "_rows", rows)
+    return relation

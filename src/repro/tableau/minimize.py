@@ -1,0 +1,131 @@
+"""Tableau minimization and containment mappings.
+
+A tableau is *minimized* when no proper subset of its rows is an
+equivalent tableau (paper, Section 2.2, after Aho–Sagiv–Ullman).  A row
+can be dropped exactly when the remaining rows admit a containment
+mapping from the full tableau: a symbol mapping fixing constants and
+distinguished variables (nondistinguished variables may map to anything,
+consistently) that sends every row onto some remaining row.
+
+General minimization is exponential; it is used here on the small
+tableaux of the paper's examples and in cross-validation tests.  For the
+chased state tableaux produced by the paper's algorithms — where every
+nondistinguished variable occurs exactly once — subsumption degenerates
+to a per-row constant-containment check (:func:`remove_subsumed_rows`),
+which is what Algorithm 1's step (2) and Corollary 3.2's "minimized
+chased tableau" perform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tableau.symbols import Symbol, is_constant, is_dv, is_ndv
+from repro.tableau.tableau import Row, Tableau
+
+
+def row_maps_into(source: Row, target: Row) -> bool:
+    """True iff ``source`` maps onto ``target`` assuming every
+    nondistinguished variable of ``source`` is free (occurs nowhere
+    else).  Constants and distinguished variables must match exactly."""
+    for attribute, symbol in source.cells.items():
+        if is_ndv(symbol):
+            continue
+        if target[attribute] != symbol:
+            return False
+    return True
+
+
+def _extend_mapping(
+    mapping: dict[Symbol, Symbol], source: Row, target: Row
+) -> Optional[dict[Symbol, Symbol]]:
+    """Try to extend a partial symbol mapping so ``source`` lands on
+    ``target``; return the extended mapping or None on conflict."""
+    extended = dict(mapping)
+    for attribute, symbol in source.cells.items():
+        wanted = target[attribute]
+        if is_constant(symbol) or is_dv(symbol):
+            if symbol != wanted:
+                return None
+            continue
+        bound = extended.get(symbol)
+        if bound is None:
+            extended[symbol] = wanted
+        elif bound != wanted:
+            return None
+    return extended
+
+
+def find_containment_mapping(
+    source: Tableau, target: Tableau
+) -> Optional[dict[Symbol, Symbol]]:
+    """A containment mapping from ``source`` into ``target``, or None.
+
+    Backtracking over row assignments; exponential in the worst case,
+    intended for the small tableaux of examples and tests.
+    """
+    if source.universe != target.universe:
+        return None
+    source_rows = list(source.rows)
+    target_rows = list(target.rows)
+
+    def assign(index: int, mapping: dict[Symbol, Symbol]) -> Optional[dict]:
+        if index == len(source_rows):
+            return mapping
+        for candidate in target_rows:
+            extended = _extend_mapping(mapping, source_rows[index], candidate)
+            if extended is not None:
+                solution = assign(index + 1, extended)
+                if solution is not None:
+                    return solution
+        return None
+
+    return assign(0, {})
+
+
+def equivalent(left: Tableau, right: Tableau) -> bool:
+    """Tableau equivalence: containment mappings both ways."""
+    return (
+        find_containment_mapping(left, right) is not None
+        and find_containment_mapping(right, left) is not None
+    )
+
+
+def minimize(tableau: Tableau) -> Tableau:
+    """Greedy full minimization: repeatedly drop a row whenever the full
+    tableau still maps into the remainder."""
+    rows = list(tableau.rows)
+    index = 0
+    while index < len(rows):
+        remainder = Tableau(tableau.universe, rows[:index] + rows[index + 1 :])
+        if find_containment_mapping(tableau, remainder) is not None:
+            rows.pop(index)
+        else:
+            index += 1
+    return Tableau(tableau.universe, rows)
+
+
+def remove_subsumed_rows(tableau: Tableau) -> Tableau:
+    """Fast minimization for tableaux whose nondistinguished variables are
+    all distinct: drop any row that maps into another surviving row.
+
+    This is exactly the duplicate/subsumption elimination of Algorithm 1
+    step (2) and of Corollary 3.2's minimization step.
+    """
+    rows = list(tableau.rows)
+    kept: list[Row] = []
+    for index, row in enumerate(rows):
+        subsumed = False
+        for other_index, other in enumerate(rows):
+            if other_index == index:
+                continue
+            if row_maps_into(row, other):
+                # Break ties between mutually-subsuming (identical) rows
+                # by keeping the earliest.
+                if row_maps_into(other, row) and other_index > index:
+                    continue
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(row)
+    return Tableau(tableau.universe, kept)

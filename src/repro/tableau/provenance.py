@@ -1,0 +1,252 @@
+"""A proof-producing chase: per-tuple derivation lengths and lineage.
+
+The boundedness definition (paper, Section 2.5) counts the fd-rule
+applications needed to derive *one* total tuple: a scheme is bounded
+when a constant ``k`` suffices for every tuple in every consistent
+state.  The plain chase engine reports only aggregate work; this module
+re-runs the chase recording *why* every symbol identification happened
+— the technique is the proof-producing union-find of congruence-closure
+solvers (Nieuwenhuis & Oliveras): each union is an edge in a proof
+forest labelled with the fd-rule application that caused it, and each
+application in turn depends on the identifications that made its two
+rows agree on the left-hand side.
+
+``derivation_events(cell)`` returns the transitive set of applications
+needed to make a cell constant; ``tuple_derivation_length`` maximizes
+over a row's cells — exactly the paper's "obtained in at most k fd-rule
+applications".  Bench E14 uses this to show the bounded/unbounded
+separation per tuple, not just in the aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fd.fdset import FDSet, FDsLike
+from repro.foundations.attrs import sorted_attrs
+from repro.tableau.symbols import Symbol, is_constant, preferred
+from repro.tableau.tableau import Tableau
+
+
+@dataclass(frozen=True)
+class Application:
+    """One fd-rule application: the fd used, the two rows equated, and
+    the attribute whose symbols were merged."""
+
+    event_id: int
+    lhs: tuple[str, ...]
+    rhs_attr: str
+    row_a: int
+    row_b: int
+
+
+class _ExplainingUnionFind:
+    """Union-find with a proof forest: ``explain(a, b)`` returns the
+    event ids on the forest path connecting two symbols."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Symbol, Symbol] = {}
+        # Proof forest: undirected edges symbol—symbol labelled with an
+        # event id, stored as adjacency.
+        self._proof: dict[Symbol, list[tuple[Symbol, int]]] = {}
+
+    def find(self, symbol: Symbol) -> Symbol:
+        parent = self._parent
+        root = symbol
+        while root in parent:
+            root = parent[root]
+        while symbol in parent:
+            parent[symbol], symbol = root, parent[symbol]
+        return root
+
+    def union(self, left: Symbol, right: Symbol, event_id: int) -> bool:
+        """Equate two symbols, recording the proof edge.  Returns False
+        when already equal; raises on constant-constant conflicts."""
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return False
+        if is_constant(left_root) and is_constant(right_root):
+            raise _Contradiction(event_id)
+        winner = preferred(left_root, right_root)
+        loser = right_root if winner == left_root else left_root
+        self._parent[loser] = winner
+        # The proof edge connects the *original* symbols the rule
+        # equated, not the roots: the path through the forest between
+        # any two equal symbols then yields the explaining events.
+        self._proof.setdefault(left, []).append((right, event_id))
+        self._proof.setdefault(right, []).append((left, event_id))
+        return True
+
+    def explain(self, left: Symbol, right: Symbol) -> Optional[list[int]]:
+        """Event ids on the proof-forest path from ``left`` to ``right``
+        (empty when identical), or None when not connected."""
+        if left == right:
+            return []
+        frontier = [left]
+        came_from: dict[Symbol, tuple[Symbol, int]] = {left: (left, -1)}
+        while frontier:
+            current = frontier.pop()
+            for neighbor, event_id in self._proof.get(current, ()):
+                if neighbor in came_from:
+                    continue
+                came_from[neighbor] = (current, event_id)
+                if neighbor == right:
+                    events = []
+                    node = right
+                    while node != left:
+                        node, edge = came_from[node]
+                        events.append(edge)
+                    return events
+                frontier.append(neighbor)
+        return None
+
+
+class _Contradiction(Exception):
+    def __init__(self, event_id: int) -> None:
+        self.event_id = event_id
+
+
+class ProvenanceChase:
+    """Chase a tableau while building per-identification provenance.
+
+    After construction, query ``derivation_events(row, attr)`` for the
+    full set of fd-rule applications a cell's constant depends on, and
+    ``tuple_derivation_length(row, attrs)`` for the paper's per-tuple
+    application count.
+    """
+
+    def __init__(self, tableau: Tableau, fds: FDsLike) -> None:
+        self.tableau = tableau
+        self._rows = tableau.rows
+        self._fd_list = [
+            (tuple(sorted_attrs(d.lhs)), next(iter(d.rhs)))
+            for d in FDSet(fds).split_rhs().nontrivial()
+        ]
+        self._uf = _ExplainingUnionFind()
+        self._applications: dict[int, Application] = {}
+        self.consistent = True
+        self.conflict_events: Optional[frozenset[int]] = None
+        self._memo: dict[int, frozenset[int]] = {}
+        self._run()
+
+    # -- chase -------------------------------------------------------------
+    def _run(self) -> None:
+        uf = self._uf
+        next_event = 0
+        changed = True
+        while changed and self.consistent:
+            changed = False
+            for lhs, rhs_attr in self._fd_list:
+                anchors: dict[tuple[Symbol, ...], int] = {}
+                for index, row in enumerate(self._rows):
+                    signature = tuple(uf.find(row[a]) for a in lhs)
+                    anchor = anchors.setdefault(signature, index)
+                    if anchor == index:
+                        continue
+                    a_sym = self._rows[anchor][rhs_attr]
+                    b_sym = row[rhs_attr]
+                    a_root, b_root = uf.find(a_sym), uf.find(b_sym)
+                    if a_root == b_root:
+                        continue
+                    event_id = next_event
+                    next_event += 1
+                    self._applications[event_id] = Application(
+                        event_id=event_id,
+                        lhs=lhs,
+                        rhs_attr=rhs_attr,
+                        row_a=anchor,
+                        row_b=index,
+                    )
+                    if is_constant(a_root) and is_constant(b_root):
+                        # Contradiction.  Its full cause: this
+                        # application, the identifications behind the
+                        # lhs agreement, and the identifications that
+                        # made each rhs symbol carry its constant.
+                        self.consistent = False
+                        causes = {event_id}
+                        causes.update(uf.explain(a_sym, a_root) or [])
+                        causes.update(uf.explain(b_sym, b_root) or [])
+                        self.conflict_events = self._close_over(
+                            frozenset(causes)
+                        )
+                        return
+                    uf.union(a_sym, b_sym, event_id)
+                    changed = True
+
+    # -- provenance ------------------------------------------------------------
+    def _event_dependencies(self, event_id: int) -> frozenset[int]:
+        """The events this application directly depends on: those that
+        made its two rows agree on each lhs attribute."""
+        cached = self._memo.get(event_id)
+        if cached is not None:
+            return cached
+        self._memo[event_id] = frozenset()  # cycle guard
+        application = self._applications[event_id]
+        depends: set[int] = set()
+        row_a = self._rows[application.row_a]
+        row_b = self._rows[application.row_b]
+        for attribute in application.lhs:
+            path = self._uf.explain(row_a[attribute], row_b[attribute])
+            if path:
+                depends.update(path)
+        result = frozenset(depends)
+        self._memo[event_id] = result
+        return result
+
+    def _close_over(self, events: frozenset[int]) -> frozenset[int]:
+        closed: set[int] = set()
+        frontier = list(events)
+        while frontier:
+            event_id = frontier.pop()
+            if event_id in closed or event_id < 0:
+                continue
+            closed.add(event_id)
+            frontier.extend(self._event_dependencies(event_id))
+        return frozenset(closed)
+
+    def resolved(self, row_index: int, attribute: str) -> Symbol:
+        """The cell's symbol after chasing."""
+        return self._uf.find(self._rows[row_index][attribute])
+
+    def derivation_events(
+        self, row_index: int, attribute: str
+    ) -> Optional[frozenset[int]]:
+        """All fd-rule applications the cell's constant depends on, or
+        None when the cell did not resolve to a constant.
+
+        A cell that stored a constant from the start depends on no
+        events (the empty set).
+        """
+        original = self._rows[row_index][attribute]
+        root = self._uf.find(original)
+        if not is_constant(root):
+            return None
+        path = self._uf.explain(original, root)
+        if path is None:  # pragma: no cover - forest connects by invariant
+            return None
+        return self._close_over(frozenset(path))
+
+    def tuple_derivation_length(
+        self, row_index: int, attributes
+    ) -> Optional[int]:
+        """The number of fd-rule applications needed to make the row
+        total on ``attributes`` — the paper's per-tuple boundedness
+        quantity (an upper bound realized by this chase run)."""
+        needed: set[int] = set()
+        for attribute in sorted_attrs(frozenset(attributes)):
+            events = self.derivation_events(row_index, attribute)
+            if events is None:
+                return None
+            needed.update(events)
+        return len(needed)
+
+    def max_derivation_length(self, attributes) -> int:
+        """The maximum per-row derivation length over rows that become
+        total on ``attributes`` (0 when no row does)."""
+        best = 0
+        for index in range(len(self._rows)):
+            length = self.tuple_derivation_length(index, attributes)
+            if length is not None:
+                best = max(best, length)
+        return best

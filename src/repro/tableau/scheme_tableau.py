@@ -1,0 +1,117 @@
+"""Tableaux for database schemes and the lossless-join test.
+
+``T_R`` has one row per relation scheme: distinguished variables on the
+scheme's attributes, fresh nondistinguished variables elsewhere
+(paper, Section 2.2).  ``R`` is *lossless* with respect to ``F`` when
+``CHASE_F(T_R)`` contains an all-distinguished row (Section 2.3).
+
+For cover-embedding schemes the chase of ``T_R`` has a closed form
+(Beeri–Mendelzon–Sagiv–Ullman, quoted in the proof of Lemma 3.8): the
+row for ``Ri`` carries distinguished variables exactly on ``Ri⁺`` and
+distinct nondistinguished variables elsewhere.  :func:`bmsu_chased_rows`
+exploits this for the fast losslessness and splitness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.fd.fdset import FDSet, FDsLike
+from repro.foundations.attrs import AttrsLike, attrs, union_all
+from repro.tableau.chase import chase
+from repro.tableau.symbols import NDVFactory, dv, is_dv
+from repro.tableau.tableau import Row, Tableau
+
+#: A scheme given as ``(name, attribute set)``.
+NamedScheme = Tuple[str, frozenset[str]]
+
+
+def _normalize(schemes: Iterable[AttrsLike | NamedScheme]) -> list[NamedScheme]:
+    """Accept bare attribute sets or (name, attrs) pairs."""
+    normalized: list[NamedScheme] = []
+    for index, entry in enumerate(schemes):
+        if (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], str)
+            and not isinstance(entry[1], str)
+        ):
+            normalized.append((entry[0], attrs(entry[1])))
+        else:
+            normalized.append((f"R{index + 1}", attrs(entry)))
+    return normalized
+
+
+def scheme_tableau(
+    schemes: Iterable[AttrsLike | NamedScheme],
+    universe: Optional[AttrsLike] = None,
+) -> Tableau:
+    """Construct ``T_R`` for the given relation schemes."""
+    named = _normalize(schemes)
+    full = attrs(universe) if universe is not None else union_all(
+        scheme for _, scheme in named
+    )
+    factory = NDVFactory()
+    tableau = Tableau(full)
+    for name, scheme in named:
+        cells = {
+            attribute: dv(attribute) if attribute in scheme else factory.fresh()
+            for attribute in sorted(full)
+        }
+        tableau.add_row(Row(cells, tag=name))
+    return tableau
+
+
+def chased_scheme_tableau(
+    schemes: Iterable[AttrsLike | NamedScheme],
+    fds: FDsLike,
+    universe: Optional[AttrsLike] = None,
+) -> Tableau:
+    """``CHASE_F(T_R)`` computed by the generic chase engine."""
+    result = chase(scheme_tableau(schemes, universe), fds)
+    # A scheme tableau has no constants, so it can never be inconsistent.
+    return result.tableau
+
+
+def bmsu_chased_rows(
+    schemes: Iterable[AttrsLike | NamedScheme], fds: FDsLike
+) -> list[tuple[str, frozenset[str]]]:
+    """Closed-form dv-sets of ``CHASE_F(T_R)`` for cover-embedding input.
+
+    Returns ``(name, dv_attributes)`` per scheme where ``dv_attributes``
+    is ``Ri⁺`` with respect to ``fds``.  Only valid when a cover of
+    ``fds`` is embedded in the schemes — the caller's responsibility;
+    tests cross-validate against the generic chase.
+    """
+    fd_set = FDSet(fds)
+    return [
+        (name, fd_set.closure(scheme)) for name, scheme in _normalize(schemes)
+    ]
+
+
+def is_lossless(
+    schemes: Sequence[AttrsLike | NamedScheme],
+    fds: FDsLike,
+    universe: Optional[AttrsLike] = None,
+    *,
+    assume_cover_embedding: bool = False,
+) -> bool:
+    """Lossless-join test: does ``CHASE_F(T_R)`` have an all-dv row?
+
+    With ``assume_cover_embedding=True`` the BMSU closed form is used
+    (``Ri⁺ ⊇ U`` for some ``i``), avoiding the chase entirely.
+    """
+    named = _normalize(schemes)
+    if not named:
+        return False
+    full = attrs(universe) if universe is not None else union_all(
+        scheme for _, scheme in named
+    )
+    if assume_cover_embedding:
+        return any(
+            full <= dv_set for _, dv_set in bmsu_chased_rows(named, fds)
+        )
+    chased = chased_scheme_tableau(named, fds, full)
+    return any(
+        all(is_dv(row[a]) for a in full) for row in chased
+    )

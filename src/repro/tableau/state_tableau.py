@@ -1,0 +1,55 @@
+"""Tableaux for database states.
+
+``T_r`` has one row per stored tuple: the tuple's constants on its
+relation scheme, fresh nondistinguished variables elsewhere (paper,
+Section 2.2).  The row's tag records the originating relation — the
+paper's TAG-column.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional, Tuple
+
+from repro.foundations.attrs import AttrsLike, attrs, union_all
+from repro.foundations.errors import StateError
+from repro.tableau.symbols import NDVFactory, constant
+from repro.tableau.tableau import Row, Tableau
+
+#: One stored relation: (tag, scheme attributes, tuples as attr→value maps).
+StoredRelation = Tuple[str, frozenset[str], Iterable[Mapping[str, Hashable]]]
+
+
+def state_tableau(
+    relations: Iterable[StoredRelation],
+    universe: Optional[AttrsLike] = None,
+) -> Tableau:
+    """Construct the state tableau ``T_r`` from stored relations."""
+    materialized = [
+        (tag, attrs(scheme), list(tuples)) for tag, scheme, tuples in relations
+    ]
+    full = (
+        attrs(universe)
+        if universe is not None
+        else union_all(scheme for _, scheme, _ in materialized)
+    )
+    factory = NDVFactory()
+    tableau = Tableau(full)
+    for tag, scheme, tuples in materialized:
+        if not scheme <= full:
+            raise StateError(f"relation {tag} is not contained in the universe")
+        for values in tuples:
+            if frozenset(values) != scheme:
+                raise StateError(
+                    f"tuple attributes {sorted(values)} do not match scheme "
+                    f"{sorted(scheme)} of relation {tag}"
+                )
+            cells = {
+                attribute: (
+                    constant(values[attribute])
+                    if attribute in scheme
+                    else factory.fresh()
+                )
+                for attribute in sorted(full)
+            }
+            tableau.add_row(Row(cells, tag=tag))
+    return tableau

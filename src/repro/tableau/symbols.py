@@ -1,0 +1,102 @@
+"""Tableau symbols.
+
+A tableau column over attribute ``A`` may hold the distinguished variable
+``a_A``, one of countably many nondistinguished variables ``b_j``, or a
+constant from ``dom(A)`` (paper, Section 2.2).  Symbols are represented as
+small tagged tuples so they are hashable, cheap and deterministic:
+
+* constant ``c``        → ``("c", value)``
+* distinguished ``a_A`` → ``("a", attribute)``
+* nondistinguished b_j  → ``("b", j)``
+
+The fd-rule's renaming discipline induces a precedence — constants beat
+distinguished variables beat nondistinguished variables, and between two
+nondistinguished variables the lower subscript wins (Section 2.3).
+:func:`preferred` implements exactly that ordering.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Hashable, Iterator, Tuple
+
+Symbol = Tuple[str, Hashable]
+
+KIND_CONSTANT = "c"
+KIND_DV = "a"
+KIND_NDV = "b"
+
+#: Merge precedence by kind; lower value wins a merge.
+_PRECEDENCE = {KIND_CONSTANT: 0, KIND_DV: 1, KIND_NDV: 2}
+
+
+def constant(value: Hashable) -> Symbol:
+    """The symbol for constant ``value``."""
+    return (KIND_CONSTANT, value)
+
+
+def dv(attribute: str) -> Symbol:
+    """The distinguished variable of ``attribute``'s column."""
+    return (KIND_DV, attribute)
+
+
+def ndv(subscript: int) -> Symbol:
+    """The nondistinguished variable with the given subscript."""
+    return (KIND_NDV, subscript)
+
+
+def is_constant(symbol: Symbol) -> bool:
+    return symbol[0] == KIND_CONSTANT
+
+
+def is_dv(symbol: Symbol) -> bool:
+    return symbol[0] == KIND_DV
+
+
+def is_ndv(symbol: Symbol) -> bool:
+    return symbol[0] == KIND_NDV
+
+
+def constant_value(symbol: Symbol) -> Hashable:
+    """The underlying value of a constant symbol."""
+    if not is_constant(symbol):
+        raise ValueError(f"not a constant symbol: {symbol!r}")
+    return symbol[1]
+
+
+def preferred(left: Symbol, right: Symbol) -> Symbol:
+    """The symbol that survives when ``left`` and ``right`` are equated.
+
+    Constants beat distinguished variables beat nondistinguished ones;
+    ties between nondistinguished variables go to the lower subscript,
+    and other ties are broken deterministically by the symbol tuple.
+    Equating two *distinct constants* is an inconsistency and must be
+    detected by the caller before asking for a preference.
+    """
+    left_rank = _PRECEDENCE[left[0]]
+    right_rank = _PRECEDENCE[right[0]]
+    if left_rank != right_rank:
+        return left if left_rank < right_rank else right
+    # Same kind: lower subscript / lexicographically smaller payload wins.
+    return left if repr(left[1]) <= repr(right[1]) else right
+
+
+class NDVFactory:
+    """Dispenses fresh nondistinguished variables with unique subscripts."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter: Iterator[int] = count(start)
+
+    def fresh(self) -> Symbol:
+        """A nondistinguished variable never handed out before."""
+        return ndv(next(self._counter))
+
+
+def fmt_symbol(symbol: Symbol) -> str:
+    """Render a symbol the way the paper prints tableaux."""
+    kind, payload = symbol
+    if kind == KIND_CONSTANT:
+        return str(payload)
+    if kind == KIND_DV:
+        return f"a_{payload}"
+    return f"b{payload}"

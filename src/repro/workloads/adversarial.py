@@ -1,0 +1,202 @@
+"""Adversarial state families for the paper's lower-bound arguments.
+
+* :func:`example2_chain_state` — Example 2's construction: refuting an
+  insertion on ``{AB, BC, AC}`` with ``{A→C, B→C}`` requires examining
+  every tuple of a chain whose length is the state size, so the scheme
+  is not algebraic-maintainable.
+* :func:`example5_chain_state` — Example 5's construction: on the split
+  key-equivalent scheme, a ctm-style prober that may only follow
+  constants it has already seen must issue ``σ_{B='b'}(R4)``, which
+  matches a number of tuples that grows with the state, while
+  Algorithm 2's predetermined expressions issue a constant number of
+  single-tuple selections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.split import find_split_witness
+from repro.foundations.errors import NotApplicableError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.state.database_state import DatabaseState, tuples_from_rows
+from repro.workloads.paper import example2_not_algebraic, example4_split_scheme
+
+
+def example2_chain_state(chain_length: int) -> DatabaseState:
+    """Example 2's consistent chain state.
+
+    ``r3 = {(a0, c0)}`` anchors the c-value; ``r1`` is the chain
+    ``(a_i, b_i), (a_{i+1}, b_i)`` linking every ``a_i`` and ``b_i`` to
+    ``a0`` under ``{A→C, B→C}``.  Inserting ``(a_n, c1)`` into ``r3``
+    is inconsistent, but every proper substate containing the inserted
+    tuple is consistent — the refutation needs the whole chain.
+    """
+    scheme = example2_not_algebraic()
+    chain = []
+    for index in range(chain_length):
+        chain.append((f"a{index}", f"b{index}"))
+        chain.append((f"a{index + 1}", f"b{index}"))
+    return DatabaseState(
+        scheme,
+        {
+            "R1": tuples_from_rows("AB", chain),
+            "R3": tuples_from_rows("AC", [("a0", "c0")]),
+        },
+    )
+
+
+def example2_killer_insert(chain_length: int) -> tuple[str, dict[str, Hashable]]:
+    """The insertion that is inconsistent only because of the full chain."""
+    return "R3", {"A": f"a{chain_length}", "C": "c1"}
+
+
+def example5_chain_state(chain_length: int) -> DatabaseState:
+    """Example 5's state: ``r1={(a,b)}``, ``r2={(a,c)}``,
+    ``r4={(e_i, b) : 1 ≤ i ≤ n}``, ``r5={(e1, c)}``."""
+    scheme = example4_split_scheme()
+    return DatabaseState(
+        scheme,
+        {
+            "R1": tuples_from_rows("AB", [("a", "b")]),
+            "R2": tuples_from_rows("AC", [("a", "c")]),
+            "R4": tuples_from_rows(
+                "EB", [(f"e{i}", "b") for i in range(1, chain_length + 1)]
+            ),
+            "R5": tuples_from_rows("EC", [("e1", "c")]),
+        },
+    )
+
+
+def example5_killer_insert() -> tuple[str, dict[str, Hashable]]:
+    """Inserting ``(a, e)`` into ``r3``: inconsistent because the
+    representative-instance tuple for ``a`` already carries ``E = e1``
+    — assembled across ``R1 ⋈ R2 ⋈ (R4 ⋈ R5)``."""
+    return "R3", {"A": "a", "E": "e"}
+
+
+@dataclass(frozen=True)
+class SplitLowerBoundFamily:
+    """The Theorem 3.4 construction for one split key.
+
+    ``state`` is the consistent base state ``s = s_l ∪ s'_q``;
+    inserting ``(insert_relation, insert_values)`` (the proof's tuple
+    ``u``) makes it inconsistent, and the inconsistency genuinely needs
+    the fragment substate ``s_l``: dropping all of ``s_l`` restores
+    consistency (Lemma 3.7(b)/(c)).  ``fragment_relations`` names the
+    relations carrying ``s_l``.
+    """
+
+    key: frozenset[str]
+    state: DatabaseState
+    insert_relation: str
+    insert_values: dict[str, Hashable]
+    fragment_relations: tuple[str, ...]
+
+
+def split_lower_bound_family(
+    scheme: DatabaseScheme, key: frozenset[str]
+) -> SplitLowerBoundFamily:
+    """Instantiate Theorem 3.4's lower-bound states for a split key.
+
+    Follows the proof: take a split witness for ``key`` — a computation
+    whose schemes jointly cover the key although none contains it — and
+    populate it with one fragment tuple ``t_l`` (the substate ``s_l``).
+    Then, from a scheme ``S_q ⊇ key``, walk a closure computation that
+    avoids ``U_l − key`` as long as possible; populate it with a tuple
+    ``t_q`` agreeing with ``t_l`` exactly on ``key`` (the substate
+    ``s'_q``).  The tuple ``u`` on the first computation step touching
+    ``U_l − key`` conflicts through the key dependency, but only once
+    both substates are in view.
+
+    Raises :class:`NotApplicableError` when the key is not split in the
+    scheme.
+    """
+    witness = find_split_witness(scheme, key)
+    if witness is None:
+        raise NotApplicableError(
+            f"key {sorted(key)} is not split in {scheme}"
+        )
+    fragment_members = (witness.start,) + witness.computation
+    fragment_attrs = frozenset().union(
+        *(member.attributes for member in fragment_members)
+    )
+
+    # t_l: unique constants over the fragment union.
+    t_l = {a: f"l_{a.lower()}" for a in fragment_attrs}
+    relations: dict[str, list[dict[str, Hashable]]] = {}
+    for member in fragment_members:
+        relations.setdefault(member.name, []).append(
+            {a: t_l[a] for a in member.attributes}
+        )
+
+    # S_q: a scheme containing the key (exists — the key is declared).
+    anchor = next(
+        member
+        for member in scheme.relations
+        if key <= member.attributes and member.declares_key(key)
+    )
+    forbidden = fragment_attrs - key
+
+    # Walk a closure computation from S_q absorbing only schemes that
+    # avoid the fragment's non-key attributes; when stuck, the next
+    # absorbable scheme touches them and becomes u's scheme.  The
+    # proof's p = 0 case: when S_q itself touches them, u lives on S_q
+    # directly and s'_q is empty.
+    closure = set(anchor.attributes)
+    chain = [anchor] if not anchor.attributes & forbidden else []
+    bridge = anchor if anchor.attributes & forbidden else None
+    while bridge is None:
+        progressed = False
+        for member in scheme.relations:
+            if member in chain or member.attributes <= closure:
+                continue
+            if not any(k <= closure for k in member.keys):
+                continue
+            if member.attributes & forbidden:
+                bridge = member
+                break
+            closure |= member.attributes
+            chain.append(member)
+            progressed = True
+        if bridge is None and not progressed:
+            raise NotApplicableError(
+                "could not reach the fragment attributes from the "
+                "key-holding scheme; the scheme is not key-equivalent"
+            )
+
+    # t_q: agrees with t_l on the key, fresh elsewhere (over the chain
+    # and the bridge scheme).
+    chain_attrs = frozenset().union(
+        *(m.attributes for m in chain), frozenset()
+    )
+    t_q = {
+        a: t_l[a] if a in key else f"q_{a.lower()}"
+        for a in chain_attrs | bridge.attributes
+    }
+    for member in chain:
+        relations.setdefault(member.name, []).append(
+            {a: t_q[a] for a in member.attributes}
+        )
+
+    state = DatabaseState(scheme, relations)
+    return SplitLowerBoundFamily(
+        key=key,
+        state=state,
+        insert_relation=bridge.name,
+        insert_values={a: t_q[a] for a in bridge.attributes},
+        fragment_relations=tuple(
+            sorted({member.name for member in fragment_members})
+        ),
+    )
+
+
+def example5_ctm_prober_tuples(state: DatabaseState) -> int:
+    """The number of tuples the paper's hypothetical ctm prober retrieves
+    on Example 5's state: having seen only ``{a, b, c, e}``, its next
+    probe is ``σ_{B='b'}(R4)`` (or symmetrically ``σ_{C='c'}(R5)``),
+    and the better of the two still grows with the chain by a symmetric
+    construction; we report the ``σ_{B='b'}(R4)`` count the paper
+    analyzes."""
+    return sum(1 for values in state["R4"] if values["B"] == "b")

@@ -1,0 +1,263 @@
+"""The paper's worked examples as executable fixtures.
+
+Every database scheme the paper discusses (Examples 1-13 plus the
+introduction's S scheme) is encoded here with exactly the keys its
+stated fd set induces; the test suite asserts each example's claimed
+classification and, where the paper works a state through an algorithm,
+the exact outcome.
+"""
+
+from __future__ import annotations
+
+from repro.schema.database_scheme import DatabaseScheme
+from repro.state.database_state import DatabaseState, tuples_from_rows
+
+
+def example1_university() -> DatabaseScheme:
+    """Example 1: the university scheme — neither independent nor
+    γ-acyclic, yet bounded and ctm.  C=course, T=teacher, H=hour,
+    R=room, S=student, G=grade."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("HRC", ["HR"]),
+            "R2": ("HTR", ["HT", "HR"]),
+            "R3": ("HTC", ["HT"]),
+            "R4": ("CSG", ["CS"]),
+            "R5": ("HSR", ["HS"]),
+        }
+    )
+
+
+def intro_scheme_s() -> DatabaseScheme:
+    """The introduction's S scheme: the university scheme's first block
+    merged into one relation; independent by Sagiv's results."""
+    return DatabaseScheme.from_spec(
+        {
+            "S1": ("HRCT", ["HR", "HT"]),
+            "S2": ("CSG", ["CS"]),
+            "S3": ("HSR", ["HS"]),
+        }
+    )
+
+
+def example2_not_algebraic() -> DatabaseScheme:
+    """Example 2: ``{AB, BC, AC}`` with ``{A→C, B→C}`` — not
+    algebraic-maintainable (refuting an insert can require the whole
+    state)."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("AB", None),  # all-key
+            "R2": ("BC", ["B"]),
+            "R3": ("AC", ["A"]),
+        }
+    )
+
+
+def example3_triangle() -> DatabaseScheme:
+    """Example 3: the fully key-connected triangle — key-equivalent but
+    neither independent nor γ-acyclic (not even α-acyclic)."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("AB", ["A", "B"]),
+            "R2": ("BC", ["B", "C"]),
+            "R3": ("AC", ["A", "C"]),
+        }
+    )
+
+
+def example4_split_scheme() -> DatabaseScheme:
+    """Examples 4, 5 and 7 share this scheme: key-equivalent, bounded,
+    algebraic-maintainable — but the key BC is split, so not ctm."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("AB", ["A"]),
+            "R2": ("AC", ["A"]),
+            "R3": ("AE", ["A", "E"]),
+            "R4": ("EB", ["E"]),
+            "R5": ("EC", ["E"]),
+            "R6": ("BCD", ["BC", "D"]),
+            "R7": ("DA", ["D", "A"]),
+        }
+    )
+
+
+# The same scheme under the names the later examples use.
+example5_scheme = example4_split_scheme
+example7_scheme = example4_split_scheme
+
+
+def example5_state(chain_length: int = 3) -> DatabaseState:
+    """The Example 5/7 state: r1={(a,b)}, r2={(a,c)},
+    r3=∅, r4={(e_i, b)}, r5={(e1, c)}."""
+    scheme = example4_split_scheme()
+    return DatabaseState(
+        scheme,
+        {
+            "R1": tuples_from_rows("AB", [("a", "b")]),
+            "R2": tuples_from_rows("AC", [("a", "c")]),
+            "R4": tuples_from_rows(
+                "EB", [(f"e{i}", "b") for i in range(1, chain_length + 1)]
+            ),
+            "R5": tuples_from_rows("EC", [("e1", "c")]),
+        },
+    )
+
+
+def example6_scheme() -> DatabaseScheme:
+    """Example 6: key-equivalent scheme with keys {A, B, E, CD}."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("ABE", ["A", "B", "E"]),
+            "R2": ("AC", ["A"]),
+            "R3": ("AD", ["A"]),
+            "R4": ("BC", ["B"]),
+            "R5": ("BD", ["B"]),
+            "R6": ("CDE", ["CD", "E"]),
+        }
+    )
+
+
+def example6_state() -> DatabaseState:
+    """The Example 6 state: r2={(a,c)}, r5={(b,d)}, r6={(c,d,e)}."""
+    scheme = example6_scheme()
+    return DatabaseState(
+        scheme,
+        {
+            "R2": tuples_from_rows("AC", [("a", "c")]),
+            "R5": tuples_from_rows("BD", [("b", "d")]),
+            "R6": tuples_from_rows("CDE", [("c", "d", "e")]),
+        },
+    )
+
+
+def example8_split() -> DatabaseScheme:
+    """Example 8: the key BC is split in R1+, R2+ and R5+ (but R3 and R4
+    are split-free)."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("AC", ["A"]),
+            "R2": ("AB", ["A"]),
+            "R3": ("ABC", ["A", "BC"]),
+            "R4": ("BCD", ["BC", "D"]),
+            "R5": ("AD", ["A", "D"]),
+        }
+    )
+
+
+def example9_chain() -> DatabaseScheme:
+    """Example 9: a chain with single-attribute keys both ways —
+    split-free."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("AB", ["A", "B"]),
+            "R2": ("BC", ["B", "C"]),
+            "R3": ("CD", ["C", "D"]),
+            "R4": ("DE", ["D", "E"]),
+        }
+    )
+
+
+def example10_scheme() -> DatabaseScheme:
+    """Example 10: the split-free key-equivalent triangle used to walk
+    through Algorithm 5."""
+    return DatabaseScheme.from_spec(
+        {
+            "S1": ("AB", ["A", "B"]),
+            "S2": ("BC", ["B", "C"]),
+            "S3": ("AC", ["A", "C"]),
+        }
+    )
+
+
+def example10_state() -> DatabaseState:
+    """s1={(a,b)}, s2={(b,c)}, s3=∅."""
+    scheme = example10_scheme()
+    return DatabaseState(
+        scheme,
+        {
+            "S1": tuples_from_rows("AB", [("a", "b")]),
+            "S2": tuples_from_rows("BC", [("b", "c")]),
+        },
+    )
+
+
+def example11_reducible() -> DatabaseScheme:
+    """Example 11: independence-reducible with partition
+    {{R1,R2,R3,R4}, {R5,R6}} and induced scheme {ABCD, DEFG}."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("AB", ["A", "B"]),
+            "R2": ("BC", ["B", "C"]),
+            "R3": ("AC", ["A", "C"]),
+            "R4": ("AD", ["A"]),
+            "R5": ("DEF", ["D"]),
+            "R6": ("DEG", ["D"]),
+        }
+    )
+
+
+def example12_reducible() -> DatabaseScheme:
+    """Example 12: like Example 11 but with the one-directional triangle
+    ``A→B, B→C, C→A``; used for the ACG-total projection walk-through."""
+    return DatabaseScheme.from_spec(
+        {
+            # F = {A→B, B→C, C→A, A→D, D→EFG}; the declared keys are the
+            # full candidate-key sets that fd set induces (e.g. B→C→A
+            # makes B a key of AB as well).
+            "R1": ("AB", ["A", "B"]),
+            "R2": ("BC", ["B", "C"]),
+            "R3": ("AC", ["A", "C"]),
+            "R4": ("AD", ["A"]),
+            "R5": ("DEF", ["D"]),
+            "R6": ("DEG", ["D"]),
+        }
+    )
+
+
+def example12_state() -> DatabaseState:
+    """A small state on the Example 12 scheme exercising the ACG-total
+    projection across both blocks."""
+    scheme = example12_reducible()
+    return DatabaseState(
+        scheme,
+        {
+            "R1": tuples_from_rows("AB", [("a", "b")]),
+            "R2": tuples_from_rows("BC", [("b", "c")]),
+            "R4": tuples_from_rows("AD", [("a", "d")]),
+            "R6": tuples_from_rows("DEG", [("d", "e", "g")]),
+        },
+    )
+
+
+def example13_kep() -> DatabaseScheme:
+    """Example 13: KEP partitions this scheme into
+    {{R8}, {R1,R3,R4}, {R2,R5,R6,R7}}."""
+    return DatabaseScheme.from_spec(
+        {
+            "R1": ("AB", None),  # all-key
+            "R2": ("CD", None),  # all-key
+            "R3": ("ABC", ["AB"]),
+            "R4": ("ABD", ["AB"]),
+            "R5": ("CDE", ["CD", "E"]),
+            "R6": ("EA", ["E"]),
+            "R7": ("EF", ["E"]),
+            "R8": ("FB", ["F"]),
+        }
+    )
+
+
+#: All paper schemes by label, for parametrized tests.
+ALL_SCHEMES = {
+    "example1": example1_university,
+    "intro_s": intro_scheme_s,
+    "example2": example2_not_algebraic,
+    "example3": example3_triangle,
+    "example4": example4_split_scheme,
+    "example6": example6_scheme,
+    "example8": example8_split,
+    "example9": example9_chain,
+    "example10": example10_scheme,
+    "example11": example11_reducible,
+    "example12": example12_reducible,
+    "example13": example13_kep,
+}

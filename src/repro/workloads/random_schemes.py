@@ -1,0 +1,264 @@
+"""Random database-scheme generators.
+
+Constructive families with known classifications (used as oracles by
+tests and as scalable workloads by the benchmarks):
+
+* :func:`random_key_equivalent_scheme` — a key-linked ring of relation
+  schemes; key-equivalent by construction.
+* :func:`random_independent_scheme` — relations whose keys each contain
+  a private attribute, so the uniqueness condition holds trivially;
+  cover-embedding BCNF independent by construction.
+* :func:`random_reducible_scheme` — a tree of key-equivalent blocks in
+  which each parent embeds its child block's key; independence-reducible
+  by construction, with a known partition.
+* :func:`random_berge_acyclic_scheme` — an edge-tree hypergraph (edges
+  glued at single fresh nodes); Berge- hence γ-acyclic by construction.
+* :func:`random_scheme` — unconstrained fuzzing input.
+
+All generators take a ``random.Random`` so workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import count, islice
+from typing import Iterator
+
+from repro.schema.database_scheme import DatabaseScheme
+from repro.schema.operations import normalize_keys
+from repro.schema.relation_scheme import RelationScheme
+
+
+def _attr_names(prefix: str = "") -> Iterator[str]:
+    """An endless supply of attribute names: A, B, ..., Z, A1, B1, ..."""
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for suffix in count():
+        for letter in letters:
+            yield f"{prefix}{letter}{suffix if suffix else ''}"
+
+
+def random_scheme(
+    rng: random.Random,
+    n_attributes: int = 6,
+    n_relations: int = 4,
+    max_width: int = 4,
+    key_probability: float = 0.7,
+) -> DatabaseScheme:
+    """An unconstrained random scheme: random attribute sets with random
+    declared keys, normalized to full candidate-key sets.
+
+    No classification is guaranteed; this is fuzzing input for the
+    equivalence tests (recognition vs. brute force, LSAT vs. WSAT).
+    """
+    names = list(islice(_attr_names(), n_attributes))
+    members = []
+    for index in range(n_relations):
+        width = rng.randint(1, min(max_width, n_attributes))
+        attributes = frozenset(rng.sample(names, width))
+        keys = None
+        if rng.random() < key_probability:
+            key_width = rng.randint(1, width)
+            keys = [frozenset(rng.sample(sorted(attributes), key_width))]
+        members.append(RelationScheme(f"R{index + 1}", attributes, keys))
+    # Ensure unique attribute coverage is harmless; names may repeat
+    # attribute sets, which DatabaseScheme permits (distinct names).
+    return normalize_keys(DatabaseScheme(members))
+
+
+def random_key_equivalent_scheme(
+    rng: random.Random,
+    n_relations: int = 4,
+    extra_attributes: int = 2,
+    extra_links: int = 1,
+    composite_members: int = 0,
+    prefix: str = "",
+) -> DatabaseScheme:
+    """A key-equivalent scheme: a ring of relations, each holding its own
+    single-attribute key plus the next relation's key, with optional
+    private attributes and extra cross-links.
+
+    Every member's closure walks the whole ring, so the scheme is
+    key-equivalent by construction.
+
+    ``composite_members`` additionally appends relations with a
+    *composite* key over two non-adjacent ring-key attributes (plus a
+    fresh equivalent key) — the Example 4 pattern.  Since no other
+    member contains both attributes, such keys are typically *split*,
+    making this the generator for Theorem 3.4 workloads; with
+    ``composite_members=0`` every key is a single attribute and the
+    scheme is always split-free.
+    """
+    supply = _attr_names(prefix)
+    key_attrs = [next(supply) for _ in range(n_relations)]
+    extras = [next(supply) for _ in range(extra_attributes)]
+    members = []
+    for index in range(n_relations):
+        attributes = {key_attrs[index], key_attrs[(index + 1) % n_relations]}
+        for extra in extras:
+            if rng.random() < 0.4:
+                attributes.add(extra)
+        for _ in range(extra_links):
+            if rng.random() < 0.3:
+                attributes.add(rng.choice(key_attrs))
+        members.append(
+            RelationScheme(
+                f"{prefix}R{index + 1}",
+                frozenset(attributes),
+                [frozenset({key_attrs[index]})],
+            )
+        )
+    for gadget in range(composite_members):
+        # The Example 4 gadget: two fresh "halves" p, q that are carried
+        # as payload by two different ring members (so they are
+        # determined but determine nothing individually), a composite
+        # relation M(p q d) with keys {pq, d}, and a link relation tying
+        # d back into the ring so M stays key-equivalent.  The key pq is
+        # split: the two halves are only assembled across fragments.
+        half_p, half_q, back = next(supply), next(supply), next(supply)
+        host_p = rng.randrange(n_relations)
+        host_q = (host_p + rng.randrange(1, n_relations)) % n_relations
+        augmented = []
+        for index, member in enumerate(members[:n_relations]):
+            attributes = set(member.attributes)
+            if index == host_p:
+                attributes.add(half_p)
+            if index == host_q:
+                attributes.add(half_q)
+            augmented.append(
+                RelationScheme(member.name, frozenset(attributes), member.keys)
+            )
+        members[:n_relations] = augmented
+        pair = frozenset({half_p, half_q})
+        members.append(
+            RelationScheme(
+                f"{prefix}C{gadget + 1}",
+                pair | {back},
+                [pair, frozenset({back})],
+            )
+        )
+        members.append(
+            RelationScheme(
+                f"{prefix}L{gadget + 1}",
+                frozenset({back, key_attrs[host_p]}),
+                [frozenset({back}), frozenset({key_attrs[host_p]})],
+            )
+        )
+    return normalize_keys(DatabaseScheme(members))
+
+
+def random_independent_scheme(
+    rng: random.Random,
+    n_relations: int = 4,
+    max_payload: int = 3,
+    shared_pool: int = 2,
+) -> DatabaseScheme:
+    """A cover-embedding BCNF independent scheme.
+
+    Each relation's key contains a private attribute occurring nowhere
+    else, so no other relation's closure can ever complete one of its
+    key dependencies: the uniqueness condition holds by construction.
+    Payload attributes may be shared across relations.
+    """
+    supply = _attr_names()
+    shared = [next(supply) for _ in range(shared_pool)]
+    members = []
+    for index in range(n_relations):
+        private_key = next(supply)
+        payload = {next(supply) for _ in range(rng.randint(1, max_payload))}
+        for attribute in shared:
+            if rng.random() < 0.5:
+                payload.add(attribute)
+        key = {private_key}
+        if shared and rng.random() < 0.3:
+            key.add(rng.choice(shared))
+        members.append(
+            RelationScheme(
+                f"R{index + 1}",
+                frozenset(key | payload),
+                [frozenset(key)],
+            )
+        )
+    return normalize_keys(DatabaseScheme(members))
+
+
+def random_reducible_scheme(
+    rng: random.Random,
+    n_blocks: int = 3,
+    relations_per_block: int = 3,
+) -> tuple[DatabaseScheme, list[list[str]]]:
+    """An independence-reducible scheme with a known partition.
+
+    Blocks are key-equivalent rings over disjoint attributes; each
+    non-root block's designated key is additionally embedded into one
+    relation of its parent block (a foreign key), which keeps the
+    induced scheme independent: a block's non-key attributes are private
+    to the block, so no foreign closure completes its key dependencies.
+
+    Returns the scheme and the expected partition (lists of relation
+    names), for use as a recognition oracle.
+    """
+    blocks: list[DatabaseScheme] = []
+    for block_index in range(n_blocks):
+        blocks.append(
+            random_key_equivalent_scheme(
+                rng,
+                n_relations=relations_per_block,
+                extra_attributes=1,
+                prefix=f"B{block_index}",
+            )
+        )
+    members: list[RelationScheme] = []
+    expected: list[list[str]] = []
+    for block_index, block in enumerate(blocks):
+        block_members = list(block.relations)
+        if block_index > 0:
+            parent = blocks[rng.randrange(block_index)]
+            parent_host = rng.choice(range(len(parent.relations)))
+            foreign_key = min(
+                block.all_keys(), key=lambda key: tuple(sorted(key))
+            )
+            host = [m for m in members if m.name == parent.relations[parent_host].name]
+            if host:
+                target = host[0]
+                members.remove(target)
+                members.append(
+                    RelationScheme(
+                        target.name,
+                        target.attributes | foreign_key,
+                        target.keys,
+                    )
+                )
+        members.extend(block_members)
+        expected.append([member.name for member in block_members])
+    return DatabaseScheme(members), expected
+
+
+def random_berge_acyclic_scheme(
+    rng: random.Random,
+    n_relations: int = 5,
+    max_width: int = 3,
+    all_key_probability: float = 0.5,
+) -> DatabaseScheme:
+    """A Berge-acyclic (hence γ-acyclic) cover-embedding scheme: an
+    edge-tree where each new relation shares exactly one attribute with
+    one earlier relation and the rest are fresh.
+
+    Keys are either the whole scheme (all-key) or the shared linking
+    attribute, keeping BCNF easy to satisfy; callers that require BCNF
+    should still filter with :func:`repro.fd.database_scheme_is_bcnf`.
+    """
+    supply = _attr_names()
+    first_width = rng.randint(1, max_width)
+    first_attrs = frozenset(next(supply) for _ in range(first_width))
+    members = [RelationScheme("R1", first_attrs)]
+    for index in range(1, n_relations):
+        anchor = rng.choice(members)
+        link = rng.choice(sorted(anchor.attributes))
+        fresh = {next(supply) for _ in range(rng.randint(1, max_width - 1) if max_width > 1 else 0)}
+        attributes = frozenset({link} | fresh)
+        if fresh and rng.random() > all_key_probability:
+            keys = [frozenset({link})]
+        else:
+            keys = None
+        members.append(RelationScheme(f"R{index + 1}", attributes, keys))
+    return normalize_keys(DatabaseScheme(members))

@@ -1,0 +1,162 @@
+"""A realistic registrar workload over Example 1's university scheme.
+
+Generates coherent timetables — courses assigned to (hour, room,
+teacher) slots, students enrolled into courses they can attend — so the
+benchmark and scenario tests exercise the maintenance and query paths
+with data that joins the way real registrar data would, rather than
+with synthetic disjoint entities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.state.database_state import DatabaseState
+from repro.workloads.paper import example1_university
+
+
+@dataclass(frozen=True)
+class Offering:
+    """One scheduled course offering."""
+
+    course: str
+    hour: str
+    room: str
+    teacher: str
+
+
+@dataclass(frozen=True)
+class Enrollment:
+    """One student sitting one offering (with a grade)."""
+
+    student: str
+    offering: Offering
+    grade: str
+
+
+@dataclass
+class RegistrarWorkload:
+    """A generated timetable plus enrollments, and its database state."""
+
+    offerings: list[Offering]
+    enrollments: list[Enrollment]
+
+    def state(self) -> DatabaseState:
+        """Materialize as a state on the university scheme."""
+        scheme = example1_university()
+        r1, r2, r3, r4, r5 = [], [], [], [], []
+        for offering in self.offerings:
+            r1.append(
+                {"H": offering.hour, "R": offering.room, "C": offering.course}
+            )
+            r2.append(
+                {"H": offering.hour, "T": offering.teacher, "R": offering.room}
+            )
+            r3.append(
+                {"H": offering.hour, "T": offering.teacher, "C": offering.course}
+            )
+        for enrollment in self.enrollments:
+            r4.append(
+                {
+                    "C": enrollment.offering.course,
+                    "S": enrollment.student,
+                    "G": enrollment.grade,
+                }
+            )
+            r5.append(
+                {
+                    "H": enrollment.offering.hour,
+                    "S": enrollment.student,
+                    "R": enrollment.offering.room,
+                }
+            )
+        return DatabaseState(
+            scheme, {"R1": r1, "R2": r2, "R3": r3, "R4": r4, "R5": r5}
+        )
+
+
+def generate_registrar_workload(
+    rng: random.Random,
+    n_courses: int = 8,
+    n_rooms: int = 4,
+    n_teachers: int = 4,
+    n_hours: int = 5,
+    n_students: int = 20,
+    enrollments_per_student: int = 2,
+) -> RegistrarWorkload:
+    """Generate a conflict-free timetable and consistent enrollments.
+
+    Invariants enforced during generation (matching the scheme's keys):
+    one course per (hour, room); one room and one course per
+    (hour, teacher); one grade per (course, student); one room per
+    (hour, student) — a student never sits two offerings at one hour.
+    """
+    hours = [f"h{i}" for i in range(n_hours)]
+    rooms = [f"room{i}" for i in range(n_rooms)]
+    teachers = [f"prof{i}" for i in range(n_teachers)]
+    grades = ["A", "B", "C"]
+
+    free_slots = [(h, r) for h in hours for r in rooms]
+    rng.shuffle(free_slots)
+    teacher_busy: set[tuple[str, str]] = set()
+    offerings: list[Offering] = []
+    for index in range(n_courses):
+        while free_slots:
+            hour, room = free_slots.pop()
+            candidates = [
+                t for t in teachers if (hour, t) not in teacher_busy
+            ]
+            if candidates:
+                teacher = rng.choice(candidates)
+                teacher_busy.add((hour, teacher))
+                offerings.append(
+                    Offering(f"crs{index}", hour, room, teacher)
+                )
+                break
+        else:
+            break  # timetable full
+
+    enrollments: list[Enrollment] = []
+    for student_index in range(n_students):
+        student = f"stud{student_index}"
+        busy_hours: set[str] = set()
+        available = [o for o in offerings]
+        rng.shuffle(available)
+        taken = 0
+        for offering in available:
+            if taken >= enrollments_per_student:
+                break
+            if offering.hour in busy_hours:
+                continue
+            busy_hours.add(offering.hour)
+            enrollments.append(
+                Enrollment(student, offering, rng.choice(grades))
+            )
+            taken += 1
+    return RegistrarWorkload(offerings=offerings, enrollments=enrollments)
+
+
+def enrollment_stream(
+    workload: RegistrarWorkload,
+) -> Iterator[tuple[str, dict[str, Hashable]]]:
+    """The enrollment tuples as an insert stream (R4 then R5 per
+    student), for replaying through a maintainer."""
+    for enrollment in workload.enrollments:
+        yield (
+            "R4",
+            {
+                "C": enrollment.offering.course,
+                "S": enrollment.student,
+                "G": enrollment.grade,
+            },
+        )
+        yield (
+            "R5",
+            {
+                "H": enrollment.offering.hour,
+                "S": enrollment.student,
+                "R": enrollment.offering.room,
+            },
+        )

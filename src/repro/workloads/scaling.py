@@ -1,0 +1,82 @@
+"""Deterministic scaling families for the benchmarks.
+
+Unlike the random generators, these produce *parametric* schemes whose
+classification is known exactly at every size, so benchmark sweeps
+measure pure scaling without sampling noise.
+"""
+
+from __future__ import annotations
+
+from repro.schema.database_scheme import DatabaseScheme
+from repro.schema.relation_scheme import RelationScheme
+
+
+def both_way_chain(length: int, prefix: str = "N") -> DatabaseScheme:
+    """``Ri(Ai Ai+1)`` with both attributes keys — Example 9 scaled.
+
+    Key-equivalent, split-free, γ-acyclic and ctm at every length.
+    """
+    if length < 1:
+        raise ValueError("chain length must be positive")
+    members = []
+    for index in range(length):
+        left, right = f"{prefix}{index}", f"{prefix}{index + 1}"
+        members.append(
+            RelationScheme(f"R{index + 1}", [left, right], [[left], [right]])
+        )
+    return DatabaseScheme(members)
+
+
+def tiled_university(tiles: int) -> DatabaseScheme:
+    """``tiles`` disjoint copies of Example 1's university scheme.
+
+    Each tile contributes three key-equivalent blocks, so the scheme is
+    independence-reducible with ``3 × tiles`` blocks and remains ctm;
+    recognition and maintenance sweeps use it to scale the number of
+    blocks without changing their shape.
+    """
+    if tiles < 1:
+        raise ValueError("need at least one tile")
+    members = []
+    for tile in range(tiles):
+        def attr(name: str) -> str:
+            return f"{name}{tile}"
+
+        h, r, c, t, s, g = (attr(x) for x in "HRCTSG")
+        members.extend(
+            [
+                RelationScheme(f"T{tile}R1", [h, r, c], [[h, r]]),
+                RelationScheme(
+                    f"T{tile}R2", [h, t, r], [[h, t], [h, r]]
+                ),
+                RelationScheme(f"T{tile}R3", [h, t, c], [[h, t]]),
+                RelationScheme(f"T{tile}R4", [c, s, g], [[c, s]]),
+                RelationScheme(f"T{tile}R5", [h, s, r], [[h, s]]),
+            ]
+        )
+    return DatabaseScheme(members)
+
+
+def keyed_star(arms: int, prefix: str = "K") -> DatabaseScheme:
+    """A hub relation whose key is referenced by ``arms`` satellite
+    relations — a lookup-table constellation.
+
+    Independent (each satellite's key contains a private attribute),
+    BCNF and cover-embedding at every size; used to scale the
+    independence test.
+    """
+    if arms < 1:
+        raise ValueError("need at least one arm")
+    hub_key = f"{prefix}0"
+    members = [
+        RelationScheme("HUB", [hub_key, f"{prefix}V"], [[hub_key]])
+    ]
+    for arm in range(1, arms + 1):
+        key = f"{prefix}{arm}"
+        payload = f"{prefix}{arm}P"
+        members.append(
+            RelationScheme(
+                f"ARM{arm}", [key, payload, hub_key], [[key]]
+            )
+        )
+    return DatabaseScheme(members)

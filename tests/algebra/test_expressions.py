@@ -1,0 +1,137 @@
+"""Tests for the relational-algebra engine."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    LiteralRelation,
+    NaturalJoin,
+    Project,
+    RelationRef,
+    Select,
+    UnionExpr,
+    join_all,
+    join_relations,
+    project_relation,
+    ref,
+    select_relation,
+    union_all_exprs,
+)
+from repro.foundations.errors import StateError
+from repro.state.relation import Relation
+
+
+def rel(attributes, rows):
+    order = list(attributes)
+    return Relation(attributes, [dict(zip(order, row)) for row in rows])
+
+
+SOURCE = {
+    "R1": rel("AB", [("a1", "b1"), ("a2", "b2")]),
+    "R2": rel("BC", [("b1", "c1"), ("b9", "c9")]),
+}
+
+
+class TestPrimitives:
+    def test_join_on_common_attribute(self):
+        joined = join_relations(SOURCE["R1"], SOURCE["R2"])
+        assert joined.attributes == frozenset("ABC")
+        assert {"A": "a1", "B": "b1", "C": "c1"} in joined
+        assert len(joined) == 1
+
+    def test_join_without_common_attributes_is_product(self):
+        product = join_relations(rel("A", [("x",)]), rel("B", [("y",), ("z",)]))
+        assert len(product) == 2
+
+    def test_join_with_empty_relation_is_empty(self):
+        assert len(join_relations(SOURCE["R1"], rel("BC", []))) == 0
+
+    def test_project(self):
+        projected = project_relation(SOURCE["R1"], "A")
+        assert {"A": "a1"} in projected
+        assert len(projected) == 2
+
+    def test_project_outside_attributes(self):
+        with pytest.raises(StateError):
+            project_relation(SOURCE["R1"], "C")
+
+    def test_select(self):
+        selected = select_relation(SOURCE["R1"], {"A": "a1"})
+        assert len(selected) == 1
+
+
+class TestExpressions:
+    def test_ref_evaluates_to_stored_relation(self):
+        assert ref("R1", "AB").evaluate(SOURCE) == SOURCE["R1"]
+
+    def test_ref_attribute_mismatch_detected(self):
+        with pytest.raises(StateError):
+            ref("R1", "AC").evaluate(SOURCE)
+
+    def test_join_project_pipeline(self):
+        expression = Project(
+            NaturalJoin([ref("R1", "AB"), ref("R2", "BC")]), "AC"
+        )
+        result = expression.evaluate(SOURCE)
+        assert {"A": "a1", "C": "c1"} in result
+        assert len(result) == 1
+
+    def test_union(self):
+        expression = UnionExpr(
+            [Project(ref("R1", "AB"), "B"), Project(ref("R2", "BC"), "B")]
+        )
+        result = expression.evaluate(SOURCE)
+        assert len(result) == 3  # b1 shared, b2, b9
+
+    def test_union_attribute_mismatch_rejected(self):
+        with pytest.raises(StateError):
+            UnionExpr([ref("R1", "AB"), ref("R2", "BC")])
+
+    def test_select_expression_and_constants(self):
+        selection = Select(ref("R1", "AB"), {"A": "a1"})
+        assert selection.constants() == {"a1"}
+        assert len(selection.evaluate(SOURCE)) == 1
+
+    def test_select_outside_attributes_rejected(self):
+        with pytest.raises(StateError):
+            Select(ref("R1", "AB"), {"C": "c"})
+
+    def test_literal_relation(self):
+        literal = LiteralRelation(rel("AB", [("x", "y")]))
+        assert literal.evaluate(SOURCE) == rel("AB", [("x", "y")])
+        assert literal.relation_names() == frozenset()
+
+    def test_relation_names_collected(self):
+        expression = Project(
+            NaturalJoin([ref("R1", "AB"), ref("R2", "BC")]), "AC"
+        )
+        assert expression.relation_names() == frozenset({"R1", "R2"})
+
+    def test_join_all_identity(self):
+        single = ref("R1", "AB")
+        assert join_all([single]) is single
+
+    def test_union_all_identity(self):
+        single = ref("R1", "AB")
+        assert union_all_exprs([single]) is single
+
+
+class TestPrinting:
+    def test_join_rendering(self):
+        expression = NaturalJoin([ref("R1", "AB"), ref("R2", "BC")])
+        assert str(expression) == "R1 ⋈ R2"
+
+    def test_projection_rendering(self):
+        expression = Project(
+            NaturalJoin([ref("R1", "AB"), ref("R2", "BC")]), "AC"
+        )
+        assert str(expression) == "π_AC(R1 ⋈ R2)"
+
+    def test_union_rendering(self):
+        expression = UnionExpr(
+            [Project(ref("R1", "AB"), "B"), Project(ref("R2", "BC"), "B")]
+        )
+        assert str(expression) == "π_B(R1) ∪ π_B(R2)"
+
+    def test_selection_rendering(self):
+        expression = Select(ref("R1", "AB"), {"A": "a1"})
+        assert str(expression) == "σ_{A='a1'}(R1)"

@@ -1,0 +1,54 @@
+"""Tests for extension-join ordering and expression construction."""
+
+import pytest
+
+from repro.algebra.extension_join import (
+    extension_join_order,
+    sequential_join_expression,
+)
+from repro.foundations.errors import SchemaError
+from repro.schema.relation_scheme import RelationScheme
+from repro.workloads.paper import example12_reducible
+
+
+class TestOrdering:
+    def test_chain_orders_root_first(self):
+        r1 = RelationScheme("R1", "AB", ["A"])
+        r2 = RelationScheme("R2", "BC", ["B"])
+        order = extension_join_order([r2, r1])
+        assert [m.name for m in order] == ["R1", "R2"]
+
+    def test_unorderable_subset(self):
+        r1 = RelationScheme("R1", "AB", ["A"])
+        r2 = RelationScheme("R2", "CD", ["C"])
+        assert extension_join_order([r1, r2]) is None
+
+    def test_single_member(self):
+        r1 = RelationScheme("R1", "AB", ["A"])
+        assert extension_join_order([r1]) == [r1]
+
+    def test_multiple_roots_allowed(self):
+        # Symmetric pair: either may lead.
+        r1 = RelationScheme("R1", "AB", ["A", "B"])
+        r2 = RelationScheme("R2", "BC", ["B", "C"])
+        order = extension_join_order([r1, r2])
+        assert order is not None and len(order) == 2
+
+
+class TestExpression:
+    def test_expression_matches_paper_example12(self):
+        scheme = example12_reducible()
+        subset = [scheme["R3"], scheme["R4"]]
+        expression = sequential_join_expression(subset, project_onto="ACD")
+        assert str(expression) == "π_ACD(R3 ⋈ R4)"
+
+    def test_expression_without_projection(self):
+        scheme = example12_reducible()
+        expression = sequential_join_expression([scheme["R3"], scheme["R4"]])
+        assert str(expression) == "R3 ⋈ R4"
+
+    def test_unorderable_raises(self):
+        r1 = RelationScheme("R1", "AB", ["A"])
+        r2 = RelationScheme("R2", "CD", ["C"])
+        with pytest.raises(SchemaError):
+            sequential_join_expression([r1, r2])

@@ -1,0 +1,89 @@
+"""Property tests for relational-algebra laws over random relations."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.algebra.expressions import (
+    join_relations,
+    project_relation,
+    select_relation,
+)
+from repro.state.relation import Relation
+from tests.conftest import seeded_rng
+
+
+def random_relation(rng: random.Random, attributes: str, size: int) -> Relation:
+    order = list(attributes)
+    rows = []
+    for _ in range(size):
+        rows.append({a: rng.randint(0, 3) for a in order})
+    return Relation(attributes, rows)
+
+
+@given(seeded_rng(), st.integers(min_value=0, max_value=6))
+def test_join_commutative(rng, size):
+    left = random_relation(rng, "AB", size)
+    right = random_relation(rng, "BC", size)
+    assert join_relations(left, right) == join_relations(right, left)
+
+
+@given(seeded_rng(), st.integers(min_value=0, max_value=5))
+def test_join_associative(rng, size):
+    r1 = random_relation(rng, "AB", size)
+    r2 = random_relation(rng, "BC", size)
+    r3 = random_relation(rng, "CD", size)
+    left_first = join_relations(join_relations(r1, r2), r3)
+    right_first = join_relations(r1, join_relations(r2, r3))
+    assert left_first == right_first
+
+
+@given(seeded_rng(), st.integers(min_value=0, max_value=6))
+def test_join_idempotent(rng, size):
+    relation = random_relation(rng, "AB", size)
+    assert join_relations(relation, relation) == relation
+
+
+@given(seeded_rng(), st.integers(min_value=0, max_value=6))
+def test_projection_composes(rng, size):
+    relation = random_relation(rng, "ABC", size)
+    twice = project_relation(project_relation(relation, "AB"), "A")
+    once = project_relation(relation, "A")
+    assert twice == once
+
+
+@given(seeded_rng(), st.integers(min_value=0, max_value=6))
+def test_selection_commutes_with_projection(rng, size):
+    relation = random_relation(rng, "ABC", size)
+    condition = {"A": 1}
+    select_then_project = project_relation(
+        select_relation(relation, condition), "AB"
+    )
+    project_then_select = select_relation(
+        project_relation(relation, "AB"), condition
+    )
+    assert select_then_project == project_then_select
+
+
+@given(seeded_rng(), st.integers(min_value=0, max_value=6))
+def test_selection_shrinks(rng, size):
+    relation = random_relation(rng, "AB", size)
+    selected = select_relation(relation, {"A": 0})
+    assert len(selected) <= len(relation)
+    for row in selected:
+        assert row["A"] == 0
+
+
+@given(seeded_rng(), st.integers(min_value=0, max_value=5))
+def test_join_contains_exactly_matching_pairs(rng, size):
+    """Semantic definition of natural join, checked directly."""
+    left = random_relation(rng, "AB", size)
+    right = random_relation(rng, "BC", size)
+    joined = join_relations(left, right)
+    expected = set()
+    for lrow in left:
+        for rrow in right:
+            if lrow["B"] == rrow["B"]:
+                expected.add((lrow["A"], lrow["B"], rrow["C"]))
+    actual = {(row["A"], row["B"], row["C"]) for row in joined}
+    assert actual == expected

@@ -1,0 +1,58 @@
+"""Tests for the one-call scheme analysis report."""
+
+from repro.analysis.report import analyze_scheme
+from repro.workloads.paper import (
+    example1_university,
+    example2_not_algebraic,
+    example4_split_scheme,
+    example9_chain,
+)
+
+
+class TestUniversity:
+    def test_full_classification(self):
+        report = analyze_scheme(example1_university())
+        assert report.bcnf
+        assert not report.gamma_acyclic
+        assert not report.independent
+        assert not report.key_equivalent
+        assert report.independence_reducible
+        assert report.ctm is True
+        assert "ctm" in report.maintenance_guarantee
+
+    def test_describe_mentions_partition(self):
+        text = analyze_scheme(example1_university()).describe()
+        assert "independence-reducible:   True" in text
+        assert "block" in text
+
+
+class TestSplitScheme:
+    def test_algebraic_but_not_ctm(self):
+        report = analyze_scheme(example4_split_scheme())
+        assert report.independence_reducible
+        assert report.ctm is False
+        assert report.split_keys == (frozenset("BC"),)
+        assert "algebraic-maintainable" in report.maintenance_guarantee
+
+    def test_describe_lists_split_keys(self):
+        text = analyze_scheme(example4_split_scheme()).describe()
+        assert "split keys" in text
+        assert "BC" in text
+
+
+class TestOutsideTheClass:
+    def test_no_guarantee(self):
+        report = analyze_scheme(example2_not_algebraic())
+        assert not report.independence_reducible
+        assert report.ctm is None
+        assert "no guarantee" in report.maintenance_guarantee
+        assert "unknown" in report.describe()
+
+
+class TestNiceCase:
+    def test_chain_is_everything(self):
+        report = analyze_scheme(example9_chain())
+        assert report.gamma_acyclic
+        assert report.independent
+        assert report.key_equivalent
+        assert report.ctm is True

@@ -1,0 +1,148 @@
+"""Tests for the ctm characterization (Theorem 5.5) and the unified
+InsertMaintainer (Section 4.2 strategy routing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ctm import InsertMaintainer, is_ctm, split_blocks
+from repro.core.reducible import recognize_independence_reducible
+from repro.foundations.errors import NotApplicableError
+from repro.state.consistency import maintain_by_chase
+from tests.conftest import reducible_schemes, seeded_rng
+from repro.workloads.paper import (
+    example1_university,
+    example2_not_algebraic,
+    example4_split_scheme,
+    example9_chain,
+    example11_reducible,
+    example13_kep,
+)
+from repro.workloads.states import (
+    conflicting_insert_candidate,
+    consistent_insert_candidate,
+    random_consistent_state,
+)
+
+
+class TestTheorem55:
+    def test_university_is_ctm(self):
+        """Example 1's headline claim: the university scheme is ctm."""
+        assert is_ctm(example1_university())
+
+    def test_split_scheme_is_not_ctm(self):
+        assert not is_ctm(example4_split_scheme())
+
+    def test_chain_is_ctm(self):
+        assert is_ctm(example9_chain())
+
+    def test_example11_is_ctm(self):
+        assert is_ctm(example11_reducible())
+
+    def test_not_applicable_outside_class(self):
+        with pytest.raises(NotApplicableError):
+            is_ctm(example2_not_algebraic())
+        with pytest.raises(NotApplicableError):
+            is_ctm(example13_kep())
+
+    def test_split_blocks_identified(self):
+        recognition = recognize_independence_reducible(
+            example4_split_scheme()
+        )
+        blocks = split_blocks(recognition)
+        assert len(blocks) == 1
+
+
+class TestMaintainerRouting:
+    def test_ctm_scheme_routes_to_algorithm5(self):
+        maintainer = InsertMaintainer(example1_university())
+        report = maintainer.report()
+        assert report.reducible and report.ctm
+        assert all(
+            strategy == "algorithm-5 (ctm)"
+            for strategy in report.strategy_by_relation.values()
+        )
+
+    def test_split_scheme_routes_to_algorithm2(self):
+        maintainer = InsertMaintainer(example4_split_scheme())
+        report = maintainer.report()
+        assert report.reducible and not report.ctm
+        assert set(report.strategy_by_relation.values()) == {"algorithm-2"}
+
+    def test_non_reducible_scheme_routes_to_chase(self):
+        maintainer = InsertMaintainer(example2_not_algebraic())
+        report = maintainer.report()
+        assert not report.reducible
+        assert set(report.strategy_by_relation.values()) == {"full-chase"}
+
+    def test_unknown_relation(self):
+        maintainer = InsertMaintainer(example1_university())
+        from repro.state.database_state import DatabaseState
+
+        with pytest.raises(NotApplicableError):
+            maintainer.insert(
+                DatabaseState(example1_university()), "R99", {}
+            )
+
+
+class TestMaintainerCorrectness:
+    def test_university_scenario(self):
+        """Insert a second course booking that clashes on room."""
+        from repro.state.database_state import DatabaseState, tuples_from_rows
+
+        scheme = example1_university()
+        maintainer = InsertMaintainer(scheme)
+        state = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows("HRC", [("h1", "r1", "c1")]),
+                "R4": tuples_from_rows("CSG", [("c1", "s1", "g1")]),
+                "R5": tuples_from_rows("HSR", [("h1", "s1", "r1")]),
+            },
+        )
+        # Same hour+room must be the same course: adding (h1, r1, c2) to
+        # R1 violates key HR.
+        outcome = maintainer.insert(
+            state, "R1", {"H": "h1", "R": "r1", "C": "c2"}
+        )
+        assert not outcome.consistent
+        # A different room is fine.
+        outcome = maintainer.insert(
+            state, "R1", {"H": "h1", "R": "r2", "C": "c2"}
+        )
+        assert outcome.consistent
+        assert outcome.state.total_tuples() == 4
+
+    @given(
+        reducible_schemes(),
+        seeded_rng(),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=25)
+    def test_matches_chase_on_reducible_schemes(
+        self, scheme_and_expected, rng, n
+    ):
+        """Section 4.2: block-local validation equals global validation
+        on independence-reducible schemes."""
+        scheme, _ = scheme_and_expected
+        maintainer = InsertMaintainer(scheme)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        for candidate in (
+            consistent_insert_candidate(scheme, rng, n),
+            conflicting_insert_candidate(scheme, rng, n),
+        ):
+            name, values = candidate
+            expected = maintain_by_chase(state, name, values).consistent
+            actual = maintainer.insert(state, name, values).consistent
+            assert actual == expected, (
+                f"maintainer disagrees with chase inserting {values} "
+                f"into {name} on {scheme}"
+            )
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=5))
+    def test_chase_fallback_on_non_reducible(self, rng, n):
+        scheme = example2_not_algebraic()
+        maintainer = InsertMaintainer(scheme)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        name, values = consistent_insert_candidate(scheme, rng, n)
+        expected = maintain_by_chase(state, name, values).consistent
+        assert maintainer.insert(state, name, values).consistent == expected

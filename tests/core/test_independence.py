@@ -1,0 +1,106 @@
+"""Tests for the uniqueness-condition independence test, cross-validated
+against exhaustive small-state LSAT/WSAT search."""
+
+from hypothesis import given, settings
+
+from repro.core.independence import (
+    describe_violations,
+    find_independence_counterexample,
+    is_independent,
+    satisfies_uniqueness_condition,
+    uniqueness_violations,
+)
+from repro.schema.database_scheme import DatabaseScheme
+from repro.state.consistency import is_consistent, is_locally_consistent
+from tests.conftest import arbitrary_schemes, independent_schemes
+from repro.workloads.paper import (
+    example1_university,
+    example3_triangle,
+    intro_scheme_s,
+)
+
+
+class TestPaperClaims:
+    def test_intro_s_scheme_is_independent(self):
+        assert is_independent(intro_scheme_s())
+
+    def test_university_scheme_is_not_independent(self):
+        assert not is_independent(example1_university())
+
+    def test_triangle_is_not_independent(self):
+        assert not is_independent(example3_triangle())
+
+    def test_violations_are_reported(self):
+        violations = uniqueness_violations(example3_triangle())
+        assert violations
+        descriptions = describe_violations(example3_triangle())
+        assert len(descriptions) == len(violations)
+
+
+class TestKnownCases:
+    def test_disjoint_relations_independent(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("CD", ["C"])}
+        )
+        assert is_independent(scheme)
+
+    def test_shared_key_attribute_only(self):
+        # R2's key D appears in R1; R1+ without F2 cannot complete any
+        # key dependency of R2.
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("ABD", ["A"]), "R2": ("DEF", ["D"])}
+        )
+        assert is_independent(scheme)
+
+    def test_duplicated_key_dependency_not_independent(self):
+        # Both relations embed A->B.
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("ABC", ["A"])}
+        )
+        assert not is_independent(scheme)
+
+
+class TestCounterexampleSearch:
+    def test_finds_lsat_minus_wsat_state_for_triangle(self):
+        state = find_independence_counterexample(example3_triangle())
+        assert state is not None
+        assert is_locally_consistent(state)
+        assert not is_consistent(state)
+
+    def test_no_counterexample_for_independent_scheme(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("CD", ["C"])}
+        )
+        assert find_independence_counterexample(scheme) is None
+
+
+class TestCrossValidation:
+    @given(independent_schemes())
+    @settings(max_examples=15)
+    def test_constructive_family_passes_uniqueness(self, scheme):
+        assert satisfies_uniqueness_condition(scheme)
+
+    @given(independent_schemes())
+    @settings(max_examples=5)
+    def test_constructive_family_has_no_small_counterexample(self, scheme):
+        if len(scheme.universe) > 7 or len(scheme.relations) > 3:
+            return  # keep the exhaustive search tractable
+        assert find_independence_counterexample(scheme) is None
+
+    @given(arbitrary_schemes())
+    @settings(max_examples=15)
+    def test_uniqueness_condition_vs_state_search(self, scheme):
+        """Cross-validate Sagiv's characterization against exhaustive
+        small-state search: a locally-consistent globally-inconsistent
+        state exists iff the uniqueness condition fails (on schemes
+        small enough for the exhaustive search to be meaningful)."""
+        if len(scheme.universe) > 5 or len(scheme.relations) > 3:
+            return
+        state = find_independence_counterexample(scheme)
+        if state is not None:
+            # Counterexamples always certify non-independence.
+            assert is_locally_consistent(state)
+            assert not is_consistent(state)
+            assert not is_independent(scheme)
+        elif is_independent(scheme):
+            assert state is None

@@ -1,0 +1,157 @@
+"""Tests for key-equivalence, Algorithm 1 and Corollary 3.1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.key_equivalent import (
+    is_key_equivalent,
+    key_equivalent_chase,
+    key_equivalent_representative_instance,
+    require_key_equivalent,
+    total_projection_expression,
+    total_projection_key_equivalent,
+)
+from repro.foundations.errors import InconsistentStateError, NotApplicableError
+from repro.state.consistency import chase_state, is_consistent
+from repro.state.database_state import DatabaseState, tuples_from_rows
+from tests.conftest import key_equivalent_schemes, seeded_rng
+from repro.workloads.paper import (
+    example1_university,
+    example3_triangle,
+    example4_split_scheme,
+    example6_scheme,
+)
+from repro.workloads.states import random_consistent_state
+
+
+class TestRecognition:
+    def test_paper_positives(self):
+        assert is_key_equivalent(example3_triangle())
+        assert is_key_equivalent(example4_split_scheme())
+        assert is_key_equivalent(example6_scheme())
+
+    def test_paper_negative(self):
+        assert not is_key_equivalent(example1_university())
+
+    def test_require_raises(self):
+        with pytest.raises(NotApplicableError):
+            require_key_equivalent(example1_university())
+
+    @given(key_equivalent_schemes())
+    def test_constructive_family_is_key_equivalent(self, scheme):
+        assert is_key_equivalent(scheme)
+
+
+class TestAlgorithm1:
+    def test_merges_tuples_sharing_a_key(self):
+        scheme = example3_triangle()
+        state = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c")]),
+            },
+        )
+        instance = key_equivalent_representative_instance(state)
+        assert len(instance.classes) == 1
+        assert instance.classes[0] == {"A": "a", "B": "b", "C": "c"}
+
+    def test_detects_inconsistency(self):
+        scheme = example3_triangle()
+        state = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c1")]),
+                "R3": tuples_from_rows("AC", [("a", "c2")]),
+            },
+        )
+        assert key_equivalent_chase(state) is None
+        with pytest.raises(InconsistentStateError):
+            key_equivalent_representative_instance(state)
+
+    def test_lookup_by_key(self):
+        scheme = example3_triangle()
+        state = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c")]),
+            },
+        )
+        instance = key_equivalent_representative_instance(state)
+        assert instance.lookup("B", ["b"]) == {"A": "a", "B": "b", "C": "c"}
+        assert instance.lookup("A", ["missing"]) is None
+
+    def test_duplicate_classes_eliminated(self):
+        scheme = example3_triangle()
+        state = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c")]),
+                "R3": tuples_from_rows("AC", [("a", "c")]),
+            },
+        )
+        instance = key_equivalent_representative_instance(state)
+        assert len(instance.classes) == 1
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=8))
+    def test_algorithm1_matches_generic_chase(self, rng, n):
+        """Algorithm 1 computes the same representative instance as the
+        generic fd-rule chase (Corollary 3.1(a)): same total projections
+        on every relation scheme and on the universe."""
+        scheme = __import__(
+            "repro.workloads.random_schemes", fromlist=["x"]
+        ).random_key_equivalent_scheme(rng, n_relations=3)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        instance = key_equivalent_representative_instance(state)
+        baseline = chase_state(state).tableau
+        for target in [m.attributes for m in scheme.relations] + [
+            scheme.universe
+        ]:
+            assert instance.total_projection(target) == (
+                baseline.total_projection(target)
+            ), f"mismatch on {sorted(target)}"
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=6))
+    def test_consistency_decision_matches_chase(self, rng, n):
+        from repro.workloads.random_schemes import (
+            random_key_equivalent_scheme,
+        )
+        from repro.workloads.states import conflicting_insert_candidate
+
+        scheme = random_key_equivalent_scheme(rng, n_relations=3)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        name, values = conflicting_insert_candidate(scheme, rng, n)
+        updated = state.insert(name, values)
+        assert (key_equivalent_chase(updated) is not None) == is_consistent(
+            updated
+        )
+
+
+class TestCorollary31b:
+    def test_expression_is_predetermined(self):
+        """The expression depends only on the scheme — building it twice
+        gives the same rendering, with no reference to any state."""
+        scheme = example4_split_scheme()
+        first = str(total_projection_expression(scheme, "AE"))
+        second = str(total_projection_expression(scheme, "AE"))
+        assert first == second
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=8))
+    def test_expression_matches_chase(self, rng, n):
+        from repro.workloads.random_schemes import (
+            random_key_equivalent_scheme,
+        )
+
+        scheme = random_key_equivalent_scheme(rng, n_relations=3)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        baseline = chase_state(state).tableau
+        # Check on every member scheme and a couple of cross-cuts.
+        targets = [m.attributes for m in scheme.relations]
+        targets.append(scheme.universe)
+        for target in targets:
+            assert total_projection_key_equivalent(state, target) == (
+                baseline.total_projection(target)
+            ), f"mismatch on {sorted(target)}"

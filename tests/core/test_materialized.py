@@ -1,0 +1,141 @@
+"""Tests for the incrementally maintained representative instance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.key_equivalent import key_equivalent_chase
+from repro.core.materialized import MaterializedRepInstance
+from repro.foundations.errors import NotApplicableError, StateError
+from repro.state.consistency import is_consistent
+from tests.conftest import seeded_rng
+from repro.workloads.paper import (
+    example1_university,
+    example3_triangle,
+    example10_state,
+)
+from repro.workloads.random_schemes import random_key_equivalent_scheme
+from repro.workloads.states import (
+    conflicting_insert_candidate,
+    consistent_insert_candidate,
+    random_consistent_state,
+)
+from repro.state.database_state import DatabaseState, tuples_from_rows
+
+
+class TestConstruction:
+    def test_initial_instance_matches_algorithm1(self):
+        state = example10_state()
+        materialized = MaterializedRepInstance(state)
+        baseline = key_equivalent_chase(state)
+        assert sorted(
+            tuple(sorted(row.items())) for row in materialized.classes()
+        ) == sorted(
+            tuple(sorted(row.items())) for row in baseline.classes
+        )
+
+    def test_rejects_non_key_equivalent_scheme(self):
+        with pytest.raises(NotApplicableError):
+            MaterializedRepInstance(DatabaseState(example1_university()))
+
+    def test_rejects_inconsistent_initial_state(self):
+        scheme = example3_triangle()
+        bad = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c1")]),
+                "R3": tuples_from_rows("AC", [("a", "c2")]),
+            },
+        )
+        with pytest.raises(StateError):
+            MaterializedRepInstance(bad)
+
+
+class TestInserts:
+    def test_accepting_insert_merges_classes(self):
+        state = example10_state()
+        materialized = MaterializedRepInstance(state)
+        merged = materialized.insert("S3", {"A": "a", "C": "c"})
+        assert merged == {"A": "a", "B": "b", "C": "c"}
+        assert len(materialized) == 1
+
+    def test_rejected_insert_leaves_instance_untouched(self):
+        state = example10_state()
+        materialized = MaterializedRepInstance(state)
+        before = materialized.classes()
+        merges_before = materialized.merges
+        assert materialized.insert("S3", {"A": "a", "C": "c'"}) is None
+        assert materialized.classes() == before
+        assert materialized.merges == merges_before
+
+    def test_wrong_attributes_raise(self):
+        materialized = MaterializedRepInstance(example10_state())
+        with pytest.raises(StateError):
+            materialized.insert("S3", {"A": "a"})
+
+    def test_lookup_after_insert(self):
+        materialized = MaterializedRepInstance(example10_state())
+        materialized.insert("S3", {"A": "x", "C": "y"})
+        assert materialized.lookup("A", {"A": "x"}) == {"A": "x", "C": "y"}
+
+    def test_cascading_merge(self):
+        """A new tuple can connect two previously separate classes whose
+        merge then becomes total on a third key (Example 4's split-key
+        assembly, in miniature)."""
+        from repro.workloads.paper import example4_split_scheme
+
+        scheme = example4_split_scheme()
+        state = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("AC", [("a", "c")]),
+                "R4": tuples_from_rows("EB", [("e", "b")]),
+                "R6": tuples_from_rows("BCD", [("b", "c", "d")]),
+            },
+        )
+        materialized = MaterializedRepInstance(state)
+        # Before: the a-class is {A,B,C,D} (via BC key with R6)... and
+        # (e,b) is separate.  Adding (e, c) to R5 makes the e-class
+        # total on BC=(b,c), merging it with the a-class.
+        merged = materialized.insert("R5", {"E": "e", "C": "c"})
+        assert merged is not None
+        assert merged["A"] == "a" and merged["E"] == "e"
+
+    def test_total_projection_reads_current_instance(self):
+        materialized = MaterializedRepInstance(example10_state())
+        assert materialized.total_projection("AC") == {("a", "c")}
+        materialized.insert("S3", {"A": "x", "C": "y"})
+        assert materialized.total_projection("AC") == {("a", "c"), ("x", "y")}
+
+
+class TestEquivalenceWithRebuild:
+    @given(
+        seeded_rng(),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30)
+    def test_stream_of_inserts_matches_full_rebuild(self, rng, n, k):
+        """After any accepted/rejected mix of k insertions, the
+        materialized instance equals Algorithm 1 on the surviving
+        state, and acceptance matches the chase decision."""
+        scheme = random_key_equivalent_scheme(rng, n_relations=3)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        materialized = MaterializedRepInstance(state)
+        for _ in range(k):
+            if rng.random() < 0.5:
+                name, values = consistent_insert_candidate(scheme, rng, n)
+            else:
+                name, values = conflicting_insert_candidate(scheme, rng, n)
+            accepted = materialized.insert(name, values) is not None
+            expected = is_consistent(state.insert(name, values))
+            assert accepted == expected
+            if accepted:
+                state = state.insert(name, values)
+        rebuilt = key_equivalent_chase(state)
+        assert sorted(
+            tuple(sorted(row.items())) for row in materialized.classes()
+        ) == sorted(
+            tuple(sorted(row.items())) for row in rebuilt.classes
+        )

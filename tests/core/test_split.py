@@ -1,0 +1,100 @@
+"""Tests for Algorithm 3, splitness and Lemma 3.8."""
+
+from hypothesis import given
+
+from repro.core.split import (
+    find_split_witness,
+    is_key_split,
+    is_split_free,
+    scheme_closure,
+    split_keys,
+)
+from tests.conftest import key_equivalent_schemes
+from repro.workloads.paper import (
+    example4_split_scheme,
+    example8_split,
+    example9_chain,
+    example10_scheme,
+)
+
+
+class TestSchemeClosure:
+    def test_absorbs_through_keys(self):
+        scheme = example9_chain()
+        closure = scheme_closure(list(scheme.relations), "A")
+        # A is not itself a key start... closure of the attribute set
+        # {A}: R1's key A is inside, so R1 absorbs, then the chain.
+        assert closure == frozenset("ABCDE")
+
+    def test_no_key_no_absorption(self):
+        scheme = example9_chain()
+        # Starting from nothing usable: attribute E only absorbs R4
+        # (key E), then D absorbs R3, and so on backwards.
+        closure = scheme_closure(list(scheme.relations), "E")
+        assert closure == frozenset("ABCDE")
+
+    def test_restricted_members(self):
+        scheme = example9_chain()
+        members = [scheme["R1"], scheme["R2"]]
+        assert scheme_closure(members, "A") == frozenset("ABC")
+
+
+class TestPaperExamples:
+    def test_example8_key_bc_is_split(self):
+        scheme = example8_split()
+        assert is_key_split(scheme, "BC")
+        assert split_keys(scheme) == [frozenset("BC")]
+        assert not is_split_free(scheme)
+
+    def test_example8_witness_avoids_schemes_containing_bc(self):
+        scheme = example8_split()
+        witness = find_split_witness(scheme, "BC")
+        assert witness is not None
+        assert not frozenset("BC") <= witness.completer.attributes
+        for member in (witness.start,) + witness.computation:
+            assert not frozenset("BC") <= member.attributes
+
+    def test_example9_split_free(self):
+        assert is_split_free(example9_chain())
+
+    def test_example10_split_free(self):
+        assert is_split_free(example10_scheme())
+
+    def test_example4_key_bc_split(self):
+        scheme = example4_split_scheme()
+        assert split_keys(scheme) == [frozenset("BC")]
+
+    def test_single_attribute_keys_never_split(self):
+        """A singleton key is contained in any scheme that covers it, so
+        a completer never avoids it."""
+        scheme = example10_scheme()
+        for key in scheme.all_keys():
+            if len(key) == 1:
+                assert not is_key_split(scheme, key)
+
+
+class TestLemma38:
+    @given(key_equivalent_schemes())
+    def test_efficient_test_matches_definitional_search(self, scheme):
+        """Lemma 3.8: the chase-based test agrees with the exhaustive
+        witness search over Algorithm 3 computations."""
+        for key in scheme.all_keys():
+            efficient = is_key_split(scheme, key)
+            witness = find_split_witness(scheme, key)
+            assert efficient == (witness is not None), (
+                f"Lemma 3.8 mismatch for key {sorted(key)} on {scheme}"
+            )
+
+    @given(key_equivalent_schemes())
+    def test_witness_validity(self, scheme):
+        for key in scheme.all_keys():
+            witness = find_split_witness(scheme, key)
+            if witness is None:
+                continue
+            # The completer covers the key's missing part but not the key.
+            assert not key <= witness.completer.attributes
+            covered = witness.start.attributes
+            for member in witness.computation[:-1]:
+                covered |= member.attributes
+            assert not key <= covered
+            assert key <= covered | witness.completer.attributes

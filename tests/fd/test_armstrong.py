@@ -1,0 +1,132 @@
+"""Tests for Armstrong derivations: produced proofs verify step by step
+and exist exactly for implied dependencies."""
+
+import pytest
+from hypothesis import given
+
+from repro.fd.armstrong import Derivation, Step, derive, explain_key, verify_derivation
+from repro.fd.fd import FD
+from repro.fd.fdset import FDSet
+from repro.foundations.errors import DependencyError
+from tests.conftest import attribute_sets, fd_sets
+
+
+class TestDerive:
+    def test_transitive_chain(self):
+        derivation = derive(FD("A", "C"), "A->B, B->C")
+        assert derivation.conclusion() == FD("A", "C")
+        assert verify_derivation(derivation)
+
+    def test_trivial_dependency(self):
+        derivation = derive(FD("AB", "A"), [])
+        assert verify_derivation(derivation)
+
+    def test_compound_lhs(self):
+        derivation = derive(FD("AD", "E"), "A->B, B->C, CD->E")
+        assert verify_derivation(derivation)
+
+    def test_not_implied_raises(self):
+        with pytest.raises(DependencyError):
+            derive(FD("C", "A"), "A->B, B->C")
+
+    def test_render_lists_steps(self):
+        rendered = derive(FD("A", "C"), "A->B, B->C").render()
+        assert "derivation of A→C" in rendered
+        assert "premise" in rendered
+        assert "transitivity" in rendered
+
+    def test_premise_target(self):
+        derivation = derive(FD("A", "B"), "A->B")
+        assert verify_derivation(derivation)
+
+
+class TestVerifier:
+    def test_rejects_forward_references(self):
+        bogus = Derivation(
+            target=FD("A", "B"),
+            premises=FDSet("A->B"),
+            steps=(Step(FD("A", "B"), "transitivity", (1,)),),
+        )
+        assert not verify_derivation(bogus)
+
+    def test_rejects_fake_premise(self):
+        bogus = Derivation(
+            target=FD("A", "B"),
+            premises=FDSet(),
+            steps=(Step(FD("A", "B"), "premise"),),
+        )
+        assert not verify_derivation(bogus)
+
+    def test_rejects_bad_reflexivity(self):
+        bogus = Derivation(
+            target=FD("A", "B"),
+            premises=FDSet(),
+            steps=(Step(FD("A", "B"), "reflexivity"),),
+        )
+        assert not verify_derivation(bogus)
+
+    def test_rejects_wrong_final_conclusion(self):
+        derivation = derive(FD("A", "B"), "A->B")
+        tampered = Derivation(
+            target=FD("A", "C"),
+            premises=derivation.premises,
+            steps=derivation.steps,
+        )
+        assert not verify_derivation(tampered)
+
+    def test_rejects_unknown_rule(self):
+        bogus = Derivation(
+            target=FD("A", "B"),
+            premises=FDSet("A->B"),
+            steps=(Step(FD("A", "B"), "magic"),),
+        )
+        assert not verify_derivation(bogus)
+
+    def test_accepts_augmentation(self):
+        proof = Derivation(
+            target=FD("AC", "BC"),
+            premises=FDSet("A->B"),
+            steps=(
+                Step(FD("A", "B"), "premise"),
+                Step(FD("AC", "BC"), "augmentation", (0,)),
+            ),
+        )
+        assert verify_derivation(proof)
+
+
+class TestExplainKey:
+    def test_university_key(self):
+        from repro.workloads.paper import example1_university
+
+        scheme = example1_university()
+        derivation = explain_key("HRC", "HR", scheme.fds)
+        assert verify_derivation(derivation)
+        assert derivation.target == FD("HR", "C")
+
+    def test_all_key_scheme(self):
+        derivation = explain_key("AB", "AB", [])
+        assert verify_derivation(derivation)
+
+
+class TestProperties:
+    @given(fd_sets(), attribute_sets(), attribute_sets())
+    def test_derivation_exists_iff_implied(self, fds, lhs, rhs):
+        target = FD(lhs, rhs)
+        implied = FDSet(fds).implies(target)
+        if implied:
+            derivation = derive(target, fds)
+            assert verify_derivation(derivation)
+        else:
+            with pytest.raises(DependencyError):
+                derive(target, fds)
+
+    @given(fd_sets(), attribute_sets(), attribute_sets())
+    def test_every_step_is_sound(self, fds, lhs, rhs):
+        """Each step's conclusion is individually implied by the premise
+        set (soundness of the rules, checked semantically)."""
+        target = FD(lhs, rhs)
+        fd_set = FDSet(fds)
+        if not fd_set.implies(target):
+            return
+        for step in derive(target, fds).steps:
+            assert fd_set.implies(step.conclusion)

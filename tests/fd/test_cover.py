@@ -1,0 +1,71 @@
+"""Tests for minimal covers."""
+
+from hypothesis import given
+
+from repro.fd.cover import is_cover, minimal_cover, remove_extraneous_lhs
+from repro.fd.fd import FD
+from repro.fd.fdset import FDSet
+from tests.conftest import fd_sets
+
+
+class TestMinimalCover:
+    def test_removes_redundant_fd(self):
+        cover = minimal_cover("A->B, B->C, A->C")
+        assert cover == FDSet("A->B, B->C")
+
+    def test_removes_extraneous_lhs_attribute(self):
+        cover = minimal_cover("A->B, AB->C")
+        assert cover == FDSet("A->B, A->C")
+
+    def test_splits_rhs(self):
+        cover = minimal_cover("A->BC")
+        assert cover == FDSet("A->B, A->C")
+
+    def test_drops_trivial(self):
+        cover = minimal_cover([FD("AB", "A")])
+        assert len(cover) == 0
+
+    def test_textbook_case(self):
+        # From Maier: F = {A->BC, B->C, A->B, AB->C}.
+        cover = minimal_cover("A->BC, B->C, A->B, AB->C")
+        assert cover == FDSet("A->B, B->C")
+
+
+class TestRemoveExtraneous:
+    def test_single_attribute_lhs_untouched(self):
+        fds = FDSet("A->B")
+        assert remove_extraneous_lhs(FD("A", "B"), fds) == FD("A", "B")
+
+    def test_extraneous_attribute_dropped(self):
+        fds = FDSet("A->B, AB->C")
+        assert remove_extraneous_lhs(FD("AB", "C"), fds) == FD("A", "C")
+
+
+class TestIsCover:
+    def test_equivalent_sets_are_covers(self):
+        assert is_cover("A->B, B->C", "A->B, B->C, A->C")
+
+    def test_weaker_set_is_not_a_cover(self):
+        assert not is_cover("A->B", "A->B, B->C")
+
+
+class TestProperties:
+    @given(fd_sets())
+    def test_minimal_cover_is_equivalent(self, fds):
+        assert minimal_cover(fds).equivalent_to(fds)
+
+    @given(fd_sets())
+    def test_minimal_cover_has_singleton_rhs(self, fds):
+        assert all(len(d.rhs) == 1 for d in minimal_cover(fds))
+
+    @given(fd_sets())
+    def test_minimal_cover_has_no_redundant_member(self, fds):
+        cover = minimal_cover(fds)
+        for member in cover:
+            remainder = FDSet(d for d in cover if d != member)
+            assert not remainder.implies(member)
+
+    @given(fd_sets())
+    def test_minimal_cover_idempotent(self, fds):
+        once = minimal_cover(fds)
+        assert minimal_cover(once).equivalent_to(once)

@@ -1,0 +1,87 @@
+"""Tests for FD construction, parsing and basic predicates."""
+
+import pytest
+
+from repro.fd.fd import FD, fd, parse_fd, parse_fds
+from repro.foundations.errors import DependencyError
+
+
+class TestConstruction:
+    def test_string_spec_splits_single_characters(self):
+        dependency = FD("AB", "C")
+        assert dependency.lhs == frozenset({"A", "B"})
+        assert dependency.rhs == frozenset({"C"})
+
+    def test_iterable_spec_keeps_long_names(self):
+        dependency = FD(["hour", "room"], ["course"])
+        assert dependency.lhs == frozenset({"hour", "room"})
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD("", "A")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD("A", "")
+
+    def test_shorthand_equals_constructor(self):
+        assert fd("A", "BC") == FD("A", "BC")
+
+    def test_equality_and_hash(self):
+        assert FD("AB", "C") == FD("BA", "C")
+        assert hash(FD("AB", "C")) == hash(FD("BA", "C"))
+        assert FD("A", "B") != FD("A", "C")
+
+
+class TestPredicates:
+    def test_trivial_when_rhs_inside_lhs(self):
+        assert FD("AB", "A").is_trivial()
+        assert not FD("AB", "C").is_trivial()
+
+    def test_embedded_in(self):
+        assert FD("AB", "C").is_embedded_in("ABC")
+        assert not FD("AB", "C").is_embedded_in("AB")
+
+    def test_attributes_union(self):
+        assert FD("AB", "C").attributes == frozenset("ABC")
+
+    def test_split_rhs_produces_singletons(self):
+        parts = FD("A", "BC").split_rhs()
+        assert parts == [FD("A", "B"), FD("A", "C")]
+
+
+class TestOrdering:
+    def test_total_order_is_deterministic(self):
+        members = [FD("B", "A"), FD("A", "B"), FD("A", "C")]
+        assert sorted(members) == [FD("A", "B"), FD("A", "C"), FD("B", "A")]
+
+    def test_comparisons(self):
+        assert FD("A", "B") < FD("B", "A")
+        assert FD("B", "A") > FD("A", "B")
+        assert FD("A", "B") <= FD("A", "B")
+        assert FD("A", "B") >= FD("A", "B")
+
+
+class TestParsing:
+    def test_parse_ascii_arrow(self):
+        assert parse_fd("AB->C") == FD("AB", "C")
+
+    def test_parse_unicode_arrow(self):
+        assert parse_fd("AB→C") == FD("AB", "C")
+
+    def test_parse_strips_whitespace(self):
+        assert parse_fd("  AB -> C ") == FD("AB", "C")
+
+    def test_parse_without_arrow_fails(self):
+        with pytest.raises(DependencyError):
+            parse_fd("ABC")
+
+    def test_parse_many(self):
+        parsed = parse_fds("A->B, B->C; C->A")
+        assert parsed == [FD("A", "B"), FD("B", "C"), FD("C", "A")]
+
+    def test_parse_many_ignores_empty_chunks(self):
+        assert parse_fds("A->B, , ;") == [FD("A", "B")]
+
+    def test_str_rendering(self):
+        assert str(FD("AB", "C")) == "AB→C"

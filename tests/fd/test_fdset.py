@@ -1,0 +1,91 @@
+"""Tests for FDSet container semantics and logical operations."""
+
+import pytest
+from hypothesis import given
+
+from repro.fd.fd import FD
+from repro.fd.fdset import FDSet
+from tests.conftest import fd_sets
+
+
+class TestContainer:
+    def test_deduplicates(self):
+        fds = FDSet([FD("A", "B"), FD("A", "B")])
+        assert len(fds) == 1
+
+    def test_sorted_deterministically(self):
+        fds = FDSet([FD("B", "C"), FD("A", "B")])
+        assert list(fds) == [FD("A", "B"), FD("B", "C")]
+
+    def test_parse_from_string(self):
+        assert FDSet("A->B, B->C") == FDSet([FD("A", "B"), FD("B", "C")])
+
+    def test_contains(self):
+        fds = FDSet("A->B")
+        assert FD("A", "B") in fds
+        assert FD("B", "A") not in fds
+
+    def test_union_operator(self):
+        merged = FDSet("A->B") | FDSet("B->C")
+        assert merged == FDSet("A->B, B->C")
+
+    def test_difference_operator(self):
+        assert FDSet("A->B, B->C") - FDSet("A->B") == FDSet("B->C")
+
+    def test_rejects_non_fd_members(self):
+        with pytest.raises(TypeError):
+            FDSet(["A->B"])  # raw strings are not FDs inside iterables
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(FDSet("A->B, B->C")) == hash(FDSet("B->C, A->B"))
+
+
+class TestSemantics:
+    def test_implies_transitivity(self):
+        fds = FDSet("A->B, B->C")
+        assert fds.implies(FD("A", "C"))
+
+    def test_covers_and_equivalence(self):
+        left = FDSet("A->B, B->C")
+        right = FDSet("A->B, B->C, A->C")
+        assert left.covers(right)
+        assert right.covers(left)
+        assert left.equivalent_to(right)
+
+    def test_not_equivalent_when_strictly_weaker(self):
+        assert not FDSet("A->B").equivalent_to(FDSet("A->B, B->A"))
+
+    def test_nontrivial_filters(self):
+        fds = FDSet([FD("AB", "A"), FD("A", "B")])
+        assert fds.nontrivial() == FDSet([FD("A", "B")])
+
+    def test_split_rhs(self):
+        assert FDSet("A->BC").split_rhs() == FDSet("A->B, A->C")
+
+    def test_embedded_in_selects_members(self):
+        fds = FDSet("A->B, B->C")
+        assert fds.embedded_in("AB") == FDSet("A->B")
+
+    def test_restricted_to_multiple_schemes(self):
+        fds = FDSet("A->B, B->C, C->D")
+        restricted = fds.restricted_to([frozenset("AB"), frozenset("CD")])
+        assert restricted == FDSet("A->B, C->D")
+
+    def test_attributes(self):
+        assert FDSet("A->B, C->D").attributes == frozenset("ABCD")
+
+
+class TestProperties:
+    @given(fd_sets())
+    def test_equivalent_to_self(self, fds):
+        assert fds.equivalent_to(fds)
+
+    @given(fd_sets(), fd_sets())
+    def test_union_covers_both(self, left, right):
+        merged = left | right
+        assert merged.covers(left)
+        assert merged.covers(right)
+
+    @given(fd_sets())
+    def test_split_rhs_is_equivalent(self, fds):
+        assert fds.split_rhs().equivalent_to(fds)

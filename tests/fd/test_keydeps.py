@@ -1,0 +1,59 @@
+"""Tests for key-dependency construction and key declarations."""
+
+import pytest
+
+from repro.fd.fd import FD
+from repro.fd.fdset import FDSet
+from repro.fd.keydeps import (
+    key_dependencies,
+    key_dependencies_of,
+    validate_declared_keys,
+)
+from repro.foundations.errors import SchemaError
+
+
+class TestKeyDependencies:
+    def test_single_key(self):
+        deps = key_dependencies_of("ABC", ["A"])
+        assert deps == FDSet([FD("A", "BC")])
+
+    def test_multiple_keys(self):
+        deps = key_dependencies_of("HTR", ["HT", "HR"])
+        assert deps == FDSet([FD("HT", "R"), FD("HR", "T")])
+
+    def test_all_key_contributes_nothing(self):
+        assert len(key_dependencies_of("AB", ["AB"])) == 0
+
+    def test_key_outside_scheme_rejected(self):
+        with pytest.raises(SchemaError):
+            key_dependencies_of("AB", ["C"])
+
+    def test_union_over_scheme(self):
+        deps = key_dependencies(
+            {
+                frozenset("AB"): [frozenset("A")],
+                frozenset("BC"): [frozenset("B")],
+            }
+        )
+        assert deps == FDSet("A->B, B->C")
+
+
+class TestValidation:
+    def test_valid_declaration_passes(self):
+        validate_declared_keys("ABC", ["A"], "A->BC")
+
+    def test_non_key_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_declared_keys("ABC", ["B"], "A->BC")
+
+    def test_non_minimal_key_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_declared_keys("ABC", ["AB"], "A->BC")
+
+    def test_comparable_keys_rejected(self):
+        # A and AB are comparable; only A is minimal under A->B.
+        with pytest.raises(SchemaError):
+            validate_declared_keys("AB", ["A", "AB"], "A->B")
+
+    def test_incomparable_keys_accepted(self):
+        validate_declared_keys("HTR", ["HT", "HR"], "HT->R, HR->T")

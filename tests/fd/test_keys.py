@@ -1,0 +1,100 @@
+"""Tests for candidate-key enumeration (Lucchesi-Osborn)."""
+
+from hypothesis import given
+
+from repro.fd.fdset import FDSet
+from repro.fd.keys import (
+    candidate_keys,
+    is_key,
+    is_superkey,
+    minimize_superkey,
+)
+from tests.conftest import attribute_sets, fd_sets
+
+
+class TestSuperkeys:
+    def test_whole_scheme_is_a_superkey(self):
+        assert is_superkey("ABC", "ABC", "A->B")
+
+    def test_superkey_must_be_inside_scheme(self):
+        assert not is_superkey("AD", "ABC", "A->BC")
+
+    def test_determining_subset_is_superkey(self):
+        assert is_superkey("A", "ABC", "A->BC")
+        assert not is_superkey("B", "ABC", "A->BC")
+
+
+class TestMinimize:
+    def test_shrinks_to_minimal(self):
+        key = minimize_superkey("ABC", "ABC", "A->BC")
+        assert key == frozenset("A")
+
+    def test_deterministic_among_choices(self):
+        # Both A and B are keys; minimization tries removals in sorted
+        # order, keeping B when starting from AB? Removing A first
+        # leaves B which still determines everything.
+        key = minimize_superkey("AB", "AB", "A->B, B->A")
+        assert key in (frozenset("A"), frozenset("B"))
+        assert minimize_superkey("AB", "AB", "A->B, B->A") == key
+
+
+class TestCandidateKeys:
+    def test_single_key(self):
+        assert candidate_keys("ABC", "A->BC") == [frozenset("A")]
+
+    def test_multiple_keys_cyclic(self):
+        keys = candidate_keys("ABC", "A->B, B->C, C->A")
+        assert keys == [frozenset("A"), frozenset("B"), frozenset("C")]
+
+    def test_all_key_relation(self):
+        assert candidate_keys("AB", []) == [frozenset("AB")]
+
+    def test_composite_keys(self):
+        keys = candidate_keys("ABCD", "AB->CD, CD->AB")
+        assert frozenset("AB") in keys
+        assert frozenset("CD") in keys
+        assert len(keys) == 2
+
+    def test_textbook_many_keys(self):
+        # Classic: R(ABC) with AB->C, C->A has keys AB and CB.
+        keys = candidate_keys("ABC", "AB->C, C->A")
+        assert set(keys) == {frozenset("AB"), frozenset("BC")}
+
+    def test_keys_respect_external_fds(self):
+        # Keys of a subscheme may be induced by fds routed outside it.
+        keys = candidate_keys("AC", "A->B, B->C")
+        assert keys == [frozenset("A")]
+
+
+class TestProperties:
+    @given(attribute_sets(), fd_sets())
+    def test_every_key_is_minimal_superkey(self, scheme, fds):
+        for key in candidate_keys(scheme, fds):
+            assert is_key(key, scheme, fds)
+
+    @given(attribute_sets(), fd_sets())
+    def test_keys_pairwise_incomparable(self, scheme, fds):
+        keys = candidate_keys(scheme, fds)
+        for left in keys:
+            for right in keys:
+                if left != right:
+                    assert not left <= right
+
+    @given(attribute_sets(), fd_sets())
+    def test_at_least_one_key(self, scheme, fds):
+        assert candidate_keys(scheme, fds)
+
+    @given(attribute_sets(), fd_sets())
+    def test_exhaustive_on_small_schemes(self, scheme, fds):
+        """Cross-validate Lucchesi-Osborn against brute force."""
+        from itertools import combinations
+
+        fd_set = FDSet(fds)
+        expected = set()
+        ordered = sorted(scheme)
+        for size in range(1, len(ordered) + 1):
+            for combo in combinations(ordered, size):
+                candidate = frozenset(combo)
+                if is_key(candidate, scheme, fd_set):
+                    expected.add(candidate)
+        assert set(candidate_keys(scheme, fd_set)) == expected

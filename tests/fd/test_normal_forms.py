@@ -1,0 +1,55 @@
+"""Tests for BCNF and 3NF checks, including Lemma 3.1 (key-equivalent
+schemes are BCNF)."""
+
+from hypothesis import given
+
+from repro.fd.normal_forms import (
+    database_scheme_is_bcnf,
+    scheme_is_3nf,
+    scheme_is_bcnf,
+)
+from tests.conftest import key_equivalent_schemes
+
+
+class TestBCNF:
+    def test_key_determined_scheme_is_bcnf(self):
+        assert scheme_is_bcnf("ABC", "A->BC")
+
+    def test_transitive_dependency_violates_bcnf(self):
+        # R(ABC) with A->B, B->C: B->C has non-superkey lhs.
+        assert not scheme_is_bcnf("ABC", "A->B, B->C")
+
+    def test_all_key_scheme_is_bcnf(self):
+        assert scheme_is_bcnf("AB", [])
+
+    def test_violation_via_projected_fd(self):
+        # The violating fd need not be a member of F: C->A projected
+        # from a route outside the scheme still violates.
+        assert not scheme_is_bcnf("ABC", "A->B, C->D, D->A")
+
+    def test_database_scheme_bcnf_all_members(self):
+        assert database_scheme_is_bcnf(["AB", "BC"], "A->B, B->C")
+        assert not database_scheme_is_bcnf(["ABC"], "A->B, B->C")
+
+
+class Test3NF:
+    def test_bcnf_implies_3nf(self):
+        assert scheme_is_3nf("ABC", "A->BC")
+
+    def test_prime_rhs_allowed_in_3nf(self):
+        # R(ABC), AB->C, C->A: not BCNF (C->A) but 3NF (A is prime).
+        assert not scheme_is_bcnf("ABC", "AB->C, C->A")
+        assert scheme_is_3nf("ABC", "AB->C, C->A")
+
+    def test_transitive_nonprime_violates_3nf(self):
+        assert not scheme_is_3nf("ABC", "A->B, B->C")
+
+
+class TestLemma31:
+    @given(key_equivalent_schemes())
+    def test_key_equivalent_schemes_are_bcnf(self, scheme):
+        """Lemma 3.1: every key-equivalent database scheme is BCNF with
+        respect to its embedded key dependencies."""
+        assert database_scheme_is_bcnf(
+            [member.attributes for member in scheme.relations], scheme.fds
+        )

@@ -1,0 +1,64 @@
+"""Tests for fd projection F+|R."""
+
+from hypothesis import given
+
+from repro.fd.fd import FD
+from repro.fd.fdset import FDSet
+from repro.fd.projection import project_fds, satisfies_projection
+from tests.conftest import attribute_sets, fd_sets
+
+
+class TestProjection:
+    def test_transitive_dependency_survives_projection(self):
+        # A->B->C projected onto AC yields A->C.
+        projected = project_fds("A->B, B->C", "AC")
+        assert projected.implies(FD("A", "C"))
+
+    def test_projection_drops_outside_fds(self):
+        projected = project_fds("A->B", "CD")
+        assert len(projected.nontrivial()) == 0
+
+    def test_projection_onto_full_universe_is_cover(self):
+        fds = FDSet("A->B, B->C")
+        assert project_fds(fds, "ABC").equivalent_to(fds)
+
+    def test_known_textbook_projection(self):
+        # R(ABC), F={A->B, B->C}; F+|AC = {A->C} (plus trivialities).
+        projected = project_fds("A->B, B->C", "AC").nontrivial()
+        assert projected.equivalent_to(FDSet("A->C"))
+
+
+class TestSatisfiesProjection:
+    def test_local_cover_detected(self):
+        assert satisfies_projection("A->B, B->C", "AC", "A->C")
+
+    def test_missing_projected_dependency_detected(self):
+        assert not satisfies_projection("A->B, B->C", "AC", [])
+
+
+class TestProperties:
+    @given(fd_sets(), attribute_sets())
+    def test_projected_fds_are_implied(self, fds, scheme):
+        for dependency in project_fds(fds, scheme):
+            assert FDSet(fds).implies(dependency)
+
+    @given(fd_sets(), attribute_sets())
+    def test_projected_fds_are_embedded(self, fds, scheme):
+        for dependency in project_fds(fds, scheme):
+            assert dependency.is_embedded_in(scheme)
+
+    @given(fd_sets(), attribute_sets())
+    def test_projection_complete_for_closures(self, fds, scheme):
+        """X+ ∩ R under the projection equals X+ ∩ R under F for X ⊆ R
+        (the defining property of a projection cover)."""
+        fd_set = FDSet(fds)
+        projected = project_fds(fd_set, scheme)
+        from itertools import combinations
+
+        ordered = sorted(scheme)
+        for size in range(1, len(ordered) + 1):
+            for combo in combinations(ordered, size):
+                start = frozenset(combo)
+                expected = fd_set.closure(start) & frozenset(scheme)
+                actual = projected.closure(start) & frozenset(scheme)
+                assert actual == expected

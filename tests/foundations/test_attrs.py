@@ -1,0 +1,68 @@
+"""Tests for attribute-set parsing and helpers."""
+
+import pytest
+
+from repro.foundations.attrs import (
+    attrs,
+    fmt_attrs,
+    incomparable,
+    is_subset,
+    sorted_attrs,
+    union_all,
+)
+from repro.foundations.errors import SchemaError
+
+
+class TestParsing:
+    def test_string_splits_characters(self):
+        assert attrs("HRC") == frozenset({"H", "R", "C"})
+
+    def test_list_of_names(self):
+        assert attrs(["hour", "room"]) == frozenset({"hour", "room"})
+
+    def test_frozenset_passthrough(self):
+        original = frozenset({"A", "B"})
+        assert attrs(original) == original
+
+    def test_generator_accepted(self):
+        assert attrs(c for c in "AB") == frozenset("AB")
+
+    def test_empty_string_gives_empty_set(self):
+        assert attrs("") == frozenset()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            attrs([""])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaError):
+            attrs([1, 2])
+
+
+class TestRendering:
+    def test_single_characters_concatenated_sorted(self):
+        assert fmt_attrs(frozenset("CBA")) == "ABC"
+
+    def test_long_names_comma_separated(self):
+        assert fmt_attrs({"hour", "room"}) == "hour,room"
+
+    def test_empty_set(self):
+        assert fmt_attrs(frozenset()) == "∅"
+
+    def test_sorted_attrs(self):
+        assert sorted_attrs(frozenset("CAB")) == ["A", "B", "C"]
+
+
+class TestSetHelpers:
+    def test_is_subset(self):
+        assert is_subset("AB", "ABC")
+        assert not is_subset("AD", "ABC")
+
+    def test_incomparable(self):
+        assert incomparable("AB", "BC")
+        assert not incomparable("AB", "ABC")
+        assert not incomparable("AB", "AB")
+
+    def test_union_all(self):
+        assert union_all(["AB", "BC", "D"]) == frozenset("ABCD")
+        assert union_all([]) == frozenset()

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.foundations.errors import (
+    ChaseError,
+    DependencyError,
+    InconsistentStateError,
+    NotApplicableError,
+    ReproError,
+    SchemaError,
+    StateError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (
+        ChaseError,
+        DependencyError,
+        InconsistentStateError,
+        NotApplicableError,
+        SchemaError,
+        StateError,
+    ):
+        assert issubclass(error_type, ReproError)
+
+
+def test_inconsistent_state_is_a_state_error():
+    assert issubclass(InconsistentStateError, StateError)
+    with pytest.raises(StateError):
+        raise InconsistentStateError("boom")
+
+
+def test_catching_repro_error_covers_library_failures():
+    """The contract the CLI relies on: one except clause suffices."""
+    from repro.schema.database_scheme import DatabaseScheme
+
+    with pytest.raises(ReproError):
+        DatabaseScheme([])
+    from repro.fd.fd import FD
+
+    with pytest.raises(ReproError):
+        FD("", "A")

@@ -1,0 +1,126 @@
+"""Tests for the acyclicity degrees, including Fagin's classic
+separating examples and the property chain γ ⟹ β ⟹ α."""
+
+from hypothesis import given, strategies as st
+
+from repro.hypergraph.acyclicity import (
+    find_beta_cycle,
+    find_gamma_cycle,
+    gyo_reduction,
+    is_alpha_acyclic,
+    is_beta_acyclic,
+    is_gamma_acyclic,
+)
+from tests.conftest import seeded_rng
+
+TRIANGLE = ["AB", "BC", "CA"]
+ALPHA_NOT_BETA = ["ABC", "AB", "BC", "CA"]
+BETA_NOT_GAMMA = ["AB", "BC", "ABC"]
+PATH = ["AB", "BC", "CD"]
+STAR = ["AX", "BX", "CX"]
+
+
+class TestAlpha:
+    def test_triangle_is_alpha_cyclic(self):
+        assert not is_alpha_acyclic(TRIANGLE)
+
+    def test_covered_triangle_is_alpha_acyclic(self):
+        assert is_alpha_acyclic(ALPHA_NOT_BETA)
+
+    def test_path_and_star(self):
+        assert is_alpha_acyclic(PATH)
+        assert is_alpha_acyclic(STAR)
+
+    def test_gyo_residual_of_triangle(self):
+        assert len(gyo_reduction(TRIANGLE)) > 0
+
+    def test_single_edge(self):
+        assert is_alpha_acyclic(["ABC"])
+
+    def test_empty(self):
+        assert is_alpha_acyclic([])
+
+
+class TestBeta:
+    def test_covered_triangle_is_beta_cyclic(self):
+        assert not is_beta_acyclic(ALPHA_NOT_BETA)
+
+    def test_nested_pair_chain_is_beta_acyclic(self):
+        assert is_beta_acyclic(BETA_NOT_GAMMA)
+
+    def test_beta_cycle_witness_shape(self):
+        cycle = find_beta_cycle(TRIANGLE)
+        assert cycle is not None
+        assert len(cycle) >= 3
+        edges = [edge for edge, _ in cycle]
+        nodes = [node for _, node in cycle]
+        assert len(set(edges)) == len(edges)
+        assert len(set(nodes)) == len(nodes)
+
+    @given(seeded_rng())
+    def test_beta_equals_all_subsets_alpha(self, rng):
+        """Fagin: β-acyclic ⟺ every subset of edges is α-acyclic."""
+        from itertools import combinations
+
+        universe = "ABCDE"
+        edges = list(
+            {
+                frozenset(rng.sample(universe, rng.randint(1, 3)))
+                for _ in range(rng.randint(2, 4))
+            }
+        )
+        all_alpha = all(
+            is_alpha_acyclic(list(combo))
+            for size in range(1, len(edges) + 1)
+            for combo in combinations(edges, size)
+        )
+        assert is_beta_acyclic(edges) == all_alpha
+
+
+class TestGamma:
+    def test_beta_acyclic_gamma_cyclic_example(self):
+        assert not is_gamma_acyclic(BETA_NOT_GAMMA)
+
+    def test_path_is_gamma_acyclic(self):
+        assert is_gamma_acyclic(PATH)
+
+    def test_star_is_gamma_acyclic(self):
+        # All intersections share the single node X: γ-cycles need
+        # distinct nodes.
+        assert is_gamma_acyclic(STAR)
+
+    def test_university_scheme_is_gamma_cyclic(self):
+        # Example 1's claim: R is not γ-acyclic.
+        assert not is_gamma_acyclic(["HRC", "HTR", "HTC", "CSG", "HSR"])
+
+    def test_gamma_cycle_witness_is_valid(self):
+        cycle = find_gamma_cycle(BETA_NOT_GAMMA)
+        assert cycle is not None
+        m = len(cycle)
+        assert m >= 3
+        for i, (edge, node) in enumerate(cycle):
+            assert node in edge
+            assert node in cycle[(i + 1) % m][0]
+        # Purity for all but the last node.
+        for i in range(m - 1):
+            node = cycle[i][1]
+            for j in range(m):
+                if j in (i, (i + 1) % m):
+                    continue
+                assert node not in cycle[j][0]
+
+
+class TestHierarchy:
+    @given(seeded_rng())
+    def test_gamma_implies_beta_implies_alpha(self, rng):
+        universe = "ABCDE"
+        edges = list(
+            {
+                frozenset(rng.sample(universe, rng.randint(1, 3)))
+                for _ in range(rng.randint(1, 5))
+            }
+        )
+        if is_gamma_acyclic(edges):
+            assert is_beta_acyclic(edges)
+        if is_beta_acyclic(edges):
+            assert is_alpha_acyclic(edges)

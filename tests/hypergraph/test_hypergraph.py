@@ -1,0 +1,91 @@
+"""Tests for the Hypergraph container and connectivity helpers."""
+
+import pytest
+
+from repro.foundations.errors import SchemaError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.paths import (
+    connected_components,
+    family_union,
+    find_path,
+    is_connected_family,
+)
+
+
+class TestHypergraph:
+    def test_nodes_default_to_edge_union(self):
+        graph = Hypergraph(["AB", "BC"])
+        assert graph.nodes == frozenset("ABC")
+
+    def test_duplicate_edges_collapse(self):
+        graph = Hypergraph(["AB", "AB", "BC"])
+        assert len(graph) == 2
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(SchemaError):
+            Hypergraph([""])
+
+    def test_edges_outside_nodes_rejected(self):
+        with pytest.raises(SchemaError):
+            Hypergraph(["AB"], nodes="A")
+
+    def test_subhypergraph(self):
+        graph = Hypergraph(["AB", "BC", "CD"])
+        sub = graph.subhypergraph(["AB", "BC"])
+        assert len(sub) == 2
+
+    def test_subhypergraph_rejects_foreign_edges(self):
+        graph = Hypergraph(["AB"])
+        with pytest.raises(SchemaError):
+            graph.subhypergraph(["XY"])
+
+    def test_edges_containing(self):
+        graph = Hypergraph(["AB", "BC", "CD"])
+        assert graph.edges_containing("B") == [
+            frozenset("AB"),
+            frozenset("BC"),
+        ]
+
+    def test_equality(self):
+        assert Hypergraph(["AB", "BC"]) == Hypergraph(["BC", "AB"])
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        assert is_connected_family(["AB", "BC", "CD"])
+
+    def test_disconnected(self):
+        assert not is_connected_family(["AB", "CD"])
+
+    def test_empty_family_not_connected(self):
+        assert not is_connected_family([])
+
+    def test_singleton_connected(self):
+        assert is_connected_family(["AB"])
+
+    def test_components(self):
+        components = connected_components(["AB", "CD", "BC", "EF"])
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 3]
+
+    def test_family_union(self):
+        assert family_union(["AB", "CD"]) == frozenset("ABCD")
+
+
+class TestPaths:
+    def test_direct_path(self):
+        path = find_path(["AB", "BC"], "A", "B")
+        assert path == [frozenset("AB")]
+
+    def test_two_step_path(self):
+        path = find_path(["AB", "BC", "CD"], "A", "D")
+        assert path == [frozenset("AB"), frozenset("BC"), frozenset("CD")]
+
+    def test_no_path(self):
+        assert find_path(["AB", "CD"], "A", "D") is None
+
+    def test_path_is_minimal(self):
+        # A shortcut edge makes the long way non-minimal.
+        path = find_path(["AB", "BC", "CD", "AD"], "A", "D")
+        assert path == [frozenset("AD")]

@@ -1,0 +1,79 @@
+"""Tests for join-tree construction and the BFMY equivalence with
+α-acyclicity."""
+
+from hypothesis import given
+
+from repro.hypergraph.acyclicity import is_alpha_acyclic
+from repro.hypergraph.join_tree import build_join_tree
+from tests.conftest import berge_acyclic_schemes, seeded_rng
+
+
+class TestConstruction:
+    def test_path(self):
+        tree = build_join_tree(["AB", "BC", "CD"])
+        assert tree is not None
+        assert tree.satisfies_running_intersection()
+        assert len(tree.links) == 2
+
+    def test_star(self):
+        tree = build_join_tree(["AX", "BX", "CX"])
+        assert tree is not None
+        assert tree.satisfies_running_intersection()
+
+    def test_triangle_has_no_join_tree(self):
+        assert build_join_tree(["AB", "BC", "CA"]) is None
+
+    def test_covered_triangle(self):
+        tree = build_join_tree(["ABC", "AB", "BC", "CA"])
+        assert tree is not None
+        assert tree.satisfies_running_intersection()
+        assert len(tree.links) == 3
+        # The proper-subset edges hang off the covering edge.
+        parents = {tuple(sorted(c)): p for c, p in tree.links}
+        assert parents[("A", "B")] == frozenset("ABC")
+        assert parents[("B", "C")] == frozenset("ABC")
+
+    def test_single_edge(self):
+        tree = build_join_tree(["ABC"])
+        assert tree is not None
+        assert tree.root == frozenset("ABC")
+        assert tree.links == ()
+
+    def test_duplicates_collapse(self):
+        tree = build_join_tree(["AB", "AB", "BC"])
+        assert tree is not None
+        assert len(tree.edges) == 2
+
+    def test_empty(self):
+        assert build_join_tree([]) is None
+
+    def test_render_mentions_join_attributes(self):
+        rendered = build_join_tree(["AB", "BC"]).render()
+        assert "AB" in rendered and "BC" in rendered and "(on B)" in rendered
+
+    def test_neighbors(self):
+        tree = build_join_tree(["AB", "BC", "CD"])
+        middle = frozenset("BC")
+        assert len(tree.neighbors(middle)) == 2
+
+
+class TestBFMYEquivalence:
+    @given(seeded_rng())
+    def test_join_tree_exists_iff_alpha_acyclic(self, rng):
+        universe = "ABCDE"
+        edges = list(
+            {
+                frozenset(rng.sample(universe, rng.randint(1, 3)))
+                for _ in range(rng.randint(1, 5))
+            }
+        )
+        tree = build_join_tree(edges)
+        assert (tree is not None) == is_alpha_acyclic(edges)
+        if tree is not None:
+            assert tree.satisfies_running_intersection()
+
+    @given(berge_acyclic_schemes())
+    def test_berge_acyclic_schemes_have_join_trees(self, scheme):
+        tree = build_join_tree([m.attributes for m in scheme.relations])
+        assert tree is not None
+        assert tree.satisfies_running_intersection()

@@ -1,0 +1,99 @@
+"""Tests for DatabaseScheme."""
+
+import pytest
+
+from repro.fd.fdset import FDSet
+from repro.foundations.errors import SchemaError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.schema.relation_scheme import RelationScheme
+from repro.workloads.paper import example1_university
+
+
+class TestConstruction:
+    def test_from_spec(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": "BC"}
+        )
+        assert scheme.universe == frozenset("ABC")
+        assert scheme["R2"].is_all_key()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseScheme(
+                [RelationScheme("R1", "AB"), RelationScheme("R1", "BC")]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseScheme([])
+
+    def test_unknown_lookup(self):
+        scheme = DatabaseScheme.from_spec({"R1": "AB"})
+        with pytest.raises(SchemaError):
+            scheme["R9"]
+
+    def test_contains_by_name_and_member(self):
+        scheme = DatabaseScheme.from_spec({"R1": "AB"})
+        assert "R1" in scheme
+        assert scheme["R1"] in scheme
+        assert "R2" not in scheme
+
+
+class TestDependencies:
+    def test_fds_is_union_of_key_dependencies(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("BC", ["B"])}
+        )
+        assert scheme.fds == FDSet("A->B, B->C")
+
+    def test_fds_of_member(self):
+        scheme = example1_university()
+        assert scheme.fds_of("R1") == FDSet("HR->C")
+
+    def test_fds_excluding_member(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("BC", ["B"])}
+        )
+        assert scheme.fds_excluding("R1") == FDSet("B->C")
+
+    def test_university_fds(self):
+        scheme = example1_university()
+        assert scheme.fds.equivalent_to(
+            FDSet("HR->C, HT->R, HR->T, HT->C, CS->G, HS->R")
+        )
+
+
+class TestKeys:
+    def test_all_keys_sorted_unique(self):
+        scheme = example1_university()
+        keys = scheme.all_keys()
+        assert frozenset("HR") in keys
+        assert frozenset("HT") in keys
+        assert len(keys) == len(set(keys))
+
+    def test_keys_embedded_in(self):
+        scheme = example1_university()
+        embedded = scheme.keys_embedded_in("HTRC")
+        assert frozenset("HR") in embedded
+        assert frozenset("HT") in embedded
+        assert frozenset("CS") not in embedded
+
+
+class TestSubschemes:
+    def test_subscheme_keeps_order(self):
+        scheme = example1_university()
+        sub = scheme.subscheme(["R3", "R1"])
+        assert sub.names == ("R1", "R3")
+
+    def test_subscheme_unknown_member(self):
+        with pytest.raises(SchemaError):
+            example1_university().subscheme(["R9"])
+
+    def test_schemes_containing(self):
+        scheme = example1_university()
+        names = [m.name for m in scheme.schemes_containing("HR")]
+        assert names == ["R1", "R2", "R5"]
+
+    def test_named_attribute_sets(self):
+        scheme = DatabaseScheme.from_spec({"R1": "AB"})
+        assert scheme.named_attribute_sets() == [("R1", frozenset("AB"))]

@@ -1,0 +1,80 @@
+"""Tests for BCNF decomposition."""
+
+import pytest
+from hypothesis import given
+
+from repro.fd.fdset import FDSet
+from repro.fd.normal_forms import database_scheme_is_bcnf
+from repro.schema.decompose import decompose_bcnf
+from repro.schema.embedded import is_cover_embedding
+from repro.tableau.scheme_tableau import is_lossless
+from tests.conftest import fd_sets
+
+
+class TestTextbookCases:
+    def test_transitive_chain_splits(self):
+        scheme = decompose_bcnf("ABC", "A->B, B->C")
+        attribute_sets = sorted(
+            "".join(sorted(m.attributes)) for m in scheme.relations
+        )
+        assert attribute_sets == ["AB", "BC"]
+
+    def test_already_bcnf_stays_whole(self):
+        scheme = decompose_bcnf("ABC", "A->BC")
+        assert len(scheme.relations) == 1
+        assert scheme.relations[0].attributes == frozenset("ABC")
+
+    def test_csz_loses_dependency_preservation(self):
+        """The classic city-street-zip example: BCNF decomposition is
+        lossless but drops CS→Z from the embedded cover."""
+        scheme = decompose_bcnf("CSZ", "CS->Z, Z->C")
+        edges = [m.attributes for m in scheme.relations]
+        assert database_scheme_is_bcnf(edges, FDSet("CS->Z, Z->C"))
+        assert is_lossless(
+            [(m.name, m.attributes) for m in scheme.relations],
+            "CS->Z, Z->C",
+            universe="CSZ",
+        )
+        assert not is_cover_embedding(edges, FDSet("CS->Z, Z->C"))
+
+    def test_no_fds_keeps_universe(self):
+        scheme = decompose_bcnf("AB", [])
+        assert len(scheme.relations) == 1
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_bcnf("", "A->B")
+
+    def test_external_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_bcnf("AB", "A->C")
+
+
+class TestProperties:
+    @given(fd_sets())
+    def test_result_is_bcnf(self, fds):
+        scheme = decompose_bcnf("ABCDEF", fds)
+        assert database_scheme_is_bcnf(
+            [m.attributes for m in scheme.relations], FDSet(fds)
+        )
+
+    @given(fd_sets())
+    def test_result_is_lossless(self, fds):
+        scheme = decompose_bcnf("ABCDEF", fds)
+        assert is_lossless(
+            [(m.name, m.attributes) for m in scheme.relations],
+            FDSet(fds),
+            universe="ABCDEF",
+        )
+
+    @given(fd_sets())
+    def test_fragments_cover_universe(self, fds):
+        scheme = decompose_bcnf("ABCDEF", fds)
+        assert scheme.universe == frozenset("ABCDEF")
+
+    @given(fd_sets())
+    def test_keys_are_normalized(self, fds):
+        from repro.schema.operations import normalize_keys
+
+        scheme = decompose_bcnf("ABCDEF", fds)
+        assert normalize_keys(scheme) == scheme

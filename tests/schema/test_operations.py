@@ -1,0 +1,97 @@
+"""Tests for SUBSET/AUG/RED and key normalization."""
+
+import pytest
+
+from repro.foundations.errors import SchemaError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.schema.operations import (
+    augment,
+    is_reduced,
+    normalize_keys,
+    reduce_scheme,
+    subset_family,
+)
+from repro.workloads.paper import example12_reducible
+
+
+class TestSubsetFamily:
+    def test_all_subsets_of_members(self):
+        scheme = DatabaseScheme.from_spec({"R1": "AB"})
+        family = subset_family(scheme)
+        assert frozenset("A") in family
+        assert frozenset("B") in family
+        assert frozenset("AB") in family
+        assert len(family) == 3
+
+    def test_shared_subsets_deduplicated(self):
+        scheme = DatabaseScheme.from_spec({"R1": "AB", "R2": "BC"})
+        family = subset_family(scheme)
+        assert family.count(frozenset("B")) == 1
+
+
+class TestAugment:
+    def test_adds_subset_with_derived_keys(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("ABC", ["A"]), "R2": ("CD", ["C"])}
+        )
+        augmented = augment(scheme, [("S", "AB")])
+        assert augmented["S"].keys == (frozenset("A"),)
+
+    def test_rejects_non_subset(self):
+        scheme = DatabaseScheme.from_spec({"R1": "AB"})
+        with pytest.raises(SchemaError):
+            augment(scheme, [("S", "AC")])
+
+    def test_explicit_keys_respected(self):
+        scheme = DatabaseScheme.from_spec({"R1": ("ABC", ["A"])})
+        augmented = augment(
+            scheme, [("S", "BC")], keys_for={"S": ["BC"]}
+        )
+        assert augmented["S"].is_all_key()
+
+
+class TestReduce:
+    def test_removes_proper_subsets(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("ABC", ["A"]), "R2": ("AB", ["A"])}
+        )
+        reduced = reduce_scheme(scheme)
+        assert reduced.names == ("R1",)
+        assert not is_reduced(scheme)
+        assert is_reduced(reduced)
+
+    def test_duplicate_attribute_sets_collapse(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("AB", ["A"])}
+        )
+        assert reduce_scheme(scheme).names == ("R1",)
+
+    def test_reduced_scheme_unchanged(self):
+        scheme = DatabaseScheme.from_spec({"R1": "AB", "R2": "BC"})
+        assert reduce_scheme(scheme) == scheme
+
+
+class TestNormalizeKeys:
+    def test_adds_derived_candidate_keys(self):
+        # F = {A→B, B→C, C→A}: every attribute keys every pair.
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("BC", ["B"]), "R3": ("CA", ["C"])}
+        )
+        normalized = normalize_keys(scheme)
+        assert set(normalized["R1"].keys) == {frozenset("A"), frozenset("B")}
+        assert set(normalized["R2"].keys) == {frozenset("B"), frozenset("C")}
+
+    def test_preserves_fd_closure(self):
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("BC", ["B"]), "R3": ("CA", ["C"])}
+        )
+        assert normalize_keys(scheme).fds.equivalent_to(scheme.fds)
+
+    def test_idempotent(self):
+        scheme = example12_reducible()
+        once = normalize_keys(scheme)
+        assert normalize_keys(once) == once
+
+    def test_paper_example12_already_normalized(self):
+        scheme = example12_reducible()
+        assert normalize_keys(scheme) == scheme

@@ -1,0 +1,71 @@
+"""Tests for RelationScheme."""
+
+import pytest
+
+from repro.fd.fdset import FDSet
+from repro.foundations.errors import SchemaError
+from repro.schema.relation_scheme import RelationScheme, relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        member = RelationScheme("R1", "HRC", ["HR"])
+        assert member.attributes == frozenset("HRC")
+        assert member.keys == (frozenset("HR"),)
+
+    def test_default_is_all_key(self):
+        member = RelationScheme("R1", "AB")
+        assert member.is_all_key()
+        assert member.keys == (frozenset("AB"),)
+
+    def test_keys_sorted_and_deduplicated(self):
+        member = RelationScheme("R1", "ABC", ["B", "A", "B"])
+        assert member.keys == (frozenset("A"), frozenset("B"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationScheme("", "AB")
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationScheme("R1", "")
+
+    def test_key_outside_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationScheme("R1", "AB", ["C"])
+
+    def test_immutable(self):
+        member = RelationScheme("R1", "AB")
+        with pytest.raises(AttributeError):
+            member.name = "R2"
+
+
+class TestSemantics:
+    def test_key_dependencies(self):
+        member = RelationScheme("R2", "HTR", ["HT", "HR"])
+        assert member.key_dependencies == FDSet("HT->R, HR->T")
+
+    def test_all_key_has_no_dependencies(self):
+        assert len(RelationScheme("R1", "AB").key_dependencies) == 0
+
+    def test_embeds_vs_declares(self):
+        member = RelationScheme("R1", "ABC", ["A"])
+        assert member.embeds_key("BC")  # fits inside
+        assert not member.declares_key("BC")
+        assert member.declares_key("A")
+
+    def test_rename(self):
+        member = RelationScheme("R1", "AB", ["A"])
+        renamed = member.rename("X")
+        assert renamed.name == "X"
+        assert renamed.attributes == member.attributes
+        assert renamed.keys == member.keys
+
+    def test_equality_and_hash(self):
+        assert RelationScheme("R1", "AB", ["A"]) == relation("R1", "AB", ["A"])
+        assert hash(RelationScheme("R1", "AB", ["A"])) == hash(
+            relation("R1", "AB", ["A"])
+        )
+        assert RelationScheme("R1", "AB", ["A"]) != RelationScheme(
+            "R1", "AB", ["B"]
+        )

@@ -1,0 +1,157 @@
+"""Tests for weak-instance consistency: LSAT, WSAT, the representative
+instance and the full-chase maintenance baseline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.foundations.errors import InconsistentStateError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.state.consistency import (
+    is_consistent,
+    is_locally_consistent,
+    maintain_by_chase,
+    representative_instance,
+    satisfies_embedded_keys,
+    total_projection,
+)
+from repro.state.database_state import DatabaseState, tuples_from_rows
+from tests.conftest import seeded_rng
+from repro.workloads.random_schemes import random_scheme
+from repro.workloads.states import random_consistent_state
+
+
+def triangle():
+    return DatabaseScheme.from_spec(
+        {"R1": ("AB", ["A"]), "R2": ("BC", ["B"]), "R3": ("AC", ["A"])}
+    )
+
+
+class TestConsistency:
+    def test_joinable_state_is_consistent(self):
+        state = DatabaseState(
+            triangle(),
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c")]),
+            },
+        )
+        assert is_consistent(state)
+
+    def test_globally_inconsistent_but_locally_consistent(self):
+        """The hallmark of a non-independent scheme: each relation
+        satisfies its own dependencies, yet no weak instance exists."""
+        state = DatabaseState(
+            triangle(),
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c1")]),
+                "R3": tuples_from_rows("AC", [("a", "c2")]),
+            },
+        )
+        assert is_locally_consistent(state)
+        assert satisfies_embedded_keys(state)
+        assert not is_consistent(state)
+
+    def test_local_violation_detected(self):
+        state = DatabaseState(
+            triangle(),
+            {"R1": tuples_from_rows("AB", [("a", "b1"), ("a", "b2")])},
+        )
+        assert not is_locally_consistent(state)
+        assert not satisfies_embedded_keys(state)
+
+    def test_local_check_sees_projected_fds(self):
+        """F⁺|R3 includes A→C even though R3's own declared key induces
+        it here; use a scheme where the projection is strictly richer."""
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("BC", ["B"]), "R3": ("AC", None)}
+        )
+        # A→C ∈ F⁺|AC via A→B→C although R3 is all-key.
+        state = DatabaseState(
+            scheme,
+            {"R3": tuples_from_rows("AC", [("a", "c1"), ("a", "c2")])},
+        )
+        assert satisfies_embedded_keys(state)
+        assert not is_locally_consistent(state)
+
+    def test_empty_state_is_consistent(self):
+        assert is_consistent(DatabaseState(triangle()))
+
+
+class TestRepresentativeInstance:
+    def test_raises_on_inconsistent_state(self):
+        state = DatabaseState(
+            triangle(),
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c1")]),
+                "R3": tuples_from_rows("AC", [("a", "c2")]),
+            },
+        )
+        with pytest.raises(InconsistentStateError):
+            representative_instance(state)
+
+    def test_total_projection_combines_relations(self):
+        state = DatabaseState(
+            triangle(),
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c")]),
+            },
+        )
+        assert total_projection(state, "ABC") == {("a", "b", "c")}
+        assert total_projection(state, "AC") == {("a", "c")}
+
+    def test_total_projection_excludes_partial_rows(self):
+        state = DatabaseState(
+            triangle(),
+            {"R1": tuples_from_rows("AB", [("a", "b")])},
+        )
+        assert total_projection(state, "AC") == set()
+
+
+class TestMaintainByChase:
+    def test_accepts_consistent_insert(self):
+        state = DatabaseState(
+            triangle(), {"R1": tuples_from_rows("AB", [("a", "b")])}
+        )
+        outcome = maintain_by_chase(state, "R2", {"B": "b", "C": "c"})
+        assert outcome.consistent
+        assert outcome.state is not None
+        assert outcome.state.total_tuples() == 2
+
+    def test_rejects_inconsistent_insert(self):
+        state = DatabaseState(
+            triangle(),
+            {
+                "R1": tuples_from_rows("AB", [("a", "b")]),
+                "R2": tuples_from_rows("BC", [("b", "c")]),
+            },
+        )
+        outcome = maintain_by_chase(state, "R3", {"A": "a", "C": "zzz"})
+        assert not outcome.consistent
+        assert outcome.state is None
+
+    def test_examines_whole_state(self):
+        state = DatabaseState(
+            triangle(), {"R1": tuples_from_rows("AB", [("a", "b")])}
+        )
+        outcome = maintain_by_chase(state, "R2", {"B": "b", "C": "c"})
+        assert outcome.tuples_examined == 2  # the updated state size
+
+
+class TestProperties:
+    @given(seeded_rng(), st.integers(min_value=1, max_value=8))
+    def test_generated_states_are_consistent(self, rng, n):
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        assert is_consistent(state)
+        assert is_locally_consistent(state)
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=6))
+    def test_wsat_implies_lsat(self, rng, n):
+        """Global consistency always implies local consistency."""
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        if is_consistent(state):
+            assert is_locally_consistent(state)

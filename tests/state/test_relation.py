@@ -1,0 +1,84 @@
+"""Tests for the Relation container and fd satisfaction."""
+
+import pytest
+
+from repro.fd.fd import FD
+from repro.foundations.errors import StateError
+from repro.state.relation import Relation
+
+
+def rel(attributes, rows):
+    order = list(attributes)
+    return Relation(
+        attributes, [dict(zip(order, row)) for row in rows]
+    )
+
+
+class TestContainer:
+    def test_set_semantics(self):
+        relation = rel("AB", [("a", "b"), ("a", "b")])
+        assert len(relation) == 1
+
+    def test_contains(self):
+        relation = rel("AB", [("a", "b")])
+        assert {"A": "a", "B": "b"} in relation
+        assert {"A": "x", "B": "b"} not in relation
+        assert {"A": "a"} not in relation  # wrong attributes
+
+    def test_tuple_attribute_mismatch_rejected(self):
+        with pytest.raises(StateError):
+            Relation("AB", [{"A": "a"}])
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(StateError):
+            Relation("", [])
+
+    def test_iteration_is_deterministic(self):
+        relation = rel("AB", [("a2", "b2"), ("a1", "b1")])
+        assert list(relation) == list(relation)
+
+    def test_with_and_without_tuple(self):
+        relation = rel("AB", [("a", "b")])
+        bigger = relation.with_tuple({"A": "x", "B": "y"})
+        assert len(bigger) == 2
+        assert len(relation) == 1  # immutability
+        smaller = bigger.without_tuple({"A": "x", "B": "y"})
+        assert smaller == relation
+
+    def test_union_and_difference(self):
+        left = rel("AB", [("a", "b")])
+        right = rel("AB", [("x", "y")])
+        assert len(left.union(right)) == 2
+        assert left.union(right).difference(right) == left
+
+    def test_union_requires_same_attributes(self):
+        with pytest.raises(StateError):
+            rel("AB", []).union(rel("AC", []))
+
+    def test_equality_and_hash(self):
+        assert rel("AB", [("a", "b")]) == rel("AB", [("a", "b")])
+        assert hash(rel("AB", [("a", "b")])) == hash(rel("AB", [("a", "b")]))
+
+
+class TestSatisfaction:
+    def test_key_violation_detected(self):
+        relation = rel("AB", [("a", "b1"), ("a", "b2")])
+        assert not relation.satisfies_fd(FD("A", "B"))
+
+    def test_satisfying_relation(self):
+        relation = rel("AB", [("a1", "b1"), ("a2", "b1")])
+        assert relation.satisfies_fd(FD("A", "B"))
+
+    def test_unembedded_fd_vacuous(self):
+        relation = rel("AB", [("a", "b1"), ("a", "b2")])
+        assert relation.satisfies_fd(FD("A", "C"))
+
+    def test_composite_lhs(self):
+        relation = rel("ABC", [("a", "b", "c1"), ("a", "x", "c2")])
+        assert relation.satisfies_fd(FD("AB", "C"))
+        relation2 = rel("ABC", [("a", "b", "c1"), ("a", "b", "c2")])
+        assert not relation2.satisfies_fd(FD("AB", "C"))
+
+    def test_satisfies_fdset(self):
+        relation = rel("AB", [("a", "b")])
+        assert relation.satisfies("A->B, B->A")

@@ -1,0 +1,162 @@
+"""Tests for the generic chase engine: rule semantics, inconsistency
+detection, termination and weak-instance facts (property-based)."""
+
+from hypothesis import given, strategies as st
+
+from repro.state.database_state import DatabaseState
+from repro.tableau.chase import chase, satisfies
+from repro.tableau.state_tableau import state_tableau
+from repro.tableau.symbols import constant, is_constant
+from repro.tableau.tableau import Row, Tableau
+from tests.conftest import seeded_rng
+from repro.workloads.random_schemes import random_scheme
+from repro.workloads.states import random_consistent_state
+
+
+def two_row_tableau(cells1, cells2):
+    universe = frozenset(cells1)
+    return Tableau(universe, [Row(cells1), Row(cells2)])
+
+
+class TestFdRule:
+    def test_equates_ndv_to_constant(self):
+        tableau = state_tableau(
+            [
+                ("R1", frozenset("AB"), [{"A": "a", "B": "b"}]),
+                ("R2", frozenset("AC"), [{"A": "a", "C": "c"}]),
+            ]
+        )
+        result = chase(tableau, "A->B, A->C")
+        assert result.consistent
+        # Both rows become total on ABC with the same values.
+        assert result.tableau.total_projection("ABC") == {("a", "b", "c")}
+
+    def test_conflicting_constants_mean_inconsistency(self):
+        tableau = state_tableau(
+            [
+                ("R1", frozenset("AB"), [{"A": "a", "B": "b1"}]),
+                ("R2", frozenset("AB"), [{"A": "a", "B": "b2"}]),
+            ]
+        )
+        result = chase(tableau, "A->B")
+        assert not result.consistent
+        assert len(result.tableau) == 0
+
+    def test_no_applicable_rule_means_zero_steps(self):
+        tableau = state_tableau(
+            [("R1", frozenset("AB"), [{"A": "a", "B": "b"}])]
+        )
+        result = chase(tableau, "A->B")
+        assert result.consistent
+        assert result.steps == 0
+
+    def test_chain_of_inferences(self):
+        # a=A links rows; B then C propagate transitively.
+        tableau = state_tableau(
+            [
+                ("R1", frozenset("AB"), [{"A": "a", "B": "b"}]),
+                ("R2", frozenset("BC"), [{"B": "b", "C": "c"}]),
+                ("R3", frozenset("A"), [{"A": "a"}]),
+            ]
+        )
+        result = chase(tableau, "A->B, B->C")
+        assert result.consistent
+        assert result.tableau.total_projection("ABC") == {("a", "b", "c")}
+
+    def test_trivial_fds_ignored(self):
+        tableau = state_tableau(
+            [("R1", frozenset("AB"), [{"A": "a", "B": "b"}])]
+        )
+        result = chase(tableau, [])
+        assert result.consistent and result.steps == 0
+
+
+class TestSatisfies:
+    def test_satisfying_relation(self):
+        tableau = Tableau(
+            frozenset("AB"),
+            [
+                Row({"A": constant("a1"), "B": constant("b1")}),
+                Row({"A": constant("a2"), "B": constant("b2")}),
+            ],
+        )
+        assert satisfies(tableau, "A->B")
+
+    def test_violating_relation(self):
+        tableau = Tableau(
+            frozenset("AB"),
+            [
+                Row({"A": constant("a"), "B": constant("b1")}),
+                Row({"A": constant("a"), "B": constant("b2")}),
+            ],
+        )
+        assert not satisfies(tableau, "A->B")
+
+
+class TestWeakInstanceFacts:
+    @given(seeded_rng(), st.integers(min_value=1, max_value=8))
+    def test_states_from_universe_tuples_are_consistent(self, rng, n):
+        """A state that is the projection of full tuples always chases
+        without contradiction (Honeyman)."""
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        result = chase(state.tableau(), scheme.fds)
+        assert result.consistent
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=6))
+    def test_chase_result_satisfies_fds(self, rng, n):
+        """The representative instance is a satisfying tableau."""
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        result = chase(state.tableau(), scheme.fds)
+        assert satisfies(result.tableau, scheme.fds)
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=6))
+    def test_chase_preserves_stored_tuples(self, rng, n):
+        """Every stored tuple survives into the representative instance's
+        total projection on its own scheme."""
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        result = chase(state.tableau(), scheme.fds)
+        for name, relation in state:
+            member = scheme[name]
+            projected = result.tableau.total_projection(member.attributes)
+            ordered = sorted(member.attributes)
+            for values in relation:
+                assert tuple(values[a] for a in ordered) in projected
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=6))
+    def test_chase_is_order_invariant(self, rng, n):
+        """The chase is Church-Rosser for fds: permuting the stored
+        tuples (hence the tableau rows) changes nothing observable."""
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        result = chase(state.tableau(), scheme.fds)
+
+        shuffled_relations = {}
+        for name, relation in state:
+            rows = list(relation)
+            rng.shuffle(rows)
+            shuffled_relations[name] = rows
+        shuffled = DatabaseState(scheme, shuffled_relations)
+        shuffled_result = chase(shuffled.tableau(), scheme.fds)
+
+        assert shuffled_result.consistent == result.consistent
+        for member in scheme.relations:
+            assert shuffled_result.tableau.total_projection(
+                member.attributes
+            ) == result.tableau.total_projection(member.attributes)
+        assert shuffled_result.tableau.total_projection(
+            scheme.universe
+        ) == result.tableau.total_projection(scheme.universe)
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=6))
+    def test_chase_is_idempotent(self, rng, n):
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        once = chase(state.tableau(), scheme.fds)
+        twice = chase(once.tableau, scheme.fds)
+        assert twice.steps == 0
+        assert twice.tableau.total_projection(scheme.universe) == (
+            once.tableau.total_projection(scheme.universe)
+        )

@@ -1,0 +1,99 @@
+"""Tests for containment mappings, tableau equivalence and minimization."""
+
+from repro.tableau.minimize import (
+    equivalent,
+    find_containment_mapping,
+    minimize,
+    remove_subsumed_rows,
+    row_maps_into,
+)
+from repro.tableau.symbols import constant, dv, ndv
+from repro.tableau.tableau import Row, Tableau
+
+
+def tab(universe, rows):
+    return Tableau(frozenset(universe), [Row(cells) for cells in rows])
+
+
+class TestRowMapsInto:
+    def test_ndvs_are_wildcards(self):
+        source = Row({"A": constant("a"), "B": ndv(0)})
+        target = Row({"A": constant("a"), "B": constant("b")})
+        assert row_maps_into(source, target)
+        assert not row_maps_into(target, source)
+
+    def test_constants_must_match(self):
+        source = Row({"A": constant("a"), "B": ndv(0)})
+        target = Row({"A": constant("x"), "B": constant("b")})
+        assert not row_maps_into(source, target)
+
+    def test_dvs_must_match(self):
+        source = Row({"A": dv("A"), "B": ndv(0)})
+        target = Row({"A": constant("a"), "B": constant("b")})
+        assert not row_maps_into(source, target)
+
+
+class TestContainmentMapping:
+    def test_identity_mapping_exists(self):
+        tableau = tab("AB", [{"A": constant("a"), "B": ndv(0)}])
+        assert find_containment_mapping(tableau, tableau) is not None
+
+    def test_ndv_binding_must_be_consistent(self):
+        # b0 appears twice in the source row; it must map to one value.
+        source = tab("AB", [{"A": ndv(0), "B": ndv(0)}])
+        target_ok = tab("AB", [{"A": constant("x"), "B": constant("x")}])
+        target_bad = tab("AB", [{"A": constant("x"), "B": constant("y")}])
+        assert find_containment_mapping(source, target_ok) is not None
+        assert find_containment_mapping(source, target_bad) is None
+
+    def test_universe_mismatch(self):
+        left = tab("AB", [{"A": constant("a"), "B": ndv(0)}])
+        right = tab("AC", [{"A": constant("a"), "C": ndv(0)}])
+        assert find_containment_mapping(left, right) is None
+
+
+class TestEquivalenceAndMinimize:
+    def test_redundant_row_removed(self):
+        full = tab(
+            "AB",
+            [
+                {"A": constant("a"), "B": constant("b")},
+                {"A": constant("a"), "B": ndv(0)},  # subsumed
+            ],
+        )
+        minimized = minimize(full)
+        assert len(minimized) == 1
+        assert equivalent(full, minimized)
+
+    def test_incomparable_rows_kept(self):
+        full = tab(
+            "AB",
+            [
+                {"A": constant("a"), "B": ndv(0)},
+                {"A": ndv(1), "B": constant("b")},
+            ],
+        )
+        assert len(minimize(full)) == 2
+
+    def test_remove_subsumed_rows_matches_minimize_on_distinct_ndvs(self):
+        full = tab(
+            "ABC",
+            [
+                {"A": constant("a"), "B": constant("b"), "C": ndv(0)},
+                {"A": constant("a"), "B": ndv(1), "C": ndv(2)},
+                {"A": constant("x"), "B": ndv(3), "C": constant("c")},
+            ],
+        )
+        fast = remove_subsumed_rows(full)
+        slow = minimize(full)
+        assert len(fast) == len(slow) == 2
+
+    def test_identical_rows_keep_one(self):
+        full = tab(
+            "AB",
+            [
+                {"A": constant("a"), "B": ndv(0)},
+                {"A": constant("a"), "B": ndv(1)},
+            ],
+        )
+        assert len(remove_subsumed_rows(full)) == 1

@@ -1,0 +1,80 @@
+"""Property tests for tableau minimization over random tableaux."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tableau.minimize import (
+    equivalent,
+    find_containment_mapping,
+    minimize,
+    remove_subsumed_rows,
+)
+from repro.tableau.symbols import NDVFactory, constant, dv
+from repro.tableau.tableau import Row, Tableau
+from tests.conftest import seeded_rng
+
+UNIVERSE = "ABC"
+
+
+def random_tableau(rng: random.Random, n_rows: int, distinct_ndvs: bool) -> Tableau:
+    factory = NDVFactory()
+    shared = [factory.fresh() for _ in range(3)]
+    rows = []
+    for _ in range(n_rows):
+        cells = {}
+        for attribute in UNIVERSE:
+            roll = rng.random()
+            if roll < 0.4:
+                cells[attribute] = constant(f"{attribute.lower()}{rng.randint(0, 2)}")
+            elif roll < 0.55:
+                cells[attribute] = dv(attribute)
+            elif distinct_ndvs or roll < 0.8:
+                cells[attribute] = factory.fresh()
+            else:
+                cells[attribute] = rng.choice(shared)
+        rows.append(Row(cells))
+    return Tableau(frozenset(UNIVERSE), rows)
+
+
+@given(seeded_rng(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30)
+def test_minimize_preserves_equivalence(rng, n_rows):
+    tableau = random_tableau(rng, n_rows, distinct_ndvs=False)
+    minimized = minimize(tableau)
+    assert len(minimized) <= len(tableau)
+    assert equivalent(tableau, minimized)
+
+
+@given(seeded_rng(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30)
+def test_minimize_is_idempotent(rng, n_rows):
+    tableau = random_tableau(rng, n_rows, distinct_ndvs=False)
+    once = minimize(tableau)
+    twice = minimize(once)
+    assert len(twice) == len(once)
+
+
+@given(seeded_rng(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=30)
+def test_fast_subsumption_matches_minimize_on_distinct_ndvs(rng, n_rows):
+    """On tableaux whose nondistinguished variables are all distinct,
+    the per-row subsumption check equals full minimization."""
+    tableau = random_tableau(rng, n_rows, distinct_ndvs=True)
+    fast = remove_subsumed_rows(tableau)
+    slow = minimize(tableau)
+    assert len(fast) == len(slow)
+    assert equivalent(fast, slow)
+
+
+@given(seeded_rng(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30)
+def test_containment_mapping_reflexive_and_monotone(rng, n_rows):
+    tableau = random_tableau(rng, n_rows, distinct_ndvs=False)
+    assert find_containment_mapping(tableau, tableau) is not None
+    # Adding rows to the target never breaks an existing mapping.
+    extra = random_tableau(rng, 1, distinct_ndvs=True)
+    bigger = Tableau(
+        tableau.universe, list(tableau.rows) + list(extra.rows)
+    )
+    assert find_containment_mapping(tableau, bigger) is not None

@@ -1,0 +1,116 @@
+"""Tests for the proof-producing chase (derivation lineage)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tableau.provenance import ProvenanceChase
+from repro.tableau.chase import chase
+from tests.conftest import seeded_rng
+from repro.workloads.adversarial import (
+    example2_chain_state,
+    example2_killer_insert,
+)
+from repro.workloads.paper import example12_reducible
+from repro.workloads.random_schemes import random_scheme
+from repro.workloads.states import dense_consistent_state, random_consistent_state
+
+
+class TestBasics:
+    def test_stored_constants_need_no_events(self):
+        from repro.schema.database_scheme import DatabaseScheme
+        from repro.state.database_state import DatabaseState
+
+        scheme = DatabaseScheme.from_spec({"R1": ("AB", ["A"])})
+        state = DatabaseState(scheme, {"R1": [{"A": "a", "B": "b"}]})
+        provenance = ProvenanceChase(state.tableau(), scheme.fds)
+        assert provenance.consistent
+        assert provenance.derivation_events(0, "A") == frozenset()
+        assert provenance.tuple_derivation_length(0, "AB") == 0
+
+    def test_single_hop_derivation(self):
+        from repro.schema.database_scheme import DatabaseScheme
+        from repro.state.database_state import DatabaseState
+
+        scheme = DatabaseScheme.from_spec(
+            {"R1": ("AB", ["A"]), "R2": ("AC", ["A"])}
+        )
+        state = DatabaseState(
+            scheme,
+            {
+                "R1": [{"A": "a", "B": "b"}],
+                "R2": [{"A": "a", "C": "c"}],
+            },
+        )
+        provenance = ProvenanceChase(state.tableau(), scheme.fds)
+        # Row 0 (R1's tuple) gains C through exactly one application.
+        events = provenance.derivation_events(0, "C")
+        assert events is not None and len(events) == 1
+        assert provenance.tuple_derivation_length(0, "ABC") == 1
+
+    def test_unresolved_cell_returns_none(self):
+        from repro.schema.database_scheme import DatabaseScheme
+        from repro.state.database_state import DatabaseState
+
+        scheme = DatabaseScheme.from_spec({"R1": ("AB", ["A"]), "R2": "C"})
+        state = DatabaseState(scheme, {"R1": [{"A": "a", "B": "b"}]})
+        provenance = ProvenanceChase(state.tableau(), scheme.fds)
+        assert provenance.derivation_events(0, "C") is None
+        assert provenance.tuple_derivation_length(0, "ABC") is None
+
+
+class TestBoundednessSeparation:
+    def test_chain_conflict_lineage_is_linear(self):
+        lengths = []
+        for n in (4, 8, 16):
+            state = example2_chain_state(n)
+            name, values = example2_killer_insert(n)
+            provenance = ProvenanceChase(
+                state.insert(name, values).tableau(), state.scheme.fds
+            )
+            assert not provenance.consistent
+            lengths.append(len(provenance.conflict_events))
+        # 2n+1 applications: the whole chain participates.
+        assert lengths == [9, 17, 33]
+
+    def test_bounded_scheme_per_tuple_flat(self):
+        scheme = example12_reducible()
+        lengths = [
+            ProvenanceChase(
+                dense_consistent_state(scheme, n).tableau(), scheme.fds
+            ).max_derivation_length(scheme.universe)
+            for n in (4, 16, 48)
+        ]
+        assert lengths[0] == lengths[1] == lengths[2]
+
+
+class TestAgreementWithPlainChase:
+    @given(seeded_rng(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25)
+    def test_same_verdict_and_projections(self, rng, n):
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        plain = chase(state.tableau(), scheme.fds)
+        tracked = ProvenanceChase(state.tableau(), scheme.fds)
+        assert tracked.consistent == plain.consistent
+        # Every cell that resolved to a constant in the plain chase must
+        # also carry a derivation here (run over the same tableau copy).
+        tableau = state.tableau()
+        tracked2 = ProvenanceChase(tableau, scheme.fds)
+        for index in range(len(tableau)):
+            for attribute in sorted(scheme.universe):
+                from repro.tableau.symbols import is_constant
+
+                resolved = tracked2.resolved(index, attribute)
+                events = tracked2.derivation_events(index, attribute)
+                assert (events is not None) == is_constant(resolved)
+
+    @given(seeded_rng(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=15)
+    def test_derivations_are_bounded_by_total_steps(self, rng, n):
+        scheme = random_scheme(rng, n_relations=3, n_attributes=5)
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        plain = chase(state.tableau(), scheme.fds)
+        tracked = ProvenanceChase(state.tableau(), scheme.fds)
+        if not tracked.consistent:
+            return
+        length = tracked.max_derivation_length(scheme.universe)
+        assert length <= plain.steps + len(scheme.fds)

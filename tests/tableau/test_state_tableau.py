@@ -1,0 +1,53 @@
+"""Tests for state-tableau construction."""
+
+import pytest
+
+from repro.foundations.errors import StateError
+from repro.tableau.state_tableau import state_tableau
+from repro.tableau.symbols import is_constant, is_ndv
+
+
+class TestStateTableau:
+    def test_one_row_per_tuple_with_tags(self):
+        tableau = state_tableau(
+            [
+                ("R1", frozenset("AB"), [{"A": "a1", "B": "b1"}, {"A": "a2", "B": "b2"}]),
+                ("R2", frozenset("BC"), [{"B": "b1", "C": "c1"}]),
+            ]
+        )
+        assert len(tableau) == 3
+        assert [row.tag for row in tableau] == ["R1", "R1", "R2"]
+
+    def test_constants_on_scheme_fresh_ndvs_elsewhere(self):
+        tableau = state_tableau(
+            [("R1", frozenset("AB"), [{"A": "a", "B": "b"}])],
+            universe="ABC",
+        )
+        row = tableau.rows[0]
+        assert is_constant(row["A"]) and is_constant(row["B"])
+        assert is_ndv(row["C"])
+
+    def test_ndvs_are_globally_distinct(self):
+        tableau = state_tableau(
+            [
+                ("R1", frozenset("A"), [{"A": "a1"}, {"A": "a2"}]),
+            ],
+            universe="AB",
+        )
+        padding = [row["B"] for row in tableau]
+        assert len(set(padding)) == len(padding)
+
+    def test_tuple_attribute_mismatch_rejected(self):
+        with pytest.raises(StateError):
+            state_tableau([("R1", frozenset("AB"), [{"A": "a"}])])
+
+    def test_relation_outside_universe_rejected(self):
+        with pytest.raises(StateError):
+            state_tableau(
+                [("R1", frozenset("AB"), [{"A": "a", "B": "b"}])],
+                universe="A",
+            )
+
+    def test_empty_relations_allowed(self):
+        tableau = state_tableau([("R1", frozenset("AB"), [])], universe="AB")
+        assert len(tableau) == 0

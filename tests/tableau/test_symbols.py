@@ -1,0 +1,72 @@
+"""Tests for tableau symbols and the fd-rule renaming precedence."""
+
+import pytest
+
+from repro.tableau.symbols import (
+    NDVFactory,
+    constant,
+    constant_value,
+    dv,
+    fmt_symbol,
+    is_constant,
+    is_dv,
+    is_ndv,
+    ndv,
+    preferred,
+)
+
+
+class TestConstructors:
+    def test_kinds_are_disjoint(self):
+        assert is_constant(constant("a"))
+        assert is_dv(dv("A"))
+        assert is_ndv(ndv(3))
+        assert not is_constant(dv("A"))
+        assert not is_dv(ndv(0))
+        assert not is_ndv(constant("a"))
+
+    def test_constant_value(self):
+        assert constant_value(constant("x")) == "x"
+
+    def test_constant_value_rejects_variables(self):
+        with pytest.raises(ValueError):
+            constant_value(dv("A"))
+
+    def test_symbols_are_hashable_and_comparable(self):
+        assert constant("a") == constant("a")
+        assert len({constant("a"), constant("a"), dv("A")}) == 2
+
+
+class TestPrecedence:
+    def test_constant_beats_dv(self):
+        assert preferred(constant("a"), dv("A")) == constant("a")
+        assert preferred(dv("A"), constant("a")) == constant("a")
+
+    def test_dv_beats_ndv(self):
+        assert preferred(dv("A"), ndv(0)) == dv("A")
+        assert preferred(ndv(0), dv("A")) == dv("A")
+
+    def test_constant_beats_ndv(self):
+        assert preferred(ndv(5), constant("z")) == constant("z")
+
+    def test_lower_ndv_subscript_wins(self):
+        assert preferred(ndv(3), ndv(7)) == ndv(3)
+        assert preferred(ndv(7), ndv(3)) == ndv(3)
+
+
+class TestFactory:
+    def test_fresh_symbols_never_repeat(self):
+        factory = NDVFactory()
+        seen = {factory.fresh() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_start_offset(self):
+        factory = NDVFactory(start=10)
+        assert factory.fresh() == ndv(10)
+
+
+class TestRendering:
+    def test_formats(self):
+        assert fmt_symbol(constant("a")) == "a"
+        assert fmt_symbol(dv("A")) == "a_A"
+        assert fmt_symbol(ndv(2)) == "b2"

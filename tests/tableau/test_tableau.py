@@ -1,0 +1,85 @@
+"""Tests for the Tableau container and Row utilities."""
+
+import pytest
+
+from repro.foundations.errors import StateError
+from repro.tableau.symbols import constant, dv, ndv
+from repro.tableau.tableau import Row, Tableau
+
+
+def make_row(a_symbol, b_symbol, tag=None):
+    return Row({"A": a_symbol, "B": b_symbol}, tag=tag)
+
+
+class TestRow:
+    def test_restrict(self):
+        row = make_row(constant("a"), ndv(1))
+        assert row.restrict("A") == {"A": constant("a")}
+
+    def test_total_on(self):
+        row = make_row(constant("a"), ndv(1))
+        assert row.is_total_on("A")
+        assert not row.is_total_on("AB")
+
+    def test_constant_attributes_and_values(self):
+        row = make_row(constant("a"), ndv(1))
+        assert row.constant_attributes() == frozenset("A")
+        assert row.constants() == {"A": "a"}
+
+    def test_key_ignores_tag(self):
+        assert make_row(constant("a"), ndv(1), tag="R1").key() == make_row(
+            constant("a"), ndv(1), tag="R2"
+        ).key()
+
+
+class TestTableau:
+    def test_row_universe_must_match(self):
+        tableau = Tableau(frozenset("ABC"))
+        with pytest.raises(StateError):
+            tableau.add_row(make_row(constant("a"), constant("b")))
+
+    def test_total_projection_selects_constant_rows(self):
+        tableau = Tableau(
+            frozenset("AB"),
+            [
+                make_row(constant("a"), constant("b")),
+                make_row(constant("x"), ndv(0)),
+            ],
+        )
+        assert tableau.total_projection("AB") == {("a", "b")}
+        assert tableau.total_projection("A") == {("a",), ("x",)}
+
+    def test_total_rows(self):
+        tableau = Tableau(
+            frozenset("AB"),
+            [
+                make_row(constant("a"), constant("b")),
+                make_row(constant("x"), ndv(0)),
+            ],
+        )
+        assert len(tableau.total_rows()) == 1
+
+    def test_distinct_rows_removes_duplicates(self):
+        row = make_row(constant("a"), constant("b"))
+        tableau = Tableau(frozenset("AB"), [row, make_row(constant("a"), constant("b"))])
+        assert len(tableau.distinct_rows()) == 1
+
+    def test_copy_is_independent(self):
+        tableau = Tableau(frozenset("AB"), [make_row(constant("a"), ndv(0))])
+        clone = tableau.copy()
+        clone.add_row(make_row(constant("x"), ndv(1)))
+        assert len(tableau) == 1
+        assert len(clone) == 2
+
+    def test_pretty_prints_tag_column(self):
+        tableau = Tableau(
+            frozenset("AB"), [make_row(constant("a"), dv("B"), tag="R9")]
+        )
+        rendered = tableau.pretty()
+        assert "TAG" in rendered
+        assert "R9" in rendered
+        assert "a_B" in rendered
+
+    def test_bool_and_len(self):
+        assert not Tableau(frozenset("A"))
+        assert len(Tableau(frozenset("A"))) == 0

@@ -1,0 +1,204 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump_scheme, dump_state, load_scheme
+from repro.state.database_state import DatabaseState, tuples_from_rows
+from repro.workloads.paper import example1_university, example12_reducible
+
+
+@pytest.fixture
+def university_files(tmp_path):
+    scheme = example1_university()
+    scheme_path = tmp_path / "scheme.json"
+    dump_scheme(scheme, scheme_path)
+    state = DatabaseState(
+        scheme,
+        {
+            "R1": tuples_from_rows("HRC", [("h", "r", "c")]),
+            "R4": tuples_from_rows("CSG", [("c", "s", "g")]),
+        },
+    )
+    state_path = tmp_path / "state.json"
+    dump_state(state, state_path)
+    return scheme_path, state_path
+
+
+class TestAnalyze:
+    def test_analyze_university(self, university_files, capsys):
+        scheme_path, _ = university_files
+        assert main(["analyze", str(scheme_path)]) == 0
+        out = capsys.readouterr().out
+        assert "independence-reducible:   True" in out
+        assert "constant-time-maintainable: True" in out
+
+    def test_analyze_json(self, university_files, capsys):
+        scheme_path, _ = university_files
+        assert main(["analyze", str(scheme_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["independence_reducible"] is True
+        assert data["ctm"] is True
+        assert len(data["partition"]) == 3
+        assert data["relations"]["R1"]["keys"] == [["H", "R"]]
+
+
+class TestExplain:
+    def test_explain_reducible(self, tmp_path, capsys):
+        scheme_path = tmp_path / "e12.json"
+        dump_scheme(example12_reducible(), scheme_path)
+        assert main(["explain", str(scheme_path), "--target", "ACG"]) == 0
+        out = capsys.readouterr().out
+        assert "π_ACG" in out
+
+
+class TestCheck:
+    def test_consistent_state(self, university_files, capsys):
+        scheme_path, state_path = university_files
+        assert main(["check", str(scheme_path), str(state_path)]) == 0
+        assert "globally consistent: True" in capsys.readouterr().out
+
+    def test_inconsistent_state(self, university_files, tmp_path, capsys):
+        scheme_path, _ = university_files
+        scheme = load_scheme(scheme_path)
+        bad = DatabaseState(
+            scheme,
+            {
+                "R1": tuples_from_rows(
+                    "HRC", [("h", "r", "c1"), ("h", "r", "c2")]
+                )
+            },
+        )
+        bad_path = tmp_path / "bad.json"
+        dump_state(bad, bad_path)
+        assert main(["check", str(scheme_path), str(bad_path)]) == 2
+
+
+class TestQuery:
+    def test_query_outputs_rows(self, university_files, capsys):
+        scheme_path, state_path = university_files
+        assert (
+            main(
+                ["query", str(scheme_path), str(state_path), "--target", "CS"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "c\ts" in out
+
+
+class TestInsert:
+    def test_accepted_insert_writes_state(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, state_path = university_files
+        out_path = tmp_path / "new.json"
+        code = main(
+            [
+                "insert",
+                str(scheme_path),
+                str(state_path),
+                "--relation",
+                "R5",
+                "--values",
+                "H=h,S=s,R=r",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert {"H": "h", "S": "s", "R": "r"} in data["R5"]
+
+    def test_rejected_insert(self, university_files, capsys):
+        scheme_path, state_path = university_files
+        code = main(
+            [
+                "insert",
+                str(scheme_path),
+                str(state_path),
+                "--relation",
+                "R1",
+                "--values",
+                "H=h,R=r,C=other",
+            ]
+        )
+        assert code == 2
+        assert "REJECTED" in capsys.readouterr().out
+
+
+class TestKeys:
+    def test_keys_listing(self, university_files, capsys):
+        scheme_path, _ = university_files
+        assert main(["keys", str(scheme_path)]) == 0
+        out = capsys.readouterr().out
+        assert "R2(HRT): keys HR, HT" in out
+
+    def test_keys_with_derivations(self, university_files, capsys):
+        scheme_path, _ = university_files
+        assert main(["keys", str(scheme_path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "derivation of" in out
+        assert "premise" in out
+
+
+class TestPartition:
+    def test_partition_accepted(self, university_files, capsys):
+        scheme_path, _ = university_files
+        assert main(["partition", str(scheme_path)]) == 0
+        out = capsys.readouterr().out
+        assert "independence-reducible" in out
+        assert "R1, R2, R3" in out
+
+    def test_partition_rejected(self, tmp_path, capsys):
+        from repro.workloads.paper import example2_not_algebraic
+
+        path = tmp_path / "e2.json"
+        dump_scheme(example2_not_algebraic(), path)
+        assert main(["partition", str(path)]) == 2
+        assert "NOT independence-reducible" in capsys.readouterr().out
+
+
+class TestSynthesize:
+    def test_synthesize_to_stdout(self, capsys):
+        assert main(["synthesize", "--fds", "A->B, B->C"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert "relations" in data
+
+    def test_synthesize_bcnf(self, capsys):
+        assert main(["synthesize", "--fds", "CS->Z, Z->C", "--bcnf"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        attribute_sets = sorted(
+            "".join(sorted(spec["attributes"]))
+            for spec in data["relations"].values()
+        )
+        assert attribute_sets == ["CZ", "SZ"]
+
+    def test_synthesize_to_file(self, tmp_path):
+        out_path = tmp_path / "synth.json"
+        code = main(
+            [
+                "synthesize",
+                "--fds",
+                "A->B, B->C",
+                "--universe",
+                "ABCD",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        scheme = load_scheme(out_path)
+        assert scheme.universe == frozenset("ABCD")
+
+
+class TestErrors:
+    def test_repro_errors_become_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"relations": {}}')
+        assert main(["analyze", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,70 @@
+"""Validate the constructive random-scheme generators against their
+advertised classifications."""
+
+from hypothesis import given, settings
+
+from repro.core.independence import is_independent
+from repro.core.key_equivalent import is_key_equivalent
+from repro.core.reducible import is_independence_reducible
+from repro.fd.normal_forms import database_scheme_is_bcnf
+from repro.hypergraph.acyclicity import is_gamma_acyclic
+from repro.schema.embedded import is_cover_embedding
+from repro.schema.operations import normalize_keys
+from tests.conftest import (
+    arbitrary_schemes,
+    berge_acyclic_schemes,
+    independent_schemes,
+    key_equivalent_schemes,
+    reducible_schemes,
+)
+
+
+class TestKeyEquivalentFamily:
+    @given(key_equivalent_schemes())
+    def test_is_key_equivalent(self, scheme):
+        assert is_key_equivalent(scheme)
+
+    @given(key_equivalent_schemes())
+    def test_is_normalized(self, scheme):
+        assert normalize_keys(scheme) == scheme
+
+
+class TestIndependentFamily:
+    @given(independent_schemes())
+    def test_is_independent(self, scheme):
+        assert is_independent(scheme)
+
+    @given(independent_schemes())
+    def test_is_bcnf_cover_embedding(self, scheme):
+        edges = [m.attributes for m in scheme.relations]
+        assert database_scheme_is_bcnf(edges, scheme.fds)
+        assert is_cover_embedding(edges, scheme.fds)
+
+
+class TestReducibleFamily:
+    @given(reducible_schemes())
+    def test_is_reducible(self, scheme_and_expected):
+        scheme, _ = scheme_and_expected
+        assert is_independence_reducible(scheme)
+
+    @given(reducible_schemes())
+    def test_expected_partition_covers_scheme(self, scheme_and_expected):
+        scheme, expected = scheme_and_expected
+        names = sorted(name for group in expected for name in group)
+        assert names == sorted(scheme.names)
+
+
+class TestBergeAcyclicFamily:
+    @given(berge_acyclic_schemes())
+    @settings(max_examples=30)
+    def test_is_gamma_acyclic(self, scheme):
+        assert is_gamma_acyclic([m.attributes for m in scheme.relations])
+
+
+class TestArbitraryFamily:
+    @given(arbitrary_schemes())
+    def test_well_formed(self, scheme):
+        assert scheme.universe
+        assert len(scheme.relations) >= 1
+        # Normalization invariant of the generator.
+        assert normalize_keys(scheme) == scheme

@@ -1,0 +1,61 @@
+"""Validate the deterministic scaling families."""
+
+import pytest
+
+from repro.core.ctm import is_ctm
+from repro.core.independence import is_independent
+from repro.core.key_equivalent import is_key_equivalent
+from repro.core.reducible import recognize_independence_reducible
+from repro.core.split import is_split_free
+from repro.hypergraph.acyclicity import is_gamma_acyclic
+from repro.workloads.scaling import both_way_chain, keyed_star, tiled_university
+
+
+class TestBothWayChain:
+    @pytest.mark.parametrize("length", [1, 3, 10])
+    def test_classification(self, length):
+        scheme = both_way_chain(length)
+        assert is_key_equivalent(scheme)
+        assert is_split_free(scheme)
+        assert is_gamma_acyclic([m.attributes for m in scheme.relations])
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            both_way_chain(0)
+
+
+class TestTiledUniversity:
+    @pytest.mark.parametrize("tiles", [1, 2, 4])
+    def test_block_count(self, tiles):
+        scheme = tiled_university(tiles)
+        result = recognize_independence_reducible(scheme)
+        assert result.accepted
+        assert len(result.partition) == 3 * tiles
+        assert is_ctm(scheme, result)
+
+    def test_tiles_are_disjoint(self):
+        scheme = tiled_university(2)
+        tile0 = {a for m in scheme.relations if m.name.startswith("T0") for a in m.attributes}
+        tile1 = {a for m in scheme.relations if m.name.startswith("T1") for a in m.attributes}
+        assert not tile0 & tile1
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            tiled_university(0)
+
+
+class TestKeyedStar:
+    @pytest.mark.parametrize("arms", [1, 3, 6])
+    def test_independent_at_every_size(self, arms):
+        scheme = keyed_star(arms)
+        assert is_independent(scheme)
+
+    def test_reducible_and_ctm(self):
+        scheme = keyed_star(3)
+        result = recognize_independence_reducible(scheme)
+        assert result.accepted
+        assert is_ctm(scheme, result)
+
+    def test_invalid_arms(self):
+        with pytest.raises(ValueError):
+            keyed_star(0)

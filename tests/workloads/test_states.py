@@ -1,0 +1,59 @@
+"""Validate the consistent-state and insert-candidate generators."""
+
+from hypothesis import given, strategies as st
+
+from repro.state.consistency import is_consistent
+from tests.conftest import arbitrary_schemes, seeded_rng
+from repro.workloads.states import (
+    conflicting_insert_candidate,
+    consistent_insert_candidate,
+    dense_consistent_state,
+    random_consistent_state,
+    universe_tuple,
+)
+
+
+class TestUniverseTuple:
+    def test_distinct_across_indexes(self, rng):
+        from repro.workloads.random_schemes import random_scheme
+
+        scheme = random_scheme(rng)
+        first = universe_tuple(scheme, 0)
+        second = universe_tuple(scheme, 1)
+        assert all(first[a] != second[a] for a in scheme.universe)
+
+
+class TestGenerators:
+    @given(arbitrary_schemes(), seeded_rng(), st.integers(min_value=1, max_value=8))
+    def test_random_state_is_consistent(self, scheme, rng, n):
+        state = random_consistent_state(scheme, rng, n_entities=n)
+        assert is_consistent(state)
+
+    @given(arbitrary_schemes(), st.integers(min_value=1, max_value=8))
+    def test_dense_state_is_consistent_and_full(self, scheme, n):
+        state = dense_consistent_state(scheme, n)
+        assert is_consistent(state)
+        for name, relation in state:
+            assert len(relation) == n
+
+    @given(arbitrary_schemes(), seeded_rng(), st.integers(min_value=1, max_value=5))
+    def test_consistent_candidate_accepted_on_dense_state(
+        self, scheme, rng, n
+    ):
+        state = dense_consistent_state(scheme, n)
+        name, values = consistent_insert_candidate(scheme, rng, n)
+        assert is_consistent(state.insert(name, values))
+
+    @given(arbitrary_schemes(), seeded_rng(), st.integers(min_value=1, max_value=5))
+    def test_conflicting_candidate_rejected_on_dense_state(
+        self, scheme, rng, n
+    ):
+        """Cross-bred tuples violate a key dependency against the dense
+        state whenever the target relation has non-key attributes."""
+        state = dense_consistent_state(scheme, n)
+        name, values = conflicting_insert_candidate(scheme, rng, n)
+        member = scheme[name]
+        if member.is_all_key():
+            return  # nothing to violate
+        updated = state.insert(name, values)
+        assert not is_consistent(updated)
