@@ -1,0 +1,18 @@
+# Convenience targets; every command works from a plain checkout with
+# PYTHONPATH=src (no install needed).
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-suite
+
+test:
+	$(PY) -m pytest -x -q
+
+# Headline optimized-vs-naive scenarios; writes BENCH_perf.json.
+bench:
+	$(PY) -m repro.bench
+
+# Full benchmark/experiment suite (also merges per-test wall-clock
+# timings into BENCH_perf.json).
+bench-suite:
+	$(PY) -m pytest benchmarks -q

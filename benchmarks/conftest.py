@@ -7,16 +7,54 @@ acceptance rates, agreement with baselines), so a green
 ``pytest benchmarks/ --benchmark-only`` run is itself a reproduction
 check.  Measured series are also appended to ``benchmarks/results.txt``
 for EXPERIMENTS.md.
+
+A lightweight timing harness also records each benchmark test's
+wall-clock seconds and merges them into ``BENCH_perf.json`` at the
+repository root (under ``"tests"``), alongside the headline
+optimized-vs-naive scenarios written by ``repro.bench`` (under
+``"scenarios"`` — see ``make bench``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_PATH = Path(__file__).parent / "results.txt"
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+_durations: dict[str, float] = {}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record every benchmark test's call-phase wall clock."""
+    start = time.perf_counter()
+    yield
+    _durations[item.nodeid] = time.perf_counter() - start
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge the per-test timings into BENCH_perf.json, preserving the
+    scenario records other writers put there."""
+    if not _durations:
+        return
+    report: dict = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            report = json.loads(BENCH_JSON_PATH.read_text())
+        except (OSError, ValueError):
+            report = {}
+    tests = report.setdefault("tests", {})
+    for nodeid, seconds in _durations.items():
+        tests[nodeid] = round(seconds, 6)
+    BENCH_JSON_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def record_series(experiment: str, label: str, series) -> None:

@@ -10,8 +10,10 @@ from repro.algebra.expressions import (
     RelationSource,
     Select,
     UnionExpr,
+    evaluate_natural_join,
     join_all,
     join_relations,
+    join_relations_naive,
     project_relation,
     ref,
     select_relation,
@@ -31,9 +33,11 @@ __all__ = [
     "RelationSource",
     "Select",
     "UnionExpr",
+    "evaluate_natural_join",
     "extension_join_order",
     "join_all",
     "join_relations",
+    "join_relations_naive",
     "project_relation",
     "ref",
     "select_relation",

@@ -100,10 +100,9 @@ class NaturalJoin(Expression):
         self.attributes = out
 
     def evaluate(self, source: RelationSource) -> Relation:
-        result = self.operands[0].evaluate(source)
-        for operand in self.operands[1:]:
-            result = join_relations(result, operand.evaluate(source))
-        return result
+        return evaluate_natural_join(
+            [operand.evaluate(source) for operand in self.operands]
+        )
 
     def relation_names(self) -> frozenset[str]:
         names: frozenset[str] = frozenset()
@@ -133,7 +132,17 @@ class Project(Expression):
         self.attributes = target
 
     def evaluate(self, source: RelationSource) -> Relation:
-        return project_relation(self.operand.evaluate(source), self.attributes)
+        operand = self.operand
+        if isinstance(operand, NaturalJoin):
+            # Projection pushdown: evaluate the join's operands, trim
+            # every column that neither the target nor the join
+            # conditions need, then join the narrowed relations.
+            joined = evaluate_natural_join(
+                [inner.evaluate(source) for inner in operand.operands],
+                needed=self.attributes,
+            )
+            return project_relation(joined, self.attributes)
+        return project_relation(operand.evaluate(source), self.attributes)
 
     def relation_names(self) -> frozenset[str]:
         return self.operand.relation_names()
@@ -209,11 +218,58 @@ class Select(Expression):
 
 
 # -- evaluation primitives ------------------------------------------------------
+#
+# All primitives work directly on the Relation-internal value vectors
+# (``columns``/``row_vectors``) and rebuild results through
+# ``Relation.from_vectors`` — no per-tuple dict is ever materialized.
+# ``join_relations_naive`` preserves the original dict-row hash join as
+# the differential-test oracle.
 
 
 def join_relations(left: Relation, right: Relation) -> Relation:
     """Natural join (hash join on the common attributes; a cartesian
-    product when the attribute sets are disjoint)."""
+    product when the attribute sets are disjoint).
+
+    The smaller operand is indexed, the larger one probes; output
+    vectors are emitted directly in canonical attribute order.
+    """
+    if len(right) > len(left):
+        left, right = right, left
+    left_columns = left.columns
+    right_columns = right.columns
+    left_position = {a: i for i, a in enumerate(left_columns)}
+    right_position = {a: i for i, a in enumerate(right_columns)}
+    common = sorted(left.attributes & right.attributes)
+    left_key = [left_position[a] for a in common]
+    right_key = [right_position[a] for a in common]
+    output_attributes = left.attributes | right.attributes
+    order = tuple(sorted_attrs(output_attributes))
+    # For each output column: take from the probe row when the attribute
+    # is the left's (shared attributes agree on both sides), else from
+    # the indexed row.
+    takers = [
+        (0, left_position[a]) if a in left_position else (1, right_position[a])
+        for a in order
+    ]
+    index: dict[tuple, list[tuple]] = {}
+    index_setdefault = index.setdefault
+    for row in right.row_vectors:
+        index_setdefault(tuple(row[i] for i in right_key), []).append(row)
+    joined: list[tuple] = []
+    append = joined.append
+    for row in left.row_vectors:
+        bucket = index.get(tuple(row[i] for i in left_key))
+        if bucket is not None:
+            for match in bucket:
+                pair = (row, match)
+                append(tuple(pair[side][i] for side, i in takers))
+    return Relation.from_vectors(output_attributes, order, joined)
+
+
+def join_relations_naive(left: Relation, right: Relation) -> Relation:
+    """The original dict-row natural join, kept verbatim as the oracle
+    the differential tests race :func:`join_relations` and
+    :func:`evaluate_natural_join` against."""
     common = sorted(left.attributes & right.attributes)
     output_attributes = left.attributes | right.attributes
     index: dict[tuple, list[dict]] = {}
@@ -233,27 +289,146 @@ def join_relations(left: Relation, right: Relation) -> Relation:
 def project_relation(relation: Relation, attributes: AttrsLike) -> Relation:
     """Projection onto a subset of the relation's attributes."""
     target = attrs(attributes)
+    if target == relation.attributes:
+        return relation
     if not target <= relation.attributes:
         raise StateError("projection outside the relation's attributes")
-    ordered = sorted_attrs(target)
-    return Relation(
-        target, ({a: row[a] for a in ordered} for row in relation)
+    order = tuple(sorted_attrs(target))
+    columns = relation.columns
+    positions = [columns.index(a) for a in order]
+    return Relation.from_vectors(
+        target,
+        order,
+        {tuple(row[i] for i in positions) for row in relation.row_vectors},
     )
 
 
 def select_relation(
     relation: Relation, equalities: Mapping[str, Hashable]
 ) -> Relation:
-    """Conjunctive selection by attribute-equals-constant conditions."""
-    items = list(equalities.items())
-    return Relation(
+    """Conjunctive selection by attribute-equals-constant conditions.
+
+    Condition attributes are validated up front: a condition naming an
+    attribute outside the relation raises :class:`StateError` instead of
+    silently selecting nothing (or crashing row by row).
+    """
+    condition = dict(equalities)
+    unknown = set(condition) - set(relation.attributes)
+    if unknown:
+        raise StateError(
+            "selection on attributes outside the relation: "
+            f"{sorted(unknown)} not in {fmt_attrs(relation.attributes)}"
+        )
+    columns = relation.columns
+    tests = [(columns.index(a), value) for a, value in condition.items()]
+    return Relation.from_vectors(
         relation.attributes,
+        columns,
         (
             row
-            for row in relation
-            if all(row[attribute] == value for attribute, value in items)
+            for row in relation.row_vectors
+            if all(row[i] == value for i, value in tests)
         ),
     )
+
+
+def _semijoin(left: Relation, right: Relation) -> Relation:
+    """Semi-join reduction ``left ⋉ right``: the left rows whose common
+    attribute values appear in ``right``.  Identity when the attribute
+    sets are disjoint or nothing is filtered."""
+    common = sorted(left.attributes & right.attributes)
+    if not common:
+        return left
+    left_columns = left.columns
+    right_columns = right.columns
+    left_key = [left_columns.index(a) for a in common]
+    right_key = [right_columns.index(a) for a in common]
+    seen = {tuple(row[i] for i in right_key) for row in right.row_vectors}
+    kept = [
+        row
+        for row in left.row_vectors
+        if tuple(row[i] for i in left_key) in seen
+    ]
+    if len(kept) == len(left.row_vectors):
+        return left
+    return Relation.from_vectors(left.attributes, left_columns, kept)
+
+
+def evaluate_natural_join(
+    relations: Sequence[Relation],
+    needed: AttrsLike | None = None,
+) -> Relation:
+    """Natural join of many relations with the optimizer pipeline.
+
+    Three stages before any full join runs:
+
+    1. *Projection pushdown* (when ``needed`` is given): every operand is
+       trimmed to the attributes the caller needs plus those shared with
+       another operand (the join conditions), keeping at least one column
+       so an empty operand still annihilates the result.
+    2. *Semi-join reduction*: each operand is reduced by every other
+       operand it shares attributes with, so dangling tuples never reach
+       a full join.
+    3. *Greedy join ordering*: fold starting from the smallest operand,
+       always preferring the smallest operand connected to the
+       attributes already joined (avoiding accidental cartesian
+       products; a genuine cartesian product is deferred to the end).
+    """
+    if not relations:
+        raise StateError("a join needs at least one relation")
+    if len(relations) == 1:
+        relation = relations[0]
+        if needed is not None:
+            return project_relation(relation, attrs(needed) & relation.attributes)
+        return relation
+    output_attributes: frozenset[str] = frozenset()
+    for relation in relations:
+        output_attributes = output_attributes | relation.attributes
+
+    if needed is not None:
+        tally: dict[str, int] = {}
+        for relation in relations:
+            for attribute in relation.attributes:
+                tally[attribute] = tally.get(attribute, 0) + 1
+        keep_base = attrs(needed) | {
+            attribute for attribute, uses in tally.items() if uses > 1
+        }
+        relations = [
+            relation
+            if relation.attributes <= keep_base
+            else project_relation(
+                relation,
+                (relation.attributes & keep_base)
+                or {min(relation.attributes)},
+            )
+            for relation in relations
+        ]
+
+    reduced = list(relations)
+    count = len(reduced)
+    for i in range(count):
+        left = reduced[i]
+        for j in range(count):
+            if i != j:
+                left = _semijoin(left, reduced[j])
+        reduced[i] = left
+    if any(not relation for relation in reduced):
+        # An annihilated operand empties the whole join, cartesian or not.
+        return Relation(output_attributes)
+
+    pending = sorted(range(count), key=lambda i: len(reduced[i]))
+    first = pending.pop(0)
+    result = reduced[first]
+    joined_attributes = set(result.attributes)
+    while pending:
+        connected = [
+            i for i in pending if reduced[i].attributes & joined_attributes
+        ]
+        choice = connected[0] if connected else pending[0]
+        pending.remove(choice)
+        result = join_relations(result, reduced[choice])
+        joined_attributes |= reduced[choice].attributes
+    return result
 
 
 # -- convenience constructors -----------------------------------------------------

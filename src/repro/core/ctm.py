@@ -169,14 +169,20 @@ class InsertMaintainer:
                 lookup=ExpressionRILookup(substate),
                 check_scheme=False,
             )
+        # Lift the block-level decision to the full state, preserving the
+        # diagnostics (witness, chase steps) the block algorithm produced.
         if not outcome.consistent:
             return MaintenanceOutcome(
                 consistent=False,
                 state=None,
                 tuples_examined=outcome.tuples_examined,
+                chase_steps=outcome.chase_steps,
+                witness=outcome.witness,
             )
         return MaintenanceOutcome(
             consistent=True,
             state=state.insert(relation_name, values),
             tuples_examined=outcome.tuples_examined,
+            chase_steps=outcome.chase_steps,
+            witness=outcome.witness,
         )

@@ -27,13 +27,12 @@ from repro.core.query import (
     total_projection_reducible,
 )
 from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs
-from repro.foundations.errors import StateError
+from repro.foundations.cache import CacheInfo, LRUCache
+from repro.foundations.errors import InconsistentStateError, StateError
 from repro.schema.database_scheme import DatabaseScheme
-from repro.state.consistency import (
-    MaintenanceOutcome,
-    representative_instance,
-)
+from repro.state.consistency import MaintenanceOutcome, chase_state
 from repro.state.database_state import DatabaseState
+from repro.tableau.tableau import Tableau
 
 #: One batch operation: ("insert" | "delete", relation name, tuple).
 Update = tuple[str, str, Mapping[str, Hashable]]
@@ -54,13 +53,29 @@ class BatchOutcome:
 
 
 class WeakInstanceEngine:
-    """Scheme-bound query/update engine with plan caching."""
+    """Scheme-bound query/update engine with plan and chase caching.
 
-    def __init__(self, scheme: DatabaseScheme) -> None:
+    Both memo layers are bounded LRU caches (see
+    :class:`repro.foundations.cache.LRUCache`): ``plan_cache_size``
+    bounds the predetermined-plan cache per target attribute set, and
+    ``chase_cache_size`` bounds the representative-instance cache per
+    state.  Chase results are keyed by state *identity* — a
+    :class:`DatabaseState` is immutable, so the chase of one particular
+    object never changes; the cache entry keeps a strong reference to
+    the state so the ``id`` cannot be recycled while the entry lives.
+    """
+
+    def __init__(
+        self,
+        scheme: DatabaseScheme,
+        plan_cache_size: int = 256,
+        chase_cache_size: int = 64,
+    ) -> None:
         self.scheme = scheme
         self.maintainer = InsertMaintainer(scheme)
         self.recognition = self.maintainer.recognition
-        self._plans: dict[frozenset[str], QueryPlan] = {}
+        self._plans: LRUCache = LRUCache(plan_cache_size)
+        self._chase: LRUCache = LRUCache(chase_cache_size)
 
     # -- classification -------------------------------------------------------
     @property
@@ -77,10 +92,33 @@ class WeakInstanceEngine:
     def load(
         self, relations: Mapping[str, Iterable[Mapping[str, Hashable]]]
     ) -> DatabaseState:
-        """Bulk-load a state and verify it is consistent."""
+        """Bulk-load a state and verify it is consistent.
+
+        The chase this runs is memoized, so a ``query`` on the loaded
+        state reuses the representative instance computed here."""
         state = DatabaseState(self.scheme, relations)
-        representative_instance(state)  # raises when inconsistent
+        self.representative(state)  # raises when inconsistent
         return state
+
+    def representative(self, state: DatabaseState) -> Tableau:
+        """The representative instance ``CHASE_F(T_r)``, memoized per
+        state object.
+
+        Raises :class:`InconsistentStateError` when the state has no
+        weak instance (the rejection is memoized too)."""
+        key = id(state)
+        entry = self._chase.get(key)
+        if entry is None or entry[0] is not state:
+            entry = (state, chase_state(state))
+            self._chase.put(key, entry)
+        result = entry[1]
+        if not result.consistent:
+            raise InconsistentStateError("state admits no weak instance")
+        return result.tableau
+
+    def cache_info(self) -> dict[str, CacheInfo]:
+        """Hit/miss/eviction accounting for the engine's memo layers."""
+        return {"plans": self._plans.info(), "chase": self._chase.info()}
 
     # -- updates -----------------------------------------------------------------
     def insert(
@@ -109,22 +147,17 @@ class WeakInstanceEngine:
         new_values: Mapping[str, Hashable],
     ) -> MaintenanceOutcome:
         """Replace one tuple: delete ``old_values`` then validate the
-        insertion of ``new_values``; the original state is returned
-        untouched inside a rejecting outcome when the new tuple would be
-        inconsistent."""
+        insertion of ``new_values``.  When the new tuple would be
+        inconsistent, the rejecting outcome of the insertion is returned
+        as-is — ``witness``, ``chase_steps`` and ``tuples_examined`` all
+        survive for diagnostics — and the original state is untouched
+        (a rejecting outcome always carries ``state=None``)."""
         if old_values not in state[relation_name]:
             raise StateError(
                 f"{dict(old_values)} is not stored in {relation_name}"
             )
         without = state.delete(relation_name, old_values)
-        outcome = self.insert(without, relation_name, new_values)
-        if not outcome.consistent:
-            return MaintenanceOutcome(
-                consistent=False,
-                state=None,
-                tuples_examined=outcome.tuples_examined,
-            )
-        return outcome
+        return self.insert(without, relation_name, new_values)
 
     def apply_batch(
         self, state: DatabaseState, updates: Sequence[Update]
@@ -168,7 +201,7 @@ class WeakInstanceEngine:
             cached = total_projection_plan(
                 self.scheme, target, self.recognition
             )
-            self._plans[target] = cached
+            self._plans.put(target, cached)
         return cached
 
     def explain(self, attributes: AttrsLike) -> str:
@@ -189,4 +222,4 @@ class WeakInstanceEngine:
         target = attrs(attributes)
         if self.reducible:
             return total_projection_reducible(state, target, self.recognition)
-        return representative_instance(state).total_projection(target)
+        return self.representative(state).total_projection(target)

@@ -21,6 +21,7 @@ from typing import Hashable, Optional
 from repro.algebra.expressions import (
     Expression,
     Project,
+    evaluate_natural_join,
     join_all,
     union_all_exprs,
 )
@@ -47,6 +48,7 @@ from repro.foundations.errors import (
 from repro.schema.database_scheme import DatabaseScheme
 from repro.schema.lossless import extension_join_subsets_covering
 from repro.state.database_state import DatabaseState
+from repro.state.relation import Relation
 
 
 @dataclass(frozen=True)
@@ -165,8 +167,11 @@ def total_projection_reducible(
     if method == "expression":
         plan = total_projection_plan(scheme, target, recognition)
         relation = plan.expression.evaluate(state)
-        ordered = sorted_attrs(target)
-        return {tuple(row[a] for a in ordered) for row in relation}
+        columns = relation.columns
+        positions = [columns.index(a) for a in sorted_attrs(target)]
+        return {
+            tuple(row[i] for i in positions) for row in relation.row_vectors
+        }
     if method != "blocks":
         raise ValueError(f"unknown method: {method!r}")
 
@@ -191,45 +196,46 @@ def total_projection_reducible(
     ordered_target = sorted_attrs(target)
     result: set[tuple[Hashable, ...]] = set()
     for subset in subsets:
-        partial: Optional[list[dict[str, Hashable]]] = None
+        # One relation of Yj-total value vectors per member, projected
+        # out of the block's representative instance (deduplication is
+        # free: the rows land in a set).
+        operands: list[Relation] = []
+        annihilated = False
+        identity = True
         for member in subset:
             others = union_all(
                 other.attributes for other in subset if other is not member
             )
             y = member.attributes & (others | target)
-            ordered_y = sorted_attrs(y)
-            y_rows = [
-                {a: row[a] for a in ordered_y}
+            ordered_y = tuple(sorted_attrs(y))
+            vectors = {
+                tuple(row[a] for a in ordered_y)
                 for row in block_instances[member.name].classes
                 if all(a in row for a in ordered_y)
-            ]
-            # Deduplicate projected rows.
-            y_rows = [
-                dict(items)
-                for items in {tuple(sorted(row.items())) for row in y_rows}
-            ]
-            if partial is None:
-                partial = y_rows
-            else:
-                # Hash join on the common attributes (partial rows all
-                # share the accumulated attribute set, y_rows all share
-                # Yj, so the join attributes are uniform).
-                joined: list[dict[str, Hashable]] = []
-                if partial and y_rows:
-                    common = sorted(set(partial[0]) & set(y_rows[0]))
-                    index: dict[tuple, list[dict[str, Hashable]]] = {}
-                    for right in y_rows:
-                        signature = tuple(right[a] for a in common)
-                        index.setdefault(signature, []).append(right)
-                    for left in partial:
-                        signature = tuple(left[a] for a in common)
-                        for right in index.get(signature, ()):
-                            merged = dict(left)
-                            merged.update(right)
-                            joined.append(merged)
-                partial = joined
-            if not partial:
+            }
+            if not vectors:
+                annihilated = True
                 break
-        for row in partial or ():
-            result.add(tuple(row[a] for a in ordered_target))
+            if not ordered_y:
+                # Nullary contribution: one empty tuple — the join
+                # identity; an empty classes list annihilated above.
+                continue
+            identity = False
+            operands.append(Relation.from_vectors(y, ordered_y, vectors))
+        if annihilated:
+            continue
+        if identity:
+            # Every member contributed the nullary identity: the branch
+            # yields exactly the empty target tuple (target ⊆ ∪Yj = ∅).
+            result.add(())
+            continue
+        # The optimizer pipeline does the rest: semi-join reduction,
+        # greedy ordering, and pushdown of everything but the target and
+        # join attributes.
+        joined = evaluate_natural_join(operands, needed=target)
+        columns = joined.columns
+        positions = [columns.index(a) for a in ordered_target]
+        result.update(
+            tuple(row[i] for i in positions) for row in joined.row_vectors
+        )
     return result

@@ -1,5 +1,6 @@
-"""Foundational helpers shared by every subsystem: attribute sets and the
-library's exception hierarchy."""
+"""Foundational helpers shared by every subsystem: attribute sets, the
+library's exception hierarchy, and the bounded LRU cache behind the
+engine's memo layers."""
 
 from repro.foundations.attrs import (
     Attrs,
@@ -12,6 +13,7 @@ from repro.foundations.attrs import (
     sorted_attrs,
     union_all,
 )
+from repro.foundations.cache import CacheInfo, LRUCache
 from repro.foundations.errors import (
     ChaseError,
     DependencyError,
@@ -32,8 +34,10 @@ __all__ = [
     "is_subset",
     "sorted_attrs",
     "union_all",
+    "CacheInfo",
     "ChaseError",
     "DependencyError",
+    "LRUCache",
     "InconsistentStateError",
     "NotApplicableError",
     "ReproError",

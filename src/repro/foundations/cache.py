@@ -1,0 +1,89 @@
+"""A small bounded LRU cache shared by the engine's memo layers.
+
+The engine caches two kinds of derived objects: query plans per target
+attribute set and chase results per state identity.  Both want the same
+shape — a dict with least-recently-used eviction and cheap hit/miss
+accounting — so it lives here once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A point-in-time snapshot of one cache's accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} size={self.size}/{self.maxsize}"
+        )
+
+
+class LRUCache:
+    """A mapping bounded to ``maxsize`` entries with LRU eviction.
+
+    ``get`` refreshes recency and counts hits/misses; ``put`` inserts or
+    refreshes and evicts the least recently used entry past the bound.
+    Not thread-safe — the library is single-threaded by design.
+    """
+
+    __slots__ = ("maxsize", "_data", "_hits", "_misses", "_evictions")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("an LRU cache needs room for at least one entry")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self._misses += 1
+            return default
+        self._data.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self._evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )

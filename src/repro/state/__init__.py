@@ -4,6 +4,7 @@
 from repro.state.consistency import (
     MaintenanceOutcome,
     chase_state,
+    chase_state_naive,
     is_consistent,
     is_locally_consistent,
     maintain_by_chase,
@@ -20,6 +21,7 @@ __all__ = [
     "Relation",
     "TupleLike",
     "chase_state",
+    "chase_state_naive",
     "is_consistent",
     "is_locally_consistent",
     "maintain_by_chase",

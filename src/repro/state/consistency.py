@@ -20,7 +20,7 @@ from repro.fd.projection import project_fds
 from repro.foundations.attrs import AttrsLike, attrs
 from repro.foundations.errors import InconsistentStateError
 from repro.state.database_state import DatabaseState
-from repro.tableau.chase import ChaseResult, chase
+from repro.tableau.chase import ChaseResult, chase, chase_naive, chase_relations
 from repro.tableau.tableau import Tableau
 
 
@@ -52,8 +52,29 @@ def satisfies_embedded_keys(state: DatabaseState) -> bool:
 
 
 def chase_state(state: DatabaseState, fds: Optional[FDsLike] = None) -> ChaseResult:
-    """``CHASE_F(T_r)`` with full result (tableau, consistency, steps)."""
-    return chase(state.tableau(), _constraints(state, fds))
+    """``CHASE_F(T_r)`` with full result (tableau, consistency, steps).
+
+    Runs the worklist engine directly over the stored value vectors —
+    the state tableau is never materialized row-dict by row-dict (see
+    :func:`repro.tableau.chase.chase_relations`)."""
+    return chase_relations(
+        state.scheme.universe,
+        (
+            (name, relation.columns, relation.row_vectors)
+            for name, relation in state
+        ),
+        _constraints(state, fds),
+    )
+
+
+def chase_state_naive(
+    state: DatabaseState, fds: Optional[FDsLike] = None
+) -> ChaseResult:
+    """``CHASE_F(T_r)`` via the original full-sweep pipeline: build the
+    state tableau, then chase it with the naive engine.  The
+    differential-test oracle and benchmark baseline for
+    :func:`chase_state`."""
+    return chase_naive(state.tableau(), _constraints(state, fds))
 
 
 def is_consistent(state: DatabaseState, fds: Optional[FDsLike] = None) -> bool:

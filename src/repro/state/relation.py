@@ -41,6 +41,49 @@ class Relation:
     def __setattr__(self, *_: object) -> None:
         raise AttributeError("Relation is immutable")
 
+    # -- vector access (the algebra/chase fast paths) --------------------------
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The canonical (sorted) attribute order of the value vectors."""
+        return self._order
+
+    @property
+    def row_vectors(self) -> frozenset[tuple[Hashable, ...]]:
+        """The stored tuples as value vectors in ``columns`` order."""
+        return self._rows
+
+    @classmethod
+    def from_vectors(
+        cls,
+        attributes: AttrsLike,
+        order: tuple[str, ...],
+        rows: Iterable[tuple[Hashable, ...]],
+    ) -> "Relation":
+        """Build a relation from value vectors laid out in ``order``.
+
+        The fast constructor behind the tuple-vector evaluation
+        pipeline: vectors already in canonical order are adopted
+        directly; otherwise they are permuted once.  Callers are trusted
+        to pass vectors of the right width.
+        """
+        attribute_set = attrs(attributes)
+        if not attribute_set:
+            raise StateError("a relation needs at least one attribute")
+        canonical = tuple(sorted_attrs(attribute_set))
+        if tuple(order) == canonical:
+            vectors = frozenset(rows)
+        else:
+            if frozenset(order) != attribute_set:
+                raise StateError(
+                    f"vector order {list(order)} does not match relation "
+                    f"attributes {sorted(attribute_set)}"
+                )
+            permutation = [order.index(a) for a in canonical]
+            vectors = frozenset(
+                tuple(row[i] for i in permutation) for row in rows
+            )
+        return _from_rows(attribute_set, canonical, vectors)
+
     # -- container protocol ---------------------------------------------------
     def __iter__(self) -> Iterator[dict[str, Hashable]]:
         for row in sorted(self._rows, key=repr):

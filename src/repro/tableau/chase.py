@@ -6,25 +6,58 @@ the preferred one; equating two distinct constants is an inconsistency
 and yields the empty tableau (paper, Section 2.3).  ``CHASE_F(T)``
 applies the rules exhaustively.
 
-The implementation keeps a union-find over symbols whose representatives
-respect the renaming precedence, so each chase pass groups rows by their
-resolved left-hand-side symbols and merges right-hand sides.  The number
-of effective symbol merges is reported — it is the "number of fd-rule
-applications" that the paper's boundedness arguments count (Section 2.5).
+Two engines live here:
+
+* the worklist engine (:func:`chase`, :func:`chase_relations`) — symbols
+  are interned to integers whose ordering encodes the renaming
+  precedence (constants < distinguished < nondistinguished, within-kind
+  ordered like :func:`repro.tableau.symbols.preferred`), rows become int
+  vectors kept *eagerly resolved* (every cell always holds its class
+  representative), each fd-rule keeps a persistent group map from LHS
+  signatures to the group's RHS anchor, and a symbol-occurrence index
+  maps every representative to the rows that mention it.  After one full
+  initial pass, only rows whose symbols were actually merged re-enter
+  the worklist — the semi-naive / dirty-row discipline — so saturated
+  regions of the tableau are never re-swept, and every hot dict
+  operation hashes a small int instead of a symbol tuple.
+  :func:`chase_relations` additionally builds its vectors straight from
+  stored value tuples, skipping per-row dict/Row/Tableau construction on
+  the ``CHASE_F(T_r)`` hot path.
+* :func:`chase_naive` — the original full-sweep engine, kept verbatim
+  as the differential-test oracle and the benchmark baseline.
+
+The number of effective symbol merges (``steps``) is the "number of
+fd-rule applications" the paper's boundedness arguments count (Section
+2.5); it is order-invariant for fds because the chase is Church-Rosser,
+so the two engines agree on it for every consistent input.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
+from typing import Hashable, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.fd.fdset import FDSet, FDsLike
-from repro.foundations.attrs import sorted_attrs
-from repro.tableau.symbols import Symbol, is_constant, preferred
+from repro.foundations.attrs import AttrsLike, attrs, sorted_attrs
+from repro.foundations.errors import StateError
+from repro.tableau.symbols import (
+    KIND_CONSTANT,
+    KIND_DV,
+    KIND_NDV,
+    Symbol,
+    is_constant,
+    preferred,
+)
 from repro.tableau.tableau import Row, Tableau
 
 
 class _SymbolUnionFind:
-    """Union-find over symbols with precedence-respecting representatives."""
+    """Union-find over symbols with precedence-respecting representatives.
+
+    Used by the naive engine; the worklist engine keeps its union-find
+    over interned integers inside :func:`_chase_core`.
+    """
 
     def __init__(self) -> None:
         self._parent: dict[Symbol, Symbol] = {}
@@ -39,8 +72,9 @@ class _SymbolUnionFind:
             parent[symbol], symbol = root, parent[symbol]
         return root
 
-    def union(self, left: Symbol, right: Symbol) -> bool:
-        """Equate two symbols.  Returns True when a merge happened.
+    def union(self, left: Symbol, right: Symbol) -> Optional[Symbol]:
+        """Equate two symbols.  Returns the losing root when a merge
+        happened, ``None`` when the symbols were already equal.
 
         Raises :class:`_Contradiction` when both roots are distinct
         constants.
@@ -48,13 +82,13 @@ class _SymbolUnionFind:
         left_root = self.find(left)
         right_root = self.find(right)
         if left_root == right_root:
-            return False
+            return None
         if is_constant(left_root) and is_constant(right_root):
             raise _Contradiction(left_root, right_root)
         winner = preferred(left_root, right_root)
         loser = right_root if winner == left_root else left_root
         self._parent[loser] = winner
-        return True
+        return loser
 
 
 class _Contradiction(Exception):
@@ -69,11 +103,12 @@ class ChaseResult:
     ``tableau`` is the chased tableau (empty when inconsistent);
     ``consistent`` reports whether a contradiction was found; ``steps``
     counts the effective symbol merges performed; ``passes`` counts the
-    sweeps over the rule set until fixpoint.
+    propagation rounds until fixpoint (full sweeps in the naive engine,
+    worklist generations in the incremental one).
 
     ``passes`` operationalizes boundedness (Section 2.5): on a scheme
     bounded with constant ``k``, every total tuple appears within ``k``
-    fd-rule applications, so the number of sweeps needed to saturate the
+    fd-rule applications, so the number of rounds needed to saturate the
     tableau is scheme-bounded — while on unbounded inputs such as
     Example 2's chains it grows with the state.
     """
@@ -87,18 +122,322 @@ class ChaseResult:
         return self.consistent
 
 
-def chase(tableau: Tableau, fds: FDsLike) -> ChaseResult:
-    """Compute ``CHASE_F(tableau)``.
+#: One stored relation for :func:`chase_relations`:
+#: ``(tag, value columns, value vectors)``.
+StoredVectors = Tuple[str, Sequence[str], Iterable[Tuple[Hashable, ...]]]
 
-    The fd set is split to singleton right-hand sides; rules are applied
-    in passes until no symbol merge occurs.  Termination is guaranteed
-    for fds because each merge strictly reduces the number of symbol
-    classes.
-    """
-    fd_list = [
+#: Interned ids for nondistinguished variables start here, above every
+#: constant id, so the min-id rule automatically prefers constants.
+_NDV_ID_BASE = 1 << 60
+
+
+def _split_rules(fds: FDsLike) -> list[tuple[list[str], str]]:
+    """The fd set split to singleton right-hand sides, as
+    ``(sorted lhs, rhs attribute)`` pairs."""
+    return [
         (sorted_attrs(dependency.lhs), next(iter(dependency.rhs)))
         for dependency in FDSet(fds).split_rhs().nontrivial()
     ]
+
+
+def _chase_core(
+    width: int,
+    cells: list[list[int]],
+    rule_columns: list[tuple[list[int], int]],
+    constant_bound: int,
+) -> tuple[bool, int, int]:
+    """Run the worklist chase over mutable interned-id row vectors.
+
+    Ids below ``constant_bound`` denote constants; the id ordering
+    encodes the renaming precedence, so the surviving representative of
+    a merge is simply the smaller id, and a merge of two ids both below
+    ``constant_bound`` is a contradiction.  ``cells`` is mutated in
+    place: on return every vector is fully resolved (each cell holds its
+    class representative).  Returns ``(consistent, steps, passes)``.
+    """
+    steps = 0
+    # Occurrence index: representative → rows mentioning its class.
+    # A superset with duplicates is fine (the rewrite rescans the whole
+    # vector and dirty is a set), so rows are indexed once per cell
+    # without per-row deduplication.
+    occurrences: dict[int, list[int]] = {}
+    occ_setdefault = occurrences.setdefault
+    occ_pop = occurrences.pop
+    for index, vector in enumerate(cells):
+        for symbol in vector:
+            occ_setdefault(symbol, []).append(index)
+
+    # Union-find over merged-away ids, used only to resolve group
+    # anchors that were merged after being recorded.
+    parent: dict[int, int] = {}
+    # Persistent per-rule group maps: resolved LHS signature → the RHS
+    # anchor of the group.  Fresh probes only ever produce signatures of
+    # current representatives, so entries whose key mentions a
+    # merged-away id can never be matched again and need no purging.
+    groups: list[dict] = [{} for _ in rule_columns]
+    dirty: set[int] = set()
+    dirty_update = dirty.update
+
+    def combine(group: dict, signature, anchor: int, rhs_symbol: int) -> None:
+        """Slow path of one fd-rule application: the group already has an
+        anchor differing from this row's RHS id.  Resolves stale anchors,
+        detects contradictions, performs the merge and rewrites the
+        losing class everywhere it occurs, marking touched rows dirty."""
+        nonlocal steps
+        if anchor in parent:
+            # The stored anchor was merged away since it was recorded.
+            root = parent[anchor]
+            while root in parent:
+                root = parent[root]
+            group[signature] = root
+            anchor = root
+            if anchor == rhs_symbol:
+                return
+        if anchor < rhs_symbol:
+            winner, loser = anchor, rhs_symbol
+        else:
+            winner, loser = rhs_symbol, anchor
+        if loser < constant_bound:
+            # The larger id is a constant, hence so is the smaller:
+            # two distinct constants were equated.
+            raise _Contradiction(anchor, rhs_symbol)
+        steps += 1
+        group[signature] = winner
+        parent[loser] = winner
+        touched = occ_pop(loser, ())
+        if touched:
+            for row_index in touched:
+                vector = cells[row_index]
+                for j in range(width):
+                    if vector[j] == loser:
+                        vector[j] = winner
+            # A winner is always a live representative, hence indexed.
+            occurrences[winner].extend(touched)
+            dirty_update(touched)
+
+    def sweep(pairs) -> None:
+        """Apply every rule to the given ``(row index, vector)`` pairs,
+        grouping into the persistent per-rule maps.  The hot path is pure
+        list indexing and int-keyed dict probing; merges divert to
+        :func:`combine`."""
+        for rule_index, (lhs_columns, rhs_column) in enumerate(rule_columns):
+            group = groups[rule_index]
+            group_get = group.get
+            if len(lhs_columns) == 1:
+                # Single-attribute LHS (the overwhelmingly common case
+                # for key dependencies): scalar signatures, no tuple
+                # allocation per row.
+                lone = lhs_columns[0]
+                for row_index, vector in pairs:
+                    signature = vector[lone]
+                    rhs_symbol = vector[rhs_column]
+                    anchor = group_get(signature)
+                    if anchor is None:
+                        group[signature] = rhs_symbol
+                    elif anchor != rhs_symbol:
+                        combine(group, signature, anchor, rhs_symbol)
+            else:
+                for row_index, vector in pairs:
+                    signature = tuple(vector[j] for j in lhs_columns)
+                    rhs_symbol = vector[rhs_column]
+                    anchor = group_get(signature)
+                    if anchor is None:
+                        group[signature] = rhs_symbol
+                    elif anchor != rhs_symbol:
+                        combine(group, signature, anchor, rhs_symbol)
+
+    passes = 1
+    try:
+        # Initial pass: group all rows under all rules.  The pair list is
+        # materialized because sweep iterates it once per rule.
+        sweep(list(enumerate(cells)))
+        # Worklist rounds: only the dirty frontier is re-examined.
+        while dirty:
+            passes += 1
+            batch = [(i, cells[i]) for i in sorted(dirty)]
+            dirty.clear()
+            sweep(batch)
+    except _Contradiction:
+        return False, steps, passes
+    return True, steps, passes
+
+
+def _intern_symbols(
+    symbols: Iterable[Symbol],
+) -> tuple[dict[Symbol, int], list[Symbol], int]:
+    """Assign precedence-encoding integer ids to the given symbols.
+
+    Returns ``(symbol → id, id → symbol, constant bound)``.  Constants
+    take the lowest ids (their relative order is irrelevant: merging two
+    constants is a contradiction), then distinguished variables, then
+    nondistinguished ones; within a kind, ids follow the same ordering
+    :func:`repro.tableau.symbols.preferred` uses, so the min-id rule
+    reproduces its choices exactly.
+    """
+    constants: list[Symbol] = []
+    dvs: list[Symbol] = []
+    ndvs: list[Symbol] = []
+    for symbol in symbols:
+        kind = symbol[0]
+        if kind == KIND_CONSTANT:
+            constants.append(symbol)
+        elif kind == KIND_DV:
+            dvs.append(symbol)
+        else:
+            ndvs.append(symbol)
+    dvs.sort(key=lambda s: repr(s[1]))
+    ndvs.sort(key=lambda s: repr(s[1]))
+    table = constants + dvs + ndvs
+    return {s: i for i, s in enumerate(table)}, table, len(constants)
+
+
+def chase(tableau: Tableau, fds: FDsLike) -> ChaseResult:
+    """Compute ``CHASE_F(tableau)`` with the worklist engine.
+
+    The fd set is split to singleton right-hand sides.  One initial pass
+    groups every row under every rule; afterwards a row re-enters the
+    worklist only when one of its symbols was merged away, so each
+    propagation round touches the dirty frontier instead of the whole
+    tableau.  Termination is guaranteed for fds because each merge
+    strictly reduces the number of symbol classes.
+    """
+    rules = _split_rules(fds)
+    rows = tableau.rows
+    if not rules or not rows:
+        # Mirror the naive engine: one (empty) sweep confirms fixpoint.
+        return ChaseResult(tableau.copy(), consistent=True, steps=0, passes=1)
+
+    order = sorted_attrs(tableau.universe)
+    column = {a: i for i, a in enumerate(order)}
+    distinct: set[Symbol] = set()
+    for row in rows:
+        distinct.update(row.cells.values())
+    to_id, table, constant_bound = _intern_symbols(distinct)
+    cells = [
+        [to_id[mapping[a]] for a in order]
+        for mapping in (row.cells for row in rows)
+    ]
+    rule_columns = [
+        ([column[a] for a in lhs], column[rhs_attr]) for lhs, rhs_attr in rules
+    ]
+    consistent, steps, passes = _chase_core(
+        len(order), cells, rule_columns, constant_bound
+    )
+    if not consistent:
+        return ChaseResult(
+            Tableau(tableau.universe),
+            consistent=False,
+            steps=steps,
+            passes=passes,
+        )
+    resolved = Tableau(
+        tableau.universe,
+        (
+            Row(dict(zip(order, (table[i] for i in vector))), tag=row.tag)
+            for vector, row in zip(cells, rows)
+        ),
+    )
+    return ChaseResult(resolved, consistent=True, steps=steps, passes=passes)
+
+
+def chase_relations(
+    universe: AttrsLike,
+    stored: Iterable[StoredVectors],
+    fds: FDsLike,
+) -> ChaseResult:
+    """``CHASE_F(T_r)`` built directly from stored value vectors.
+
+    ``stored`` yields ``(tag, columns, vectors)`` per relation, where
+    each vector lists the tuple's values in ``columns`` order.  The
+    state tableau is never materialized as dict-backed :class:`Row`
+    objects: interned-id vectors are laid out straight from the value
+    tuples (constants on the relation's columns, fresh nondistinguished
+    variables elsewhere), which makes consistency checking and
+    representative-instance construction markedly cheaper than
+    ``chase(state.tableau(), fds)`` while producing the same result.
+    """
+    universe_attrs = attrs(universe)
+    order = sorted_attrs(universe_attrs)
+    column = {a: i for i, a in enumerate(order)}
+    width = len(order)
+    rules = _split_rules(fds)
+
+    # Constants are interned on the fly (ids 0, 1, ...); fresh ndvs
+    # count up from _NDV_ID_BASE, so every constant id is below every
+    # ndv id and the core's min-id rule prefers constants.  Which ndv of
+    # a merged ndv pair survives is unobservable — every ndv is a fresh
+    # variable private to this chase.
+    constant_ids: dict[Hashable, int] = {}
+    next_ndv = count(_NDV_ID_BASE)
+    cells: list[list[int]] = []
+    tags: list[str] = []
+    for tag, columns, vectors in stored:
+        try:
+            positions = [column[a] for a in columns]
+        except KeyError:
+            raise StateError(
+                f"relation {tag} is not contained in the universe"
+            ) from None
+        # Row order is free: the chase is Church-Rosser for fds, so no
+        # observable output depends on it (tests assert this).
+        padding = [j for j in range(width) if j not in set(positions)]
+        for vector in vectors:
+            row: list = [None] * width
+            for position, value in zip(positions, vector):
+                row[position] = constant_ids.setdefault(
+                    value, len(constant_ids)
+                )
+            for j in padding:
+                row[j] = next(next_ndv)
+            cells.append(row)
+            tags.append(tag)
+
+    if not rules or not cells:
+        consistent, steps, passes = True, 0, 1
+    else:
+        rule_columns = [
+            ([column[a] for a in lhs], column[rhs_attr])
+            for lhs, rhs_attr in rules
+        ]
+        consistent, steps, passes = _chase_core(
+            width, cells, rule_columns, len(constant_ids)
+        )
+    if not consistent:
+        return ChaseResult(
+            Tableau(universe_attrs),
+            consistent=False,
+            steps=steps,
+            passes=passes,
+        )
+
+    constant_table = [
+        (KIND_CONSTANT, value)
+        for value, _ in sorted(constant_ids.items(), key=lambda kv: kv[1])
+    ]
+
+    def to_symbol(interned: int) -> Symbol:
+        if interned < _NDV_ID_BASE:
+            return constant_table[interned]
+        return (KIND_NDV, interned - _NDV_ID_BASE)
+
+    resolved = Tableau(
+        universe_attrs,
+        (
+            Row(dict(zip(order, map(to_symbol, vector))), tag=tag)
+            for vector, tag in zip(cells, tags)
+        ),
+    )
+    return ChaseResult(resolved, consistent=True, steps=steps, passes=passes)
+
+
+def chase_naive(tableau: Tableau, fds: FDsLike) -> ChaseResult:
+    """The original full-sweep ``CHASE_F(tableau)``.
+
+    Rules are applied in passes over the whole tableau until no symbol
+    merge occurs.  Kept as the differential-test oracle for
+    :func:`chase` and as the benchmarks' naive baseline.
+    """
+    fd_list = _split_rules(fds)
     uf = _SymbolUnionFind()
     rows = tableau.rows
     steps = 0
@@ -116,7 +455,7 @@ def chase(tableau: Tableau, fds: FDsLike) -> ChaseResult:
                     anchor = groups.get(signature)
                     if anchor is None:
                         groups[signature] = rhs_symbol
-                    elif uf.union(anchor, rhs_symbol):
+                    elif uf.union(anchor, rhs_symbol) is not None:
                         steps += 1
                         changed = True
                         # Keep the group's anchor current so later rows in
