@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-suite
+.PHONY: test bench serve-bench bench-suite
 
 test:
 	$(PY) -m pytest -x -q
@@ -11,6 +11,12 @@ test:
 # Headline optimized-vs-naive scenarios; writes BENCH_perf.json.
 bench:
 	$(PY) -m repro.bench
+
+# Durable serving workload: sustained insert/query mix through the
+# WAL-backed store plus crash-recovery timings; merges into
+# BENCH_perf.json.
+serve-bench:
+	$(PY) -m repro.bench --serving
 
 # Full benchmark/experiment suite (also merges per-test wall-clock
 # timings into BENCH_perf.json).

@@ -1,0 +1,103 @@
+"""The durable serving layer, end to end.
+
+Creates a WAL-backed store for Example 1's university scheme, serves
+concurrent sessions through a SchemeServer, simulates a crash that
+tears the WAL mid-append, and shows recovery landing on the intact
+prefix of the accepted updates — with the rejection diagnostics
+preserved durably along the way.
+
+Run with ``python examples/serving_demo.py`` (no arguments).
+"""
+
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.service import DurableStore, SchemeServer, scan_wal
+from repro.workloads.paper import example1_university
+
+
+def banner(title):
+    print()
+    print(f"=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main():
+    scheme = example1_university()
+    root = Path(tempfile.mkdtemp(prefix="repro-serving-demo-"))
+    store_dir = root / "university"
+    try:
+        banner("create a durable store")
+        store = DurableStore.create(store_dir, scheme, fsync_every=8)
+        server = SchemeServer(store=store)
+        print(f"store directory: {store_dir}")
+        print(f"scheme is ctm:   {server.engine.reducible}")
+
+        banner("concurrent sessions: 3 writers, 1 reader")
+
+        def registrar(name, courses):
+            session = server.session(name)
+            for index in courses:
+                session.insert(
+                    "R4",
+                    {"C": f"CS{index}", "S": f"student{index}", "G": "A"},
+                )
+
+        writers = [
+            threading.Thread(
+                target=registrar,
+                args=(f"registrar-{w}", range(w * 10, w * 10 + 10)),
+            )
+            for w in range(3)
+        ]
+        for thread in writers:
+            thread.start()
+        reader = server.session("auditor")
+        for thread in writers:
+            thread.join()
+        print(f"sessions: {', '.join(server.session_names())}")
+        print(f"enrolled pairs visible to the auditor: "
+              f"{len(reader.query('CS'))}")
+
+        banner("a rejected insert leaves a durable diagnostic")
+        conflict = reader.insert(
+            "R4", {"C": "CS0", "S": "student0", "G": "F"}
+        )
+        print(f"accepted? {conflict.consistent} "
+              f"(examined {conflict.tuples_examined} stored tuples)")
+        rejects = [
+            record
+            for record in scan_wal(store_dir / "wal.jsonl").records
+            if record.op == "reject"
+        ]
+        print(f"reject records in the WAL: {len(rejects)}")
+        print(f"diagnostic: {rejects[-1].extra['outcome']}")
+
+        banner("metrics")
+        for name, value in sorted(server.metrics_snapshot().items()):
+            print(f"  {name} = {value}")
+        server.close()
+
+        banner("simulate a crash mid-append")
+        wal_path = store_dir / "wal.jsonl"
+        with open(wal_path, "ab") as handle:
+            handle.write(b'{"seq": 999, "op": "insert", "relation"')
+        print("appended a torn half-record to the WAL")
+
+        banner("recover")
+        recovered = DurableStore.open(store_dir)
+        print(recovered.recovery.describe())
+        print(f"tuples after recovery: {recovered.state.total_tuples()}")
+        assert recovered.state.total_tuples() == 30
+        assert {"C": "CS0", "S": "student0", "G": "F"} not in (
+            recovered.state["R4"]
+        )
+        print("the rejected tuple did not reappear — diagnostics only")
+        recovered.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

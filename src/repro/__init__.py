@@ -64,6 +64,13 @@ from repro.schema import (
     scheme,
 )
 from repro.schema.synthesis import synthesize_3nf
+from repro.service import (
+    DurableStore,
+    MetricsRegistry,
+    RecoveryReport,
+    SchemeServer,
+    WriteAheadLog,
+)
 from repro.state import (
     DatabaseState,
     Relation,
@@ -82,7 +89,12 @@ __all__ = [
     "BlockMaterializedViews",
     "DatabaseScheme",
     "DatabaseState",
+    "DurableStore",
     "MaterializedRepInstance",
+    "MetricsRegistry",
+    "RecoveryReport",
+    "SchemeServer",
+    "WriteAheadLog",
     "FD",
     "FDSet",
     "InconsistentStateError",

@@ -1,4 +1,5 @@
-"""Headline performance scenarios: optimized pipeline vs. naive baseline.
+"""Headline performance scenarios: optimized pipeline vs. naive baseline,
+plus the serving-layer workload.
 
 Runs the two large benchmark settings — Example 2's killer-insert
 refutation at n=128 and Example 4's total projection at n=256 — through
@@ -14,14 +15,23 @@ at the repository root:
 
 Each scenario records wall-clock seconds per pipeline (best of
 ``repeats`` runs), the speedup, and the optimized pipeline's throughput
-in stored tuples per second.  Run via ``make bench``, ``repro-bench``,
-or ``python -m repro.bench``.
+in stored tuples per second.
+
+``--serving`` runs the durable serving workload instead (``--all`` runs
+both): a sustained insert/query mix through a WAL-backed
+:class:`~repro.service.store.DurableStore`, then crash recovery — a
+clean restart and a torn-tail restart — with the measured recovery
+times recorded alongside.  Run via ``make bench`` / ``make
+serve-bench``, ``repro-bench``, or ``python -m repro.bench``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable
@@ -138,6 +148,101 @@ def run_scenarios(repeats: int = 30) -> dict[str, dict]:
     return scenarios
 
 
+def run_serving_scenarios(
+    ops: int = 600, fsync_every: int = 32
+) -> dict[str, dict]:
+    """The serving-layer workload: sustained mix, then crash recovery.
+
+    * ``serving_sustained_mix``: one writer pushes ``ops`` operations
+      through a WAL-backed store — unique-key inserts into Example 1's
+      R4, a deliberate key-conflict reject every 25th op, and a ``[CS]``
+      query every 5th — measuring end-to-end throughput including WAL
+      appends and batched fsyncs.
+    * ``serving_recovery``: reopen the store directory cold and measure
+      snapshot load + WAL replay (each replayed insert re-validates
+      through the engine).
+    * ``serving_recovery_torn_tail``: same, after a simulated crash
+      mid-append (garbage bytes at the WAL tail), measuring detection +
+      repair on top of replay.
+    """
+    from repro.service.store import DurableStore
+    from repro.workloads.paper import example1_university
+
+    scheme = example1_university()
+    root = Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+    try:
+        store = DurableStore.create(
+            root / "store",
+            scheme,
+            fsync_every=fsync_every,
+            auto_compact=False,  # measure the WAL, not snapshot cadence
+        )
+        accepted = rejected = queries = 0
+        start = time.perf_counter()
+        for index in range(ops):
+            if index % 25 == 24:
+                # Same CS key as an accepted insert, different grade:
+                # a guaranteed reject that lands in the WAL as a
+                # durable diagnostic.
+                outcome = store.insert(
+                    "R4", {"C": "C0", "S": "S0", "G": "F"}
+                )
+                rejected += 0 if outcome.consistent else 1
+            elif index % 5 == 4:
+                store.query("CS")
+                queries += 1
+            else:
+                outcome = store.insert(
+                    "R4",
+                    {"C": f"C{index}", "S": f"S{index}", "G": "A"},
+                )
+                accepted += 0 if not outcome.consistent else 1
+        store.sync()
+        elapsed = time.perf_counter() - start
+        wal_bytes = store.wal_bytes
+        store.close()
+        scenarios: dict[str, dict] = {
+            "serving_sustained_mix": {
+                "ops": ops,
+                "accepted": accepted,
+                "rejected": rejected,
+                "queries": queries,
+                "fsync_every": fsync_every,
+                "wal_bytes": wal_bytes,
+                "seconds": round(elapsed, 6),
+                "ops_per_second": round(ops / elapsed, 1),
+            }
+        }
+
+        reopened = DurableStore.open(root / "store")
+        recovery = reopened.recovery
+        reopened.close()
+        scenarios["serving_recovery"] = {
+            "replayed_records": recovery.replayed,
+            "rejects_in_log": recovery.rejects_in_log,
+            "seconds": round(recovery.seconds, 6),
+            "records_per_second": round(
+                recovery.replayed / recovery.seconds, 1
+            )
+            if recovery.seconds
+            else 0.0,
+        }
+
+        with open(root / "store" / "wal.jsonl", "ab") as handle:
+            handle.write(b'{"seq": 424242, "op": "ins')  # torn mid-append
+        torn = DurableStore.open(root / "store")
+        torn_recovery = torn.recovery
+        torn.close()
+        scenarios["serving_recovery_torn_tail"] = {
+            "replayed_records": torn_recovery.replayed,
+            "discarded_bytes": torn_recovery.discarded_bytes,
+            "seconds": round(torn_recovery.seconds, 6),
+        }
+        return scenarios
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def write_report(scenarios: dict[str, dict], path: Path) -> dict:
     """Merge the scenario records into ``BENCH_perf.json`` (preserving
     any per-test timings the benchmark suite recorded there)."""
@@ -153,24 +258,78 @@ def write_report(scenarios: dict[str, dict], path: Path) -> dict:
     return report
 
 
-def main(argv: list[str] | None = None) -> int:
-    arguments = sys.argv[1:] if argv is None else argv
-    repeats = int(arguments[0]) if arguments else 30
-    root = _repo_root()
-    sys.path.insert(0, str(root))  # for the benchmarks package
-    scenarios = run_scenarios(repeats=repeats)
-    path = root / BENCH_PATH_NAME
-    write_report(scenarios, path)
+def _print_scenarios(scenarios: dict[str, dict]) -> None:
     width = max(len(name) for name in scenarios)
     for name, record in sorted(scenarios.items()):
-        print(
-            f"{name:{width}}  optimized {record['optimized_seconds']*1e3:8.3f} ms"
-            f"  naive {record['naive_seconds']*1e3:8.3f} ms"
-            f"  speedup {record['speedup']:6.2f}x"
-            f"  ({record['tuples_per_second']:.0f} tuples/s)"
-        )
+        if "speedup" in record:
+            print(
+                f"{name:{width}}  optimized {record['optimized_seconds']*1e3:8.3f} ms"
+                f"  naive {record['naive_seconds']*1e3:8.3f} ms"
+                f"  speedup {record['speedup']:6.2f}x"
+                f"  ({record['tuples_per_second']:.0f} tuples/s)"
+            )
+        elif "ops_per_second" in record:
+            print(
+                f"{name:{width}}  {record['seconds']*1e3:8.3f} ms for "
+                f"{record['ops']} ops  ({record['ops_per_second']:.0f} ops/s, "
+                f"{record['accepted']} accepted / {record['rejected']} "
+                f"rejected / {record['queries']} queries)"
+            )
+        else:
+            detail = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(record.items())
+                if key != "seconds"
+            )
+            print(
+                f"{name:{width}}  {record['seconds']*1e3:8.3f} ms  ({detail})"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="performance scenarios"
+    )
+    parser.add_argument(
+        "repeats",
+        nargs="?",
+        type=int,
+        default=30,
+        help="best-of repeats for the headline scenarios (default 30)",
+    )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the durable-serving workload instead of the headline "
+        "optimized-vs-naive scenarios",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run both scenario families"
+    )
+    parser.add_argument(
+        "--serving-ops",
+        type=int,
+        default=600,
+        help="operations in the sustained serving mix (default 600)",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    root = _repo_root()
+    sys.path.insert(0, str(root))  # for the benchmarks package
+    scenarios: dict[str, dict] = {}
+    if args.all or not args.serving:
+        scenarios.update(run_scenarios(repeats=args.repeats))
+    if args.all or args.serving:
+        scenarios.update(run_serving_scenarios(ops=args.serving_ops))
+    path = root / BENCH_PATH_NAME
+    write_report(scenarios, path)
+    _print_scenarios(scenarios)
     print(f"wrote {path}")
-    slow = [n for n, r in scenarios.items() if r["speedup"] < 2.0]
+    slow = [
+        name
+        for name, record in scenarios.items()
+        if record.get("speedup", float("inf")) < 2.0
+    ]
     if slow:
         print(f"WARNING: below the 2x bar: {', '.join(slow)}")
         return 1

@@ -22,6 +22,22 @@ Subcommands::
     python -m repro synthesize --fds "A->B, B->C" [--universe ABCD] \
             [--out SCHEME.json]
         Synthesize a cover-embedding 3NF scheme from fds.
+
+    python -m repro serve [SCHEME.json] [--store DIR] [--script FILE]
+        Run the session server over a line protocol (stdin or a script
+        file).  With --store, every accepted update is WAL-logged and
+        the store recovers on restart; without, the server is
+        in-memory.  `help` lists the protocol's commands.
+
+    python -m repro replay --store DIR [--json] [--out STATE.json]
+        Recover a durable store (snapshot + WAL replay, torn-tail
+        repair) and report what recovery did.
+
+    python -m repro insert SCHEME.json STATE.json --relation R1 ...
+    python -m repro insert --store DIR --relation R1 --values ...
+        Validate one insertion; with --store the outcome is durable
+        (accepted updates hit the WAL, rejections are logged as
+        diagnostics).
 """
 
 from __future__ import annotations
@@ -115,17 +131,74 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_rejection(relation_name: str, outcome) -> None:
+    """The satellite diagnostic: a rejected insert explains itself with
+    the full MaintenanceOutcome rendering, not a bare exit code."""
+    print(
+        f"REJECTED: inserting into {relation_name} would make the "
+        "state inconsistent"
+    )
+    print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+
+
+def _open_or_create_store(args: argparse.Namespace):
+    """Open the store at ``args.store``, creating it from the scheme
+    positional when the directory is not a store yet."""
+    from pathlib import Path
+
+    from repro.foundations.errors import StoreError
+    from repro.service.store import SCHEME_FILE, DurableStore
+
+    store_dir = Path(args.store)
+    fsync_every = getattr(args, "fsync_every", 1)
+    if (store_dir / SCHEME_FILE).exists():
+        return DurableStore.open(store_dir, fsync_every=fsync_every)
+    scheme_path = getattr(args, "scheme", None)
+    if not scheme_path:
+        raise StoreError(
+            f"{store_dir} is not a store yet; pass a scheme file to "
+            "create it"
+        )
+    return DurableStore.create(
+        store_dir, load_scheme(scheme_path), fsync_every=fsync_every
+    )
+
+
 def _cmd_insert(args: argparse.Namespace) -> int:
+    if args.store:
+        store = _open_or_create_store(args)
+        try:
+            outcome = store.insert(args.relation, args.values)
+            if not outcome.consistent:
+                _print_rejection(args.relation, outcome)
+                print(
+                    "(rejection logged durably in "
+                    f"{store.directory / 'wal.jsonl'})"
+                )
+                return 2
+            print(
+                f"accepted at seq {store.last_seq} "
+                f"(examined {outcome.tuples_examined} stored tuples); "
+                f"persisted in {store.directory}"
+            )
+            if args.out:
+                dump_state(outcome.state, args.out)
+                print(f"updated state written to {args.out}")
+            return 0
+        finally:
+            store.close()
+    if not args.scheme or not args.state:
+        print(
+            "error: insert needs SCHEME.json and STATE.json, or --store DIR",
+            file=sys.stderr,
+        )
+        return 1
     scheme = load_scheme(args.scheme)
     state = load_state(scheme, args.state)
     engine = WeakInstanceEngine(scheme)
     outcome = engine.insert(state, args.relation, args.values)
     if not outcome.consistent:
-        print(
-            f"REJECTED: inserting into {args.relation} would make the "
-            f"state inconsistent (examined {outcome.tuples_examined} "
-            "stored tuples)"
-        )
+        _print_rejection(args.relation, outcome)
         return 2
     print(
         f"accepted (examined {outcome.tuples_examined} stored tuples)"
@@ -136,6 +209,137 @@ def _cmd_insert(args: argparse.Namespace) -> int:
     else:
         print(json.dumps(state_to_dict(outcome.state), sort_keys=True))
     return 0
+
+
+SERVE_HELP = """\
+commands:
+  session NAME                switch to (or open) the named session
+  insert REL A=a,B=b,...      validate + apply one insertion
+  delete REL A=a,B=b,...      apply one deletion
+  query ATTRS                 evaluate the total projection [ATTRS]
+  state                       print the committed state as JSON
+  metrics                     print server + engine-cache counters
+  snapshot                    force a snapshot + WAL reset (durable only)
+  sessions                    list the open sessions
+  help                        this text
+  exit                        stop serving"""
+
+
+def _serve_loop(server, lines, echo: bool = False) -> int:
+    """Drive the server over the line protocol.  Returns an exit code;
+    protocol errors are reported per line, not fatal."""
+    session = server.session("default")
+    for raw in lines:
+        line = raw.strip()
+        if echo and line:
+            print(f"> {line}")
+        if not line or line.startswith("#"):
+            continue
+        command, _, rest = line.partition(" ")
+        rest = rest.strip()
+        try:
+            if command in ("exit", "quit"):
+                break
+            elif command == "help":
+                print(SERVE_HELP)
+            elif command == "session":
+                if not rest:
+                    raise ReproError("session needs a name")
+                session = server.session(rest)
+                print(f"session {rest}")
+            elif command == "sessions":
+                print(", ".join(server.session_names()))
+            elif command == "insert":
+                relation_name, _, spec = rest.partition(" ")
+                outcome = session.insert(relation_name, _parse_values(spec))
+                if outcome.consistent:
+                    print(f"accepted ({outcome.tuples_examined} examined)")
+                else:
+                    _print_rejection(relation_name, outcome)
+            elif command == "delete":
+                relation_name, _, spec = rest.partition(" ")
+                session.delete(relation_name, _parse_values(spec))
+                print("deleted")
+            elif command == "query":
+                target = attrs(rest)
+                rows = session.query(target)
+                print("\t".join(sorted(target)))
+                for row in sorted(rows):
+                    print("\t".join(str(value) for value in row))
+            elif command == "state":
+                print(
+                    json.dumps(state_to_dict(session.state()), sort_keys=True)
+                )
+            elif command == "metrics":
+                print(
+                    json.dumps(
+                        server.metrics_snapshot(), indent=2, sort_keys=True
+                    )
+                )
+            elif command == "snapshot":
+                server.snapshot()
+                print("snapshot written")
+            else:
+                print(f"error: unknown command {command!r} (try `help`)")
+        except (ReproError, argparse.ArgumentTypeError) as error:
+            print(f"error: {error}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import SchemeServer
+
+    store = None
+    if args.store:
+        store = _open_or_create_store(args)
+        server = SchemeServer(store=store)
+        print(
+            f"serving {store.directory} "
+            f"(seq {store.last_seq}, recovery: replayed "
+            f"{store.recovery.replayed}, "
+            f"{store.recovery.discarded_bytes} byte(s) repaired)"
+        )
+    else:
+        if not args.scheme:
+            print(
+                "error: serve needs a scheme file or --store DIR",
+                file=sys.stderr,
+            )
+            return 1
+        server = SchemeServer(scheme=load_scheme(args.scheme))
+        print("serving in-memory (no --store: nothing will be persisted)")
+    try:
+        if args.script:
+            with open(args.script) as handle:
+                return _serve_loop(server, handle, echo=True)
+        return _serve_loop(server, sys.stdin)
+    finally:
+        server.close()
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.service.store import DurableStore
+
+    store = DurableStore.open(args.store)
+    try:
+        report = store.recovery
+        if args.json:
+            payload = report.to_dict()
+            payload["last_seq"] = store.last_seq
+            payload["tuples"] = store.state.total_tuples()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(report.describe())
+            print(
+                f"store is at seq {store.last_seq} with "
+                f"{store.state.total_tuples()} stored tuple(s)"
+            )
+        if args.out:
+            dump_state(store.state, args.out)
+            print(f"recovered state written to {args.out}")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -221,14 +425,56 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=_cmd_query)
 
     insert = commands.add_parser("insert", help="validate one insertion")
-    insert.add_argument("scheme", help="scheme JSON file")
-    insert.add_argument("state", help="state JSON file")
+    insert.add_argument(
+        "scheme", nargs="?", help="scheme JSON file (omit with --store)"
+    )
+    insert.add_argument(
+        "state", nargs="?", help="state JSON file (omit with --store)"
+    )
     insert.add_argument("--relation", required=True)
     insert.add_argument(
         "--values", required=True, type=_parse_values, help="A=a,B=b,..."
     )
     insert.add_argument("--out", help="write the updated state here")
+    insert.add_argument(
+        "--store",
+        help="persist through a durable store directory instead of "
+        "STATE.json (created from SCHEME.json when missing)",
+    )
     insert.set_defaults(func=_cmd_insert)
+
+    serve = commands.add_parser(
+        "serve", help="run the session server over a line protocol"
+    )
+    serve.add_argument(
+        "scheme",
+        nargs="?",
+        help="scheme JSON file (required unless --store names an "
+        "existing store)",
+    )
+    serve.add_argument("--store", help="durable store directory")
+    serve.add_argument(
+        "--script",
+        help="read protocol commands from this file instead of stdin",
+    )
+    serve.add_argument(
+        "--fsync-every",
+        type=int,
+        default=1,
+        dest="fsync_every",
+        help="batch WAL fsyncs (default 1 = strict durability)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    replay = commands.add_parser(
+        "replay", help="recover a durable store and report what happened"
+    )
+    replay.add_argument("--store", required=True, help="store directory")
+    replay.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    replay.add_argument("--out", help="write the recovered state here")
+    replay.set_defaults(func=_cmd_replay)
 
     keys = commands.add_parser(
         "keys", help="list (and optionally derive) every declared key"

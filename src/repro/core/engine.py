@@ -51,6 +51,19 @@ class BatchOutcome:
     def __bool__(self) -> bool:
         return self.state is not None
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-ready rendering: whether the batch committed, how many
+        updates were applied before the verdict, and — on rejection —
+        the failing index with the full
+        :meth:`~repro.state.consistency.MaintenanceOutcome.to_dict`
+        diagnostics.  Used by the CLI and the WAL's ``reject`` records."""
+        return {
+            "committed": self.state is not None,
+            "applied": self.applied,
+            "failed_index": self.failed_index,
+            "failure": None if self.failure is None else self.failure.to_dict(),
+        }
+
 
 class WeakInstanceEngine:
     """Scheme-bound query/update engine with plan and chase caching.

@@ -8,6 +8,7 @@ accounting — so it lives here once.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
@@ -35,10 +36,12 @@ class LRUCache:
 
     ``get`` refreshes recency and counts hits/misses; ``put`` inserts or
     refreshes and evicts the least recently used entry past the bound.
-    Not thread-safe — the library is single-threaded by design.
+    Thread-safe: the serving layer lets reader threads consult the
+    engine's memo layers concurrently, so every operation holds a lock
+    (uncontended acquisition is cheap next to what the cache memoizes).
     """
 
-    __slots__ = ("maxsize", "_data", "_hits", "_misses", "_evictions")
+    __slots__ = ("maxsize", "_data", "_hits", "_misses", "_evictions", "_lock")
 
     def __init__(self, maxsize: int = 256) -> None:
         if maxsize < 1:
@@ -48,42 +51,49 @@ class LRUCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self._misses += 1
-            return default
-        self._data.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        data = self._data
-        if key in data:
+        with self._lock:
+            data = self._data
+            if key in data:
+                data[key] = value
+                data.move_to_end(key)
+                return
             data[key] = value
-            data.move_to_end(key)
-            return
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
-            self._evictions += 1
+            if len(data) > self.maxsize:
+                data.popitem(last=False)
+                self._evictions += 1
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def info(self) -> CacheInfo:
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._data),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )

@@ -35,3 +35,21 @@ class ChaseError(ReproError):
 class NotApplicableError(ReproError):
     """An algorithm was invoked on an input outside its stated domain
     (e.g. Algorithm 5 on a scheme that is not split-free)."""
+
+
+class ServiceError(ReproError):
+    """A failure in the durable serving layer (``repro.service``)."""
+
+
+class WALError(ServiceError):
+    """A write-ahead log could not be read or written.
+
+    Torn tails (a final record cut short by a crash) are *not* errors —
+    recovery tolerates and repairs them; this is raised for corruption
+    in the interior of the log, sequence-number regressions, or I/O
+    failures."""
+
+
+class StoreError(ServiceError):
+    """A durable store directory is missing, malformed, or already in
+    use in a way the operation cannot tolerate."""

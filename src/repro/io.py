@@ -23,6 +23,7 @@ State::
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping, Union
 
@@ -33,6 +34,29 @@ from repro.schema.relation_scheme import RelationScheme
 from repro.state.database_state import DatabaseState
 
 PathLike = Union[str, Path]
+
+
+def dump_json_atomic(data: Any, path: PathLike) -> None:
+    """Write ``data`` as JSON so that a crash leaves either the old file
+    or the new one, never a torn mixture: write to a sibling temp file,
+    fsync it, then ``os.replace`` over the destination.
+
+    The durable store's snapshots depend on this guarantee; the plain
+    ``dump_scheme`` / ``dump_state`` helpers use it too so every file
+    this module produces is crash-clean."""
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def load_json(path: PathLike) -> Any:
+    with open(path) as handle:
+        return json.load(handle)
 
 
 # -- schemes ----------------------------------------------------------------
@@ -86,10 +110,8 @@ def load_scheme(path: PathLike) -> DatabaseScheme:
 
 
 def dump_scheme(scheme: DatabaseScheme, path: PathLike) -> None:
-    """Write a scheme to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(scheme_to_dict(scheme), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a scheme to a JSON file (atomically)."""
+    dump_json_atomic(scheme_to_dict(scheme), path)
 
 
 # -- states -------------------------------------------------------------------
@@ -122,7 +144,5 @@ def load_state(scheme: DatabaseScheme, path: PathLike) -> DatabaseState:
 
 
 def dump_state(state: DatabaseState, path: PathLike) -> None:
-    """Write a state to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(state_to_dict(state), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a state to a JSON file (atomically)."""
+    dump_json_atomic(state_to_dict(state), path)

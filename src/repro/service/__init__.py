@@ -1,0 +1,43 @@
+"""The durable serving layer: WAL, snapshots, recovery, sessions.
+
+The paper guarantees that bounded / ctm schemes answer queries by
+predetermined expressions and validate insertions in constant time —
+properties a long-lived serving process exploits directly.  This
+package turns :class:`~repro.core.engine.WeakInstanceEngine` into a
+restartable server:
+
+* :mod:`repro.service.wal` — append-only JSONL write-ahead log with
+  CRC-32 checksums, batched fsync and torn-tail repair;
+* :mod:`repro.service.store` — :class:`DurableStore`: scheme + WAL +
+  atomic snapshots, crash recovery by replaying validated updates,
+  automatic compaction;
+* :mod:`repro.service.server` — :class:`SchemeServer`: named sessions,
+  single-writer lock, lock-free snapshot reads;
+* :mod:`repro.service.metrics` — thread-safe operation counters.
+"""
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import SchemeServer, Session
+from repro.service.store import DurableStore, RecoveryReport
+from repro.service.wal import (
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    record_crc,
+    replayable,
+    scan_wal,
+)
+
+__all__ = [
+    "DurableStore",
+    "MetricsRegistry",
+    "RecoveryReport",
+    "SchemeServer",
+    "Session",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "record_crc",
+    "replayable",
+    "scan_wal",
+]

@@ -1,0 +1,87 @@
+"""Thread-safe operation counters for the serving layer.
+
+The serving components (:class:`repro.service.store.DurableStore`,
+:class:`repro.service.server.SchemeServer`) record what they do into a
+:class:`MetricsRegistry` — monotonic counters plus point-in-time gauges
+— so an operator can ask a long-lived process what it has been doing
+without stopping it.  A registry is cheap enough to update on every
+operation: one lock acquisition and one dict write.
+
+Counter names are dotted paths (``ops.insert``, ``wal.bytes``,
+``store.rejects``); :meth:`MetricsRegistry.snapshot` returns them as a
+flat ``name -> value`` dict ready for JSON rendering.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """A flat namespace of thread-safe counters, gauges and timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Number] = {}
+        self._gauges: dict[str, Number] = {}
+
+    # -- counters -------------------------------------------------------------
+    def increment(self, name: str, amount: Number = 1) -> None:
+        """Add ``amount`` to the monotonic counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> Number:
+        """The current value of counter ``name`` (0 when never touched)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- gauges ---------------------------------------------------------------
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Record the latest value of the gauge ``name``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str, default: Number = 0) -> Number:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    # -- timers ---------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds into ``<name>.seconds`` and bump
+        ``<name>.calls``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._counters[f"{name}.seconds"] = (
+                    self._counters.get(f"{name}.seconds", 0.0) + elapsed
+                )
+                self._counters[f"{name}.calls"] = (
+                    self._counters.get(f"{name}.calls", 0) + 1
+                )
+
+    # -- reporting ------------------------------------------------------------
+    def snapshot(self) -> dict[str, Number]:
+        """All counters and gauges as one flat dict (gauges win on a
+        name collision, which well-behaved callers never create)."""
+        with self._lock:
+            merged: dict[str, Number] = dict(self._counters)
+            merged.update(self._gauges)
+            return merged
+
+    def describe(self) -> str:
+        """One ``name = value`` line per metric, sorted by name."""
+        lines = [
+            f"{name} = {value}"
+            for name, value in sorted(self.snapshot().items())
+        ]
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,222 @@
+"""A thread-safe session server over one engine-validated state.
+
+:class:`SchemeServer` is the concurrency layer the paper's guarantees
+make cheap: because states are immutable and queries on bounded schemes
+evaluate by predetermined expressions, readers never need a lock — they
+grab the current state pointer and compute against that snapshot while
+writers move the pointer forward underneath them.  Writes are
+serialized through a single-writer lock, so the committed history is a
+total order: the final state always equals the serial application of
+the accepted updates in commit order (which, with a durable store, is
+exactly WAL order).
+
+Sessions are named handles multiplexed over the shared state — they
+carry per-session accounting and a convenient bound API, not isolation;
+every session sees every committed write.
+
+The server fronts either a :class:`~repro.service.store.DurableStore`
+(durable mode — every accepted write hits the WAL) or a bare scheme
+(in-memory mode, same concurrency semantics, nothing on disk).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Mapping, Optional, Sequence, Union
+
+from repro.core.engine import BatchOutcome, Update, WeakInstanceEngine
+from repro.foundations.attrs import AttrsLike
+from repro.foundations.errors import ServiceError
+from repro.schema.database_scheme import DatabaseScheme
+from repro.service.metrics import MetricsRegistry
+from repro.service.store import DurableStore
+from repro.state.consistency import MaintenanceOutcome
+from repro.state.database_state import DatabaseState
+
+
+class Session:
+    """A named handle on a :class:`SchemeServer`.
+
+    Thread-safe to share, cheap to create; all methods delegate to the
+    server and bump both the server's and the session's counters.
+    """
+
+    def __init__(self, server: "SchemeServer", name: str) -> None:
+        self.server = server
+        self.name = name
+        self.metrics = MetricsRegistry()
+
+    def insert(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> MaintenanceOutcome:
+        self.metrics.increment("ops.insert")
+        return self.server.insert(relation_name, values)
+
+    def delete(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> DatabaseState:
+        self.metrics.increment("ops.delete")
+        return self.server.delete(relation_name, values)
+
+    def apply_batch(self, updates: Sequence[Update]) -> BatchOutcome:
+        self.metrics.increment("ops.batch")
+        return self.server.apply_batch(updates)
+
+    def query(self, attributes: AttrsLike) -> set[tuple[Hashable, ...]]:
+        self.metrics.increment("ops.query")
+        return self.server.query(attributes)
+
+    def state(self) -> DatabaseState:
+        """The committed state at this instant (an immutable snapshot)."""
+        return self.server.state
+
+    def __repr__(self) -> str:
+        return f"Session({self.name!r})"
+
+
+class SchemeServer:
+    """Single-writer / many-reader server over one weak-instance engine."""
+
+    def __init__(
+        self,
+        store: Optional[DurableStore] = None,
+        scheme: Optional[DatabaseScheme] = None,
+        state: Optional[DatabaseState] = None,
+    ) -> None:
+        if (store is None) == (scheme is None):
+            raise ServiceError(
+                "pass exactly one of store= (durable) or scheme= (in-memory)"
+            )
+        self._write_lock = threading.Lock()
+        self._sessions_lock = threading.Lock()
+        self._sessions: dict[str, Session] = {}
+        self._store = store
+        if store is not None:
+            if state is not None:
+                raise ServiceError("a durable store carries its own state")
+            self.scheme = store.scheme
+            self.engine = store.engine
+            self.metrics = store.metrics
+            self._state = store.state
+        else:
+            assert scheme is not None
+            self.scheme = scheme
+            self.engine = WeakInstanceEngine(scheme)
+            self.metrics = MetricsRegistry()
+            self._state = (
+                state if state is not None else self.engine.empty_state()
+            )
+
+    # -- construction conveniences -------------------------------------------
+    @classmethod
+    def in_memory(
+        cls, scheme: DatabaseScheme, state: Optional[DatabaseState] = None
+    ) -> "SchemeServer":
+        return cls(scheme=scheme, state=state)
+
+    @classmethod
+    def serving(cls, store: DurableStore) -> "SchemeServer":
+        return cls(store=store)
+
+    # -- sessions -------------------------------------------------------------
+    def session(self, name: str) -> Session:
+        """The session named ``name`` (created on first use)."""
+        with self._sessions_lock:
+            existing = self._sessions.get(name)
+            if existing is None:
+                existing = Session(self, name)
+                self._sessions[name] = existing
+                self.metrics.increment("server.sessions_opened")
+            return existing
+
+    def session_names(self) -> list[str]:
+        with self._sessions_lock:
+            return sorted(self._sessions)
+
+    # -- reads ----------------------------------------------------------------
+    @property
+    def state(self) -> DatabaseState:
+        """The latest committed state.  Reading the pointer is atomic;
+        the object it names is immutable, so readers are race-free."""
+        return self._state
+
+    @property
+    def durable(self) -> bool:
+        return self._store is not None
+
+    def query(self, attributes: AttrsLike) -> set[tuple[Hashable, ...]]:
+        """``[X]`` against the state committed at call time — runs
+        without the write lock; concurrent writers do not block it."""
+        snapshot = self._state
+        self.metrics.increment("ops.query")
+        return self.engine.query(snapshot, attributes)
+
+    # -- writes (serialized) ---------------------------------------------------
+    def insert(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> MaintenanceOutcome:
+        with self._write_lock:
+            if self._store is not None:
+                outcome = self._store.insert(relation_name, values)
+                self._state = self._store.state
+            else:
+                outcome = self.engine.insert(
+                    self._state, relation_name, values
+                )
+                self.metrics.increment("ops.insert")
+                if outcome.consistent:
+                    assert outcome.state is not None
+                    self._state = outcome.state
+                else:
+                    self.metrics.increment("store.rejects")
+            return outcome
+
+    def delete(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> DatabaseState:
+        with self._write_lock:
+            if self._store is not None:
+                self._state = self._store.delete(relation_name, values)
+            else:
+                self.metrics.increment("ops.delete")
+                self._state = self.engine.delete(
+                    self._state, relation_name, values
+                )
+            return self._state
+
+    def apply_batch(self, updates: Sequence[Update]) -> BatchOutcome:
+        with self._write_lock:
+            if self._store is not None:
+                outcome = self._store.apply_batch(updates)
+                self._state = self._store.state
+            else:
+                outcome = self.engine.apply_batch(self._state, updates)
+                self.metrics.increment("ops.batch")
+                if outcome:
+                    assert outcome.state is not None
+                    self._state = outcome.state
+                else:
+                    self.metrics.increment("store.rejects")
+            return outcome
+
+    # -- maintenance ----------------------------------------------------------
+    def snapshot(self) -> None:
+        """Durable mode: force a snapshot + WAL reset now."""
+        if self._store is None:
+            raise ServiceError("an in-memory server has nothing to snapshot")
+        with self._write_lock:
+            self._store.snapshot()
+
+    def metrics_snapshot(self) -> dict[str, Union[int, float]]:
+        """Server counters merged with the engine's cache accounting."""
+        merged = self.metrics.snapshot()
+        for cache_name, info in self.engine.cache_info().items():
+            merged[f"cache.{cache_name}.hits"] = info.hits
+            merged[f"cache.{cache_name}.misses"] = info.misses
+            merged[f"cache.{cache_name}.evictions"] = info.evictions
+        return merged
+
+    def close(self) -> None:
+        if self._store is not None:
+            with self._write_lock:
+                self._store.close()

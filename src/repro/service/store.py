@@ -1,0 +1,416 @@
+"""A crash-recoverable store binding a scheme, a WAL and snapshots.
+
+A :class:`DurableStore` lives in one directory::
+
+    store/
+      scheme.json     the DatabaseScheme (written once at create time)
+      snapshot.json   {"seq": N, "state": {...}} — the state after the
+                      first N accepted updates (atomic replace)
+      wal.jsonl       accepted updates N+1, N+2, ... plus durable
+                      ``reject`` diagnostics (see repro.service.wal)
+
+Every mutation is validated by the scheme's
+:class:`~repro.core.engine.WeakInstanceEngine` *before* it is logged:
+the WAL only ever contains updates the weak-instance model accepted, so
+replay re-applies them without re-deriving the decision from scratch —
+each replayed insert re-validates (the engine is the authority) and, by
+determinism, re-accepts.  Rejected insertions are logged too, as
+``reject`` records carrying the full
+:meth:`~repro.state.consistency.MaintenanceOutcome.to_dict` diagnosis,
+so repair tooling can later inspect *why* a tuple was refused; replay
+skips them and they can never resurrect the refused tuple.
+
+Recovery = load ``snapshot.json`` (consistency-checked through the
+engine's memoized chase), replay the WAL's intact prefix, repair any
+torn tail.  Compaction = write a new snapshot at the current sequence,
+then reset the WAL; it triggers automatically once the log outgrows the
+snapshot by ``compact_factor``.
+
+A store is single-writer by construction — it performs no internal
+locking.  :class:`repro.service.server.SchemeServer` provides the
+thread-safe front end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable, Mapping, Optional, Sequence, Union
+
+from repro.core.engine import BatchOutcome, Update, WeakInstanceEngine
+from repro.foundations.attrs import AttrsLike
+from repro.foundations.errors import StoreError
+from repro.io import (
+    dump_json_atomic,
+    dump_scheme,
+    load_json,
+    load_scheme,
+    state_to_dict,
+)
+from repro.schema.database_scheme import DatabaseScheme
+from repro.service.metrics import MetricsRegistry
+from repro.service.wal import WalRecord, WriteAheadLog, replayable
+from repro.state.consistency import MaintenanceOutcome
+from repro.state.database_state import DatabaseState
+
+PathLike = Union[str, Path]
+
+SCHEME_FILE = "scheme.json"
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.jsonl"
+
+#: Never compact while the WAL is smaller than this many bytes — tiny
+#: stores would otherwise snapshot on every write.
+MIN_COMPACT_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DurableStore.open` did to reach a servable state."""
+
+    snapshot_seq: int
+    replayed: int
+    rejects_in_log: int
+    discarded_bytes: int
+    stale_log: bool
+    seconds: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "replayed": self.replayed,
+            "rejects_in_log": self.rejects_in_log,
+            "discarded_bytes": self.discarded_bytes,
+            "stale_log": self.stale_log,
+            "seconds": round(self.seconds, 6),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"snapshot at seq {self.snapshot_seq}",
+            f"replayed {self.replayed} update(s) from the WAL",
+            f"{self.rejects_in_log} durable reject diagnostic(s) in the log",
+        ]
+        if self.discarded_bytes:
+            lines.append(
+                f"repaired a torn tail ({self.discarded_bytes} byte(s) "
+                "discarded)"
+            )
+        if self.stale_log:
+            lines.append("discarded a pre-snapshot (stale) WAL")
+        lines.append(f"recovery took {self.seconds:.4f}s")
+        return "\n".join(lines)
+
+
+class DurableStore:
+    """One engine-validated state made durable in a directory.
+
+    Construct with :meth:`create` (new directory) or :meth:`open`
+    (recover an existing one); both accept ``fsync_every`` to batch
+    WAL fsyncs and ``compact_factor`` / ``auto_compact`` to tune the
+    snapshot policy.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        scheme: DatabaseScheme,
+        engine: WeakInstanceEngine,
+        state: DatabaseState,
+        wal: WriteAheadLog,
+        recovery: RecoveryReport,
+        compact_factor: float,
+        auto_compact: bool,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.directory = directory
+        self.scheme = scheme
+        self.engine = engine
+        self._state = state
+        self._wal = wal
+        self.recovery = recovery
+        self.compact_factor = compact_factor
+        self.auto_compact = auto_compact
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.increment("store.recoveries")
+        self.metrics.increment("store.replayed_records", recovery.replayed)
+        self._snapshot_bytes = (directory / SNAPSHOT_FILE).stat().st_size
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        scheme: DatabaseScheme,
+        *,
+        fsync_every: int = 1,
+        compact_factor: float = 4.0,
+        auto_compact: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "DurableStore":
+        """Initialise a fresh store directory (must not already hold
+        one) and return it opened."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / SCHEME_FILE).exists():
+            raise StoreError(f"{directory} already contains a store")
+        dump_scheme(scheme, directory / SCHEME_FILE)
+        dump_json_atomic(
+            {"seq": 0, "state": state_to_dict(DatabaseState(scheme))},
+            directory / SNAPSHOT_FILE,
+        )
+        return cls.open(
+            directory,
+            fsync_every=fsync_every,
+            compact_factor=compact_factor,
+            auto_compact=auto_compact,
+            metrics=metrics,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: PathLike,
+        *,
+        fsync_every: int = 1,
+        compact_factor: float = 4.0,
+        auto_compact: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "DurableStore":
+        """Recover the store at ``directory``: snapshot + WAL replay."""
+        started = time.perf_counter()
+        directory = Path(directory)
+        scheme_path = directory / SCHEME_FILE
+        if not scheme_path.exists():
+            raise StoreError(f"{directory} does not contain a store")
+        scheme = load_scheme(scheme_path)
+        engine = WeakInstanceEngine(scheme)
+
+        snapshot_path = directory / SNAPSHOT_FILE
+        if snapshot_path.exists():
+            snapshot = load_json(snapshot_path)
+            if (
+                not isinstance(snapshot, dict)
+                or not isinstance(snapshot.get("seq"), int)
+                or not isinstance(snapshot.get("state"), dict)
+            ):
+                raise StoreError(f"{snapshot_path} is malformed")
+            snapshot_seq = snapshot["seq"]
+            # engine.load chases (memoized) — a corrupt snapshot that
+            # somehow passed JSON parsing still cannot serve queries.
+            state = engine.load(snapshot["state"])
+        else:
+            snapshot_seq = 0
+            state = engine.empty_state()
+            dump_json_atomic(
+                {"seq": 0, "state": state_to_dict(state)}, snapshot_path
+            )
+
+        wal = WriteAheadLog(
+            directory / WAL_FILE,
+            base_seq=snapshot_seq,
+            fsync_every=fsync_every,
+            flexible=True,
+        )
+        scan = wal.recovered
+        if scan.records and scan.records[0].seq > snapshot_seq + 1:
+            raise StoreError(
+                f"WAL starts at seq {scan.records[0].seq} but the "
+                f"snapshot ends at {snapshot_seq}: records are missing"
+            )
+        to_replay = [
+            record
+            for record in replayable(scan.records)
+            if record.seq > snapshot_seq
+        ]
+        stale_log = bool(scan.records) and scan.last_seq <= snapshot_seq
+        replayed = 0
+        for record in to_replay:
+            state = _apply_record(engine, state, record)
+            replayed += 1
+        if wal.last_seq < snapshot_seq:
+            # Crash between snapshot write and WAL reset left a log that
+            # predates the snapshot entirely; its records are all baked
+            # into the snapshot, so restart the sequence cleanly.
+            wal.reset(snapshot_seq)
+        report = RecoveryReport(
+            snapshot_seq=snapshot_seq,
+            replayed=replayed,
+            rejects_in_log=sum(
+                1 for record in scan.records if record.op == "reject"
+            ),
+            discarded_bytes=scan.discarded_bytes,
+            stale_log=stale_log,
+            seconds=time.perf_counter() - started,
+        )
+        return cls(
+            directory=directory,
+            scheme=scheme,
+            engine=engine,
+            state=state,
+            wal=wal,
+            recovery=report,
+            compact_factor=compact_factor,
+            auto_compact=auto_compact,
+            metrics=metrics,
+        )
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def state(self) -> DatabaseState:
+        """The current (immutable) state — safe to hand to readers."""
+        return self._state
+
+    @property
+    def last_seq(self) -> int:
+        return self._wal.last_seq
+
+    @property
+    def wal_bytes(self) -> int:
+        return self._wal.size_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._wal.closed
+
+    # -- updates --------------------------------------------------------------
+    def insert(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> MaintenanceOutcome:
+        """Validate one insertion; log and apply it when accepted, log a
+        durable ``reject`` diagnostic when refused."""
+        outcome = self.engine.insert(self._state, relation_name, values)
+        if outcome.consistent:
+            assert outcome.state is not None
+            self._wal.append("insert", relation_name, values)
+            self._state = outcome.state
+            self.metrics.increment("ops.insert")
+            self._after_write()
+        else:
+            self._wal.append(
+                "reject",
+                relation_name,
+                values,
+                extra={"outcome": outcome.to_dict()},
+            )
+            self.metrics.increment("ops.insert")
+            self.metrics.increment("store.rejects")
+            self._after_write()
+        return outcome
+
+    def delete(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> DatabaseState:
+        """Log and apply one deletion (always consistency-preserving)."""
+        updated = self.engine.delete(self._state, relation_name, values)
+        self._wal.append("delete", relation_name, values)
+        self._state = updated
+        self.metrics.increment("ops.delete")
+        self._after_write()
+        return updated
+
+    def apply_batch(self, updates: Sequence[Update]) -> BatchOutcome:
+        """Atomic batch: either every update is validated, logged and
+        applied, or none is and the rejection is logged as a diagnostic."""
+        outcome = self.engine.apply_batch(self._state, updates)
+        if outcome:
+            assert outcome.state is not None
+            for operation, relation_name, values in updates:
+                self._wal.append(operation, relation_name, values)
+            self._state = outcome.state
+            self.metrics.increment("ops.batch")
+            self.metrics.increment("ops.batch_updates", len(updates))
+        else:
+            assert outcome.failed_index is not None
+            _, relation_name, values = updates[outcome.failed_index]
+            self._wal.append(
+                "reject",
+                relation_name,
+                values,
+                extra={"outcome": outcome.to_dict()},
+            )
+            self.metrics.increment("ops.batch")
+            self.metrics.increment("store.rejects")
+        self._after_write()
+        return outcome
+
+    # -- queries --------------------------------------------------------------
+    def query(self, attributes: AttrsLike) -> set[tuple[Hashable, ...]]:
+        """``[X]`` over the current state via the engine's cheapest
+        correct route."""
+        self.metrics.increment("ops.query")
+        return self.engine.query(self._state, attributes)
+
+    # -- durability -----------------------------------------------------------
+    def sync(self) -> None:
+        """Force any batched WAL appends to disk now."""
+        self._wal.sync()
+
+    def snapshot(self) -> Path:
+        """Write a snapshot at the current sequence and reset the WAL.
+
+        Order matters for crash safety: the snapshot replaces
+        atomically *first*; only then is the log reset.  A crash in
+        between leaves a stale log that recovery recognises by its
+        sequence numbers and discards."""
+        self._wal.sync()
+        seq = self._wal.last_seq
+        path = self.directory / SNAPSHOT_FILE
+        dump_json_atomic(
+            {"seq": seq, "state": state_to_dict(self._state)}, path
+        )
+        self._wal.reset(seq)
+        self._snapshot_bytes = path.stat().st_size
+        self.metrics.increment("store.snapshots")
+        return path
+
+    def _after_write(self) -> None:
+        self.metrics.set_gauge("wal.bytes", self._wal.size_bytes)
+        self.metrics.set_gauge("store.seq", self._wal.last_seq)
+        if self.auto_compact:
+            self.maybe_compact()
+
+    def maybe_compact(self) -> bool:
+        """Snapshot + reset when the WAL has outgrown the snapshot by
+        ``compact_factor`` (and is past the absolute minimum size)."""
+        threshold = max(
+            MIN_COMPACT_BYTES, self.compact_factor * self._snapshot_bytes
+        )
+        if self._wal.size_bytes <= threshold:
+            return False
+        self.snapshot()
+        self.metrics.set_gauge("wal.bytes", self._wal.size_bytes)
+        return True
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()
+
+
+def _apply_record(
+    engine: WeakInstanceEngine, state: DatabaseState, record: WalRecord
+) -> DatabaseState:
+    """Re-apply one logged update during recovery.
+
+    Inserts go back through engine validation; every logged insert was
+    accepted before it was logged, so determinism makes re-acceptance a
+    consistency check, not a decision."""
+    values = record.values or {}
+    if record.op == "insert":
+        outcome = engine.insert(state, record.relation, values)
+        if not outcome.consistent or outcome.state is None:
+            raise StoreError(
+                f"WAL record seq {record.seq} was accepted before the "
+                "crash but fails validation on replay — the store "
+                "directory is inconsistent"
+            )
+        return outcome.state
+    if record.op == "delete":
+        return engine.delete(state, record.relation, values)
+    raise StoreError(f"cannot replay WAL op {record.op!r}")

@@ -1,0 +1,303 @@
+"""An append-only JSONL write-ahead log for validated updates.
+
+Format — one JSON object per line::
+
+    {"seq": 17, "op": "insert", "relation": "R4",
+     "values": {"C": "CS445", "S": "sue", "G": "A"}, "crc": 913282119}
+
+* ``seq`` increases by exactly 1 per record; the first record of a log
+  carries ``seq = base_seq + 1`` (``base_seq`` is the snapshot sequence
+  the log continues from, 0 for a fresh store).
+* ``crc`` is the CRC-32 of the record's canonical JSON encoding
+  (sorted keys, compact separators) with the ``crc`` field removed.
+* ``op`` is ``insert`` or ``delete`` for state-changing records, or
+  ``reject`` for a durable diagnostic of a refused insertion (replay
+  skips it; repair tooling reads it).
+
+Durability is batched: ``fsync_every = n`` issues one ``fsync`` per
+``n`` appends (plus one on :meth:`WriteAheadLog.sync` and on close), so
+a serving workload can trade a bounded suffix of un-synced records for
+throughput.  ``fsync_every = 1`` is the strict default.
+
+Crash tolerance: a torn tail — a final line the crash cut short, or a
+final record whose checksum does not match because only part of it
+reached the disk — is detected by :func:`scan_wal` and *repaired* (the
+file is truncated back to the last intact record) when the log is
+reopened for appending.  Corruption strictly before the last record is
+not survivable and raises :class:`~repro.foundations.errors.WALError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.foundations.errors import WALError
+
+PathLike = Union[str, Path]
+
+#: Record kinds that change the state on replay.
+STATE_OPS = ("insert", "delete")
+#: All record kinds a well-formed log may contain.
+KNOWN_OPS = STATE_OPS + ("reject",)
+
+
+def _canonical(payload: Mapping[str, Any]) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+
+
+def record_crc(payload: Mapping[str, Any]) -> int:
+    """CRC-32 of the canonical encoding of ``payload`` minus ``crc``."""
+    body = {key: value for key, value in payload.items() if key != "crc"}
+    return zlib.crc32(_canonical(body))
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    seq: int
+    op: str
+    relation: Optional[str] = None
+    values: Optional[dict[str, Any]] = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"seq": self.seq, "op": self.op}
+        if self.relation is not None:
+            payload["relation"] = self.relation
+        if self.values is not None:
+            payload["values"] = dict(self.values)
+        payload.update(self.extra)
+        payload["crc"] = record_crc(payload)
+        return payload
+
+    def to_line(self) -> bytes:
+        return _canonical(self.to_payload()) + b"\n"
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "WalRecord":
+        known = {"seq", "op", "relation", "values", "crc"}
+        return cls(
+            seq=payload["seq"],
+            op=payload["op"],
+            relation=payload.get("relation"),
+            values=payload.get("values"),
+            extra={
+                key: value
+                for key, value in payload.items()
+                if key not in known
+            },
+        )
+
+
+def _decode_line(
+    line: bytes, expected_seq: Optional[int]
+) -> Optional[WalRecord]:
+    """Decode one line; ``None`` means the line is not an intact record
+    continuing the sequence (torn tail or worse — the caller decides).
+    ``expected_seq = None`` accepts any sequence number (used for the
+    first record of a flexible scan)."""
+    if not line.endswith(b"\n"):
+        return None  # partial final write
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if not isinstance(payload.get("seq"), int) or "op" not in payload:
+        return None
+    if payload.get("crc") != record_crc(payload):
+        return None
+    if payload["op"] not in KNOWN_OPS:
+        return None
+    if expected_seq is not None and payload["seq"] != expected_seq:
+        return None
+    return WalRecord.from_payload(payload)
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Everything :func:`scan_wal` learned about a log file."""
+
+    records: tuple[WalRecord, ...]
+    valid_bytes: int
+    discarded_bytes: int
+    last_seq: int
+
+    @property
+    def torn(self) -> bool:
+        return self.discarded_bytes > 0
+
+
+def scan_wal(
+    path: PathLike, base_seq: int = 0, *, flexible: bool = False
+) -> WalScan:
+    """Read the longest intact prefix of the log at ``path``.
+
+    The scan stops at the first line that is missing its newline, fails
+    to parse, fails its checksum, or breaks the consecutive sequence.
+    Whatever follows is the discarded tail.  A discarded tail that
+    itself contains an intact line is interior corruption — a crash can
+    only tear the *last* record — and raises
+    :class:`~repro.foundations.errors.WALError`.
+
+    The first record must carry ``base_seq + 1`` unless ``flexible`` is
+    set, in which case any starting sequence is accepted — the store
+    uses this to recognise a log left behind by a crash between writing
+    a snapshot and resetting the log.
+
+    A missing file scans as empty (``last_seq = base_seq``).
+    """
+    path = Path(path)
+    if not path.exists():
+        return WalScan((), 0, 0, base_seq)
+    data = path.read_bytes()
+    records: list[WalRecord] = []
+    offset = 0
+    seq: Optional[int] = None
+    while offset < len(data):
+        end = data.find(b"\n", offset)
+        line = data[offset:] if end < 0 else data[offset : end + 1]
+        if seq is not None:
+            expected: Optional[int] = seq + 1
+        else:
+            expected = None if flexible else base_seq + 1
+        record = _decode_line(line, expected)
+        if record is None:
+            break
+        records.append(record)
+        seq = record.seq
+        offset += len(line)
+    tail = data[offset:]
+    # A torn tail is at most ONE damaged line: either a partial final
+    # line (no newline — the crash cut the append short) or a single
+    # complete-but-corrupt final line.  Anything after that first
+    # newline means intact-looking data follows a bad record — interior
+    # corruption, which a single crash cannot produce.
+    first_newline = tail.find(b"\n")
+    if first_newline not in (-1, len(tail) - 1):
+        raise WALError(
+            f"{path}: corrupt record at byte {offset} is followed by "
+            f"{len(tail) - first_newline - 1} more byte(s) — not a torn "
+            "tail"
+        )
+    last_seq = seq if seq is not None else base_seq
+    return WalScan(tuple(records), offset, len(data) - offset, last_seq)
+
+
+class WriteAheadLog:
+    """Appender over one JSONL log file with batched fsync.
+
+    Opening scans the existing file, repairs a torn tail (truncating to
+    the last intact record) and continues the sequence.  ``append``
+    assigns the next ``seq``, writes the record and flushes it to the
+    OS; one ``fsync`` is issued every ``fsync_every`` appends.  Not
+    thread-safe — the store serializes writers.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        base_seq: int = 0,
+        fsync_every: int = 1,
+        flexible: bool = False,
+    ) -> None:
+        if fsync_every < 1:
+            raise WALError("fsync_every must be at least 1")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        scan = scan_wal(self.path, base_seq, flexible=flexible)
+        self.recovered = scan
+        if scan.discarded_bytes:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+        self._seq = scan.last_seq
+        self._handle = open(self.path, "ab")
+        self._unsynced = 0
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def size_bytes(self) -> int:
+        return self._handle.tell() if not self._handle.closed else 0
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    # -- writing --------------------------------------------------------------
+    def append(
+        self,
+        op: str,
+        relation: Optional[str] = None,
+        values: Optional[Mapping[str, Any]] = None,
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> WalRecord:
+        """Write one record and return it (with its assigned ``seq``)."""
+        if op not in KNOWN_OPS:
+            raise WALError(f"unknown WAL op {op!r}")
+        if self._handle.closed:
+            raise WALError(f"{self.path}: log is closed")
+        record = WalRecord(
+            seq=self._seq + 1,
+            op=op,
+            relation=relation,
+            values=None if values is None else dict(values),
+            extra=dict(extra or {}),
+        )
+        self._handle.write(record.to_line())
+        self._handle.flush()
+        self._seq = record.seq
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.sync()
+        return record
+
+    def sync(self) -> None:
+        """Force an ``fsync`` of everything appended so far."""
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
+    def reset(self, base_seq: int) -> None:
+        """Empty the log and restart the sequence at ``base_seq`` —
+        called after a snapshot has made the old records redundant."""
+        self._handle.truncate(0)
+        # truncate() does not move the append-mode position; seek so
+        # tell() (and hence size_bytes) reflects the emptied file.
+        self._handle.seek(0)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._seq = base_seq
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.sync()
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()
+
+
+def replayable(records: Sequence[WalRecord]) -> Iterator[WalRecord]:
+    """The state-changing records of ``records`` in order (skips
+    ``reject`` diagnostics)."""
+    for record in records:
+        if record.op in STATE_OPS:
+            yield record

@@ -125,6 +125,29 @@ class MaintenanceOutcome:
     def __bool__(self) -> bool:
         return self.consistent
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-ready rendering of the decision and its diagnostics
+        (the state itself is omitted — callers serialize it separately).
+
+        Shared by the CLI's rejection output and the WAL's durable
+        ``reject`` records, so a refused insertion keeps its diagnosis
+        wherever it surfaces.  Witness values outside the JSON scalar
+        types are rendered with ``str``."""
+        witness = None
+        if self.witness is not None:
+            witness = {
+                attribute: value
+                if isinstance(value, (str, int, float, bool, type(None)))
+                else str(value)
+                for attribute, value in self.witness.items()
+            }
+        return {
+            "consistent": self.consistent,
+            "tuples_examined": self.tuples_examined,
+            "chase_steps": self.chase_steps,
+            "witness": witness,
+        }
+
 
 def maintain_by_chase(
     state: DatabaseState,

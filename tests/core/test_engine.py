@@ -99,6 +99,48 @@ class TestUpdates:
                 engine.empty_state(), [("upsert", "R1", {})]
             )
 
+    def test_batch_outcome_to_dict_round_trips_failure(self):
+        import json
+
+        engine = university_engine()
+        outcome = engine.apply_batch(
+            engine.empty_state(),
+            [
+                ("insert", "R1", {"H": "h", "R": "r", "C": "c1"}),
+                ("insert", "R1", {"H": "h", "R": "r", "C": "c2"}),
+            ],
+        )
+        rendered = outcome.to_dict()
+        assert rendered["committed"] is False
+        assert rendered["failed_index"] == 1
+        assert rendered["failure"]["consistent"] is False
+        assert rendered["failure"]["tuples_examined"] >= 1
+        # The rendering is JSON-clean (the WAL and CLI both dump it).
+        assert json.loads(json.dumps(rendered)) == rendered
+
+    def test_batch_outcome_to_dict_on_success(self):
+        engine = university_engine()
+        outcome = engine.apply_batch(
+            engine.empty_state(),
+            [("insert", "R1", {"H": "h", "R": "r", "C": "c"})],
+        )
+        assert outcome.to_dict() == {
+            "committed": True,
+            "applied": 1,
+            "failed_index": None,
+            "failure": None,
+        }
+
+    def test_maintenance_outcome_to_dict_renders_witness(self):
+        import json
+
+        engine = university_engine()
+        state = engine.empty_state()
+        outcome = engine.insert(state, "R1", {"H": "h", "R": "r", "C": "c"})
+        rendered = outcome.to_dict()
+        assert rendered["consistent"] is True
+        assert json.loads(json.dumps(rendered)) == rendered
+
 
 class TestQueries:
     def test_plan_cached(self):

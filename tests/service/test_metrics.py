@@ -1,0 +1,59 @@
+"""MetricsRegistry: counters, gauges, timers, thread safety."""
+
+import threading
+
+from repro.service.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        metrics = MetricsRegistry()
+        metrics.increment("ops.insert")
+        metrics.increment("ops.insert", 4)
+        assert metrics.count("ops.insert") == 5
+        assert metrics.count("never.touched") == 0
+
+    def test_gauges_overwrite(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("wal.bytes", 10)
+        metrics.set_gauge("wal.bytes", 3)
+        assert metrics.gauge("wal.bytes") == 3
+        assert metrics.gauge("missing", default=-1) == -1
+
+    def test_snapshot_merges_counters_and_gauges(self):
+        metrics = MetricsRegistry()
+        metrics.increment("a", 2)
+        metrics.set_gauge("b", 7)
+        assert metrics.snapshot() == {"a": 2, "b": 7}
+
+    def test_timer_accumulates(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("chase"):
+            pass
+        with metrics.timer("chase"):
+            pass
+        snapshot = metrics.snapshot()
+        assert snapshot["chase.calls"] == 2
+        assert snapshot["chase.seconds"] >= 0.0
+
+    def test_describe_renders_sorted_lines(self):
+        metrics = MetricsRegistry()
+        metrics.increment("b")
+        metrics.increment("a")
+        assert metrics.describe().splitlines() == ["a = 1", "b = 1"]
+        assert MetricsRegistry().describe() == "(no metrics recorded)"
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        metrics = MetricsRegistry()
+        rounds = 2000
+
+        def bump():
+            for _ in range(rounds):
+                metrics.increment("shared")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.count("shared") == 8 * rounds

@@ -1,0 +1,205 @@
+"""SchemeServer: session multiplexing and concurrency guarantees."""
+
+import threading
+
+import pytest
+
+from repro.core.engine import WeakInstanceEngine
+from repro.foundations.errors import ServiceError
+from repro.service.server import SchemeServer
+from repro.service.store import WAL_FILE, DurableStore
+from repro.service.wal import replayable, scan_wal
+from repro.workloads.paper import example1_university
+
+
+@pytest.fixture
+def scheme():
+    return example1_university()
+
+
+def r4_tuple(writer, index, grade="A"):
+    return {"C": f"C{writer}x{index}", "S": f"S{writer}x{index}", "G": grade}
+
+
+class TestConstruction:
+    def test_requires_exactly_one_backing(self, scheme):
+        with pytest.raises(ServiceError):
+            SchemeServer()
+        with pytest.raises(ServiceError):
+            SchemeServer(
+                store=object(), scheme=scheme  # type: ignore[arg-type]
+            )
+
+    def test_in_memory_server(self, scheme):
+        server = SchemeServer.in_memory(scheme)
+        assert not server.durable
+        outcome = server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        assert outcome.consistent
+        assert server.query("CS") == {("c", "s")}
+
+    def test_sessions_are_named_and_reused(self, scheme):
+        server = SchemeServer.in_memory(scheme)
+        alice = server.session("alice")
+        assert server.session("alice") is alice
+        server.session("bob")
+        assert server.session_names() == ["alice", "bob"]
+
+    def test_sessions_share_committed_state(self, scheme):
+        server = SchemeServer.in_memory(scheme)
+        alice = server.session("alice")
+        bob = server.session("bob")
+        alice.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        assert bob.query("CS") == {("c", "s")}
+        assert bob.state() is alice.state()
+
+
+class TestConcurrency:
+    N_WRITERS = 4
+    OPS_PER_WRITER = 20
+    N_READERS = 3
+
+    def _run_mixed_load(self, server):
+        """N writer threads (with deliberate conflicts) + M reader
+        threads; returns per-thread observations and failures."""
+        failures = []
+        start = threading.Barrier(self.N_WRITERS + self.N_READERS)
+        done = threading.Event()
+
+        def writer(identity):
+            try:
+                session = server.session(f"writer-{identity}")
+                start.wait()
+                for index in range(self.OPS_PER_WRITER):
+                    outcome = session.insert(
+                        "R4", r4_tuple(identity, index)
+                    )
+                    assert outcome.consistent
+                    # Key conflict with this writer's first insert: must
+                    # reject without corrupting anything.
+                    if index % 5 == 4:
+                        conflict = session.insert(
+                            "R4", r4_tuple(identity, 0, grade="F")
+                        )
+                        assert not conflict.consistent
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        def reader(identity):
+            try:
+                session = server.session(f"reader-{identity}")
+                start.wait()
+                seen = 0
+                while not done.is_set():
+                    rows = session.query("CS")
+                    # Inserts only: every snapshot a reader observes must
+                    # be at least as big as the previous one it saw.
+                    assert len(rows) >= seen
+                    seen = len(rows)
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(identity,))
+            for identity in range(self.N_WRITERS)
+        ] + [
+            threading.Thread(target=reader, args=(identity,))
+            for identity in range(self.N_READERS)
+        ]
+        for thread in threads[: self.N_WRITERS]:
+            thread.start()
+        for thread in threads[self.N_WRITERS :]:
+            thread.start()
+        for thread in threads[: self.N_WRITERS]:
+            thread.join()
+        done.set()
+        for thread in threads[self.N_WRITERS :]:
+            thread.join()
+        return failures
+
+    def test_concurrent_writers_and_readers_in_memory(self, scheme):
+        server = SchemeServer.in_memory(scheme)
+        failures = self._run_mixed_load(server)
+        assert failures == []
+        rows = server.query("CS")
+        assert len(rows) == self.N_WRITERS * self.OPS_PER_WRITER
+        snapshot = server.metrics_snapshot()
+        expected_rejects = self.N_WRITERS * (self.OPS_PER_WRITER // 5)
+        assert snapshot["store.rejects"] == expected_rejects
+
+    def test_concurrent_sessions_match_serial_application(
+        self, tmp_path, scheme
+    ):
+        """The committed history is a total order: replaying the WAL
+        serially must land on exactly the server's final state."""
+        store = DurableStore.create(
+            tmp_path / "store",
+            scheme,
+            fsync_every=64,
+            auto_compact=False,
+        )
+        server = SchemeServer(store=store)
+        failures = self._run_mixed_load(server)
+        assert failures == []
+        final_state = server.state
+        server.close()
+
+        scan = scan_wal(tmp_path / "store" / WAL_FILE)
+        engine = WeakInstanceEngine(scheme)
+        serial = engine.empty_state()
+        for record in replayable(scan.records):
+            if record.op == "insert":
+                outcome = engine.insert(
+                    serial, record.relation, record.values
+                )
+                assert outcome.consistent
+                serial = outcome.state
+            else:
+                serial = engine.delete(
+                    serial, record.relation, record.values
+                )
+        assert serial == final_state
+        # Every writer's accepted inserts are in the log exactly once.
+        inserted = [r.values["C"] for r in scan.records if r.op == "insert"]
+        assert len(inserted) == len(set(inserted))
+        assert len(inserted) == self.N_WRITERS * self.OPS_PER_WRITER
+        # Rejections were logged durably, not applied.
+        rejects = [r for r in scan.records if r.op == "reject"]
+        assert len(rejects) == self.N_WRITERS * (self.OPS_PER_WRITER // 5)
+
+    def test_recovery_after_concurrent_load(self, tmp_path, scheme):
+        store = DurableStore.create(
+            tmp_path / "store", scheme, fsync_every=64, auto_compact=False
+        )
+        server = SchemeServer(store=store)
+        failures = self._run_mixed_load(server)
+        assert failures == []
+        final_state = server.state
+        server.close()
+        with DurableStore.open(tmp_path / "store") as recovered:
+            assert recovered.state == final_state
+
+
+class TestDurableServer:
+    def test_snapshot_through_server(self, tmp_path, scheme):
+        store = DurableStore.create(tmp_path / "store", scheme)
+        server = SchemeServer(store=store)
+        server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        server.snapshot()
+        assert store.wal_bytes == 0
+        server.close()
+        with DurableStore.open(tmp_path / "store") as reopened:
+            assert reopened.recovery.snapshot_seq == 1
+
+    def test_in_memory_snapshot_raises(self, scheme):
+        server = SchemeServer.in_memory(scheme)
+        with pytest.raises(ServiceError):
+            server.snapshot()
+
+    def test_metrics_include_cache_accounting(self, scheme):
+        server = SchemeServer.in_memory(scheme)
+        server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        server.query("CS")
+        snapshot = server.metrics_snapshot()
+        assert "cache.plans.hits" in snapshot
+        assert "cache.chase.misses" in snapshot
+        assert snapshot["ops.query"] == 1

@@ -1,0 +1,276 @@
+"""DurableStore: persistence, recovery, compaction, truncation fuzz."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.core.engine import WeakInstanceEngine
+from repro.foundations.errors import StoreError
+from repro.service.store import (
+    SNAPSHOT_FILE,
+    WAL_FILE,
+    DurableStore,
+)
+from repro.service.wal import scan_wal
+from repro.workloads.paper import example1_university
+
+
+@pytest.fixture
+def scheme():
+    return example1_university()
+
+
+@pytest.fixture
+def store(tmp_path, scheme):
+    with DurableStore.create(tmp_path / "store", scheme) as opened:
+        yield opened
+
+
+def r4_tuple(index, grade="A"):
+    return {"C": f"C{index}", "S": f"S{index}", "G": grade}
+
+
+class TestLifecycle:
+    def test_create_then_open_roundtrips(self, tmp_path, scheme):
+        directory = tmp_path / "store"
+        with DurableStore.create(directory, scheme) as store:
+            assert store.insert("R4", r4_tuple(0)).consistent
+            assert store.insert("R4", r4_tuple(1)).consistent
+            before = store.state
+        with DurableStore.open(directory) as reopened:
+            assert reopened.state == before
+            assert reopened.last_seq == 2
+            assert reopened.recovery.replayed == 2
+
+    def test_create_refuses_existing_store(self, tmp_path, scheme):
+        directory = tmp_path / "store"
+        DurableStore.create(directory, scheme).close()
+        with pytest.raises(StoreError):
+            DurableStore.create(directory, scheme)
+
+    def test_open_refuses_non_store(self, tmp_path):
+        with pytest.raises(StoreError):
+            DurableStore.open(tmp_path / "nothing")
+
+    def test_deletes_replay(self, tmp_path, scheme):
+        directory = tmp_path / "store"
+        with DurableStore.create(directory, scheme) as store:
+            store.insert("R4", r4_tuple(0))
+            store.insert("R4", r4_tuple(1))
+            store.delete("R4", r4_tuple(0))
+        with DurableStore.open(directory) as reopened:
+            rows = reopened.state["R4"]
+            assert r4_tuple(1) in rows
+            assert r4_tuple(0) not in rows
+
+
+class TestRejections:
+    def test_reject_is_logged_not_applied(self, store):
+        assert store.insert("R4", r4_tuple(0)).consistent
+        conflict = store.insert("R4", r4_tuple(0, grade="F"))
+        assert not conflict.consistent
+        assert r4_tuple(0, grade="F") not in store.state["R4"]
+        scan = scan_wal(store.directory / WAL_FILE)
+        rejects = [r for r in scan.records if r.op == "reject"]
+        assert len(rejects) == 1
+        assert rejects[0].values == r4_tuple(0, grade="F")
+        # The durable diagnostic is the MaintenanceOutcome rendering.
+        assert rejects[0].extra["outcome"]["consistent"] is False
+        assert rejects[0].extra["outcome"]["tuples_examined"] >= 1
+
+    def test_rejected_insert_never_reappears(self, tmp_path, scheme):
+        directory = tmp_path / "store"
+        with DurableStore.create(directory, scheme) as store:
+            store.insert("R4", r4_tuple(0))
+            store.insert("R4", r4_tuple(0, grade="F"))
+            store.insert("R4", r4_tuple(1))
+        with DurableStore.open(directory) as reopened:
+            assert r4_tuple(0, grade="F") not in reopened.state["R4"]
+            assert reopened.recovery.rejects_in_log == 1
+            assert reopened.recovery.replayed == 2
+
+    def test_batch_rejection_keeps_state_and_logs(self, store):
+        store.insert("R4", r4_tuple(0))
+        before = store.state
+        outcome = store.apply_batch(
+            [
+                ("insert", "R4", r4_tuple(1)),
+                ("insert", "R4", r4_tuple(0, grade="F")),
+                ("insert", "R4", r4_tuple(2)),
+            ]
+        )
+        assert not outcome
+        assert outcome.failed_index == 1
+        assert store.state == before
+        scan = scan_wal(store.directory / WAL_FILE)
+        assert scan.records[-1].op == "reject"
+        assert scan.records[-1].extra["outcome"]["failed_index"] == 1
+
+    def test_batch_success_logs_every_update(self, store):
+        outcome = store.apply_batch(
+            [
+                ("insert", "R4", r4_tuple(0)),
+                ("insert", "R4", r4_tuple(1)),
+                ("delete", "R4", r4_tuple(0)),
+            ]
+        )
+        assert outcome
+        scan = scan_wal(store.directory / WAL_FILE)
+        assert [r.op for r in scan.records] == ["insert", "insert", "delete"]
+
+
+class TestSnapshotCompaction:
+    def test_snapshot_resets_wal(self, store):
+        for index in range(5):
+            store.insert("R4", r4_tuple(index))
+        assert store.wal_bytes > 0
+        store.snapshot()
+        assert store.wal_bytes == 0
+        assert store.last_seq == 5
+        snapshot = json.loads((store.directory / SNAPSHOT_FILE).read_text())
+        assert snapshot["seq"] == 5
+        assert len(snapshot["state"]["R4"]) == 5
+
+    def test_recovery_from_snapshot_plus_wal(self, tmp_path, scheme):
+        directory = tmp_path / "store"
+        with DurableStore.create(directory, scheme) as store:
+            for index in range(4):
+                store.insert("R4", r4_tuple(index))
+            store.snapshot()
+            store.insert("R4", r4_tuple(4))
+            expected = store.state
+        with DurableStore.open(directory) as reopened:
+            assert reopened.recovery.snapshot_seq == 4
+            assert reopened.recovery.replayed == 1
+            assert reopened.state == expected
+            assert reopened.last_seq == 5
+
+    def test_auto_compaction_triggers_on_wal_growth(self, tmp_path, scheme):
+        directory = tmp_path / "store"
+        with DurableStore.create(
+            directory, scheme, compact_factor=0.5
+        ) as store:
+            # MIN_COMPACT_BYTES is 4096; ~60 records comfortably exceed it.
+            for index in range(60):
+                store.insert("R4", r4_tuple(index))
+            assert store.metrics.count("store.snapshots") >= 1
+            expected = store.state
+        with DurableStore.open(directory) as reopened:
+            assert reopened.state == expected
+
+    def test_stale_wal_after_compaction_crash(self, tmp_path, scheme):
+        """A crash between snapshot replace and WAL reset leaves the old
+        log behind; recovery must recognise and discard it."""
+        directory = tmp_path / "store"
+        with DurableStore.create(directory, scheme) as store:
+            for index in range(3):
+                store.insert("R4", r4_tuple(index))
+            old_wal = (directory / WAL_FILE).read_bytes()
+            store.snapshot()
+            expected = store.state
+        # Put the pre-snapshot log back, as if the reset never hit disk.
+        (directory / WAL_FILE).write_bytes(old_wal)
+        with DurableStore.open(directory) as reopened:
+            assert reopened.recovery.stale_log
+            assert reopened.recovery.replayed == 0
+            assert reopened.state == expected
+            # New writes continue the sequence past the snapshot.
+            reopened.insert("R4", r4_tuple(99))
+            assert reopened.last_seq == 4
+
+
+class TestTruncationFuzz:
+    """Kill the store at arbitrary WAL byte offsets; recovery must land
+    on the state reached by a prefix of the accepted updates, and a
+    rejected insert must never reappear."""
+
+    def _build_history(self, tmp_path, scheme):
+        directory = tmp_path / "primary"
+        store = DurableStore.create(directory, scheme, auto_compact=False)
+        store.insert("R4", r4_tuple(0))
+        store.insert("R4", r4_tuple(1))
+        store.insert("R4", r4_tuple(0, grade="F"))  # reject diagnostic
+        store.insert("R4", r4_tuple(2))
+        store.delete("R4", r4_tuple(1))
+        store.insert("R4", r4_tuple(3))
+        store.insert("R4", r4_tuple(2, grade="F"))  # reject diagnostic
+        store.insert("R4", r4_tuple(4))
+        store.close()
+        return directory
+
+    def test_every_byte_offset(self, tmp_path, scheme):
+        directory = self._build_history(tmp_path, scheme)
+        wal_bytes = (directory / WAL_FILE).read_bytes()
+        lines = wal_bytes.splitlines(keepends=True)
+        records = [json.loads(line) for line in lines]
+        boundaries = [0]
+        for line in lines:
+            boundaries.append(boundaries[-1] + len(line))
+
+        engine = WeakInstanceEngine(scheme)
+        # Expected state after the first k intact records, for every k.
+        prefix_states = [engine.empty_state()]
+        for record in records:
+            state = prefix_states[-1]
+            if record["op"] == "insert":
+                outcome = engine.insert(
+                    state, record["relation"], record["values"]
+                )
+                assert outcome.consistent
+                state = outcome.state
+            elif record["op"] == "delete":
+                state = engine.delete(
+                    state, record["relation"], record["values"]
+                )
+            prefix_states.append(state)
+
+        victim = tmp_path / "victim"
+        # Every byte offset is a possible crash point.  Exhaustive over
+        # the whole log: ~1 KB of WAL, one recovery per offset.
+        for offset in range(len(wal_bytes) + 1):
+            if victim.exists():
+                shutil.rmtree(victim)
+            shutil.copytree(directory, victim)
+            with open(victim / WAL_FILE, "r+b") as handle:
+                handle.truncate(offset)
+            with DurableStore.open(victim) as recovered:
+                survivors = sum(
+                    1 for b in boundaries[1:] if b <= offset
+                )
+                expected = prefix_states[survivors]
+                assert recovered.state == expected, f"offset {offset}"
+                rows = recovered.state["R4"]
+                assert r4_tuple(0, grade="F") not in rows
+                assert r4_tuple(2, grade="F") not in rows
+                assert recovered.recovery.discarded_bytes == (
+                    offset - boundaries[survivors]
+                )
+
+    def test_garbage_tail_at_every_growth(self, tmp_path, scheme):
+        """A crash mid-append leaves a partial record; whatever junk the
+        filesystem persisted, recovery keeps the intact prefix."""
+        directory = self._build_history(tmp_path, scheme)
+        intact = (directory / WAL_FILE).read_bytes()
+        for junk in (b"\x00\x00\x00", b'{"seq":', b'{"seq": 9, "op": "i'):
+            victim = tmp_path / f"victim-{len(junk)}"
+            shutil.copytree(directory, victim)
+            with open(victim / WAL_FILE, "ab") as handle:
+                handle.write(junk)
+            with DurableStore.open(victim) as recovered:
+                assert recovered.recovery.discarded_bytes == len(junk)
+                assert len(recovered.state["R4"]) == 4
+            # Repair truncated the junk away on disk.
+            assert (victim / WAL_FILE).read_bytes() == intact
+
+
+class TestMetricsAndQueries:
+    def test_query_and_counters(self, store):
+        store.insert("R4", r4_tuple(0))
+        rows = store.query("CS")
+        assert rows == {("C0", "S0")}
+        snapshot = store.metrics.snapshot()
+        assert snapshot["ops.insert"] == 1
+        assert snapshot["ops.query"] == 1
+        assert snapshot["store.recoveries"] == 1
+        assert snapshot["wal.bytes"] > 0

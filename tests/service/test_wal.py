@@ -1,0 +1,167 @@
+"""Unit tests for the JSONL write-ahead log."""
+
+import json
+
+import pytest
+
+from repro.foundations.errors import WALError
+from repro.service.wal import (
+    WalRecord,
+    WriteAheadLog,
+    record_crc,
+    replayable,
+    scan_wal,
+)
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal.jsonl"
+
+
+class TestAppendScan:
+    def test_roundtrip(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            first = wal.append("insert", "R1", {"A": "a"})
+            second = wal.append("delete", "R1", {"A": "a"})
+            assert (first.seq, second.seq) == (1, 2)
+        scan = scan_wal(wal_path)
+        assert [r.op for r in scan.records] == ["insert", "delete"]
+        assert scan.records[0].values == {"A": "a"}
+        assert scan.last_seq == 2
+        assert not scan.torn
+
+    def test_missing_file_scans_empty(self, wal_path):
+        scan = scan_wal(wal_path, base_seq=7)
+        assert scan.records == ()
+        assert scan.last_seq == 7
+
+    def test_seq_continues_across_reopen(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+        with WriteAheadLog(wal_path) as wal:
+            record = wal.append("insert", "R1", {"A": "b"})
+            assert record.seq == 2
+
+    def test_reject_records_are_not_replayable(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+            wal.append(
+                "reject", "R1", {"A": "bad"}, extra={"outcome": {"x": 1}}
+            )
+            wal.append("delete", "R1", {"A": "a"})
+        scan = scan_wal(wal_path)
+        assert [r.op for r in scan.records] == ["insert", "reject", "delete"]
+        assert [r.op for r in replayable(scan.records)] == [
+            "insert",
+            "delete",
+        ]
+        assert scan.records[1].extra == {"outcome": {"x": 1}}
+
+    def test_unknown_op_refused(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(WALError):
+                wal.append("truncate", "R1", {})
+
+    def test_crc_matches_canonical_encoding(self):
+        record = WalRecord(seq=1, op="insert", relation="R1", values={"A": "a"})
+        payload = record.to_payload()
+        assert payload["crc"] == record_crc(payload)
+        decoded = json.loads(record.to_line())
+        assert decoded["crc"] == payload["crc"]
+
+
+class TestTornTail:
+    def test_partial_final_line_is_discarded(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+        with open(wal_path, "ab") as handle:
+            handle.write(b'{"seq": 2, "op": "insert"')
+        scan = scan_wal(wal_path)
+        assert len(scan.records) == 1
+        assert scan.torn
+        assert scan.discarded_bytes > 0
+
+    def test_corrupt_final_crc_is_discarded(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+            wal.append("insert", "R1", {"A": "b"})
+        data = wal_path.read_bytes()
+        # Flip a byte inside the last record's values.
+        wal_path.write_bytes(data[:-10] + b"X" + data[-9:])
+        scan = scan_wal(wal_path)
+        assert len(scan.records) == 1
+
+    def test_reopen_repairs_torn_tail(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+        intact = wal_path.read_bytes()
+        with open(wal_path, "ab") as handle:
+            handle.write(b"garbage-no-newline")
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.recovered.discarded_bytes == len(b"garbage-no-newline")
+            assert wal.last_seq == 1
+        # The torn bytes are gone from disk and appends continue cleanly.
+        assert wal_path.read_bytes().startswith(intact)
+        scan = scan_wal(wal_path)
+        assert len(scan.records) == 1
+
+    def test_interior_corruption_raises(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+            wal.append("insert", "R1", {"A": "b"})
+            wal.append("insert", "R1", {"A": "c"})
+        data = wal_path.read_bytes()
+        lines = data.splitlines(keepends=True)
+        # Corrupt the FIRST record while intact records follow: not a
+        # torn tail, and not survivable.
+        mangled = b"{corrupt}\n" + b"".join(lines[1:])
+        wal_path.write_bytes(mangled)
+        with pytest.raises(WALError):
+            scan_wal(wal_path)
+
+    def test_truncate_every_offset_yields_prefix(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            for index in range(4):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        data = wal_path.read_bytes()
+        boundaries = [0]
+        for line in data.splitlines(keepends=True):
+            boundaries.append(boundaries[-1] + len(line))
+        for offset in range(len(data) + 1):
+            wal_path.write_bytes(data[:offset])
+            scan = scan_wal(wal_path)
+            expected = sum(1 for b in boundaries[1:] if b <= offset)
+            assert len(scan.records) == expected, f"offset {offset}"
+            assert [r.seq for r in scan.records] == list(
+                range(1, expected + 1)
+            )
+
+
+class TestDurability:
+    def test_fsync_every_validates(self, wal_path):
+        with pytest.raises(WALError):
+            WriteAheadLog(wal_path, fsync_every=0)
+
+    def test_batched_appends_survive_close(self, wal_path):
+        with WriteAheadLog(wal_path, fsync_every=100) as wal:
+            for index in range(5):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        assert len(scan_wal(wal_path).records) == 5
+
+    def test_reset_restarts_sequence(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+            wal.append("insert", "R1", {"A": "b"})
+            wal.reset(2)
+            assert wal.size_bytes == 0
+            record = wal.append("insert", "R1", {"A": "c"})
+            assert record.seq == 3
+        scan = scan_wal(wal_path, base_seq=2)
+        assert [r.seq for r in scan.records] == [3]
+
+    def test_append_after_close_raises(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.close()
+        with pytest.raises(WALError):
+            wal.append("insert", "R1", {"A": "a"})

@@ -196,6 +196,264 @@ class TestSynthesize:
         assert scheme.universe == frozenset("ABCD")
 
 
+class TestInsertStore:
+    def test_insert_creates_and_persists_store(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        store_dir = tmp_path / "store"
+        code = main(
+            [
+                "insert",
+                str(scheme_path),
+                "--store",
+                str(store_dir),
+                "--relation",
+                "R4",
+                "--values",
+                "C=CS445,S=sue,G=A",
+            ]
+        )
+        assert code == 0
+        assert "accepted at seq 1" in capsys.readouterr().out
+        # A second invocation opens the same store and sees the state.
+        code = main(
+            [
+                "insert",
+                "--store",
+                str(store_dir),
+                "--relation",
+                "R4",
+                "--values",
+                "C=CS446,S=bob,G=B",
+            ]
+        )
+        assert code == 0
+        assert "accepted at seq 2" in capsys.readouterr().out
+
+    def test_rejected_insert_prints_diagnostic_json(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        store_dir = tmp_path / "store"
+        main(
+            [
+                "insert",
+                str(scheme_path),
+                "--store",
+                str(store_dir),
+                "--relation",
+                "R4",
+                "--values",
+                "C=CS445,S=sue,G=A",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "insert",
+                "--store",
+                str(store_dir),
+                "--relation",
+                "R4",
+                "--values",
+                "C=CS445,S=sue,G=F",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        payload = json.loads(out[out.index("{") : out.rindex("}") + 1])
+        assert payload["consistent"] is False
+        assert payload["tuples_examined"] >= 1
+        assert "logged durably" in out
+
+    def test_rejected_plain_insert_prints_diagnostic(
+        self, university_files, capsys
+    ):
+        scheme_path, state_path = university_files
+        code = main(
+            [
+                "insert",
+                str(scheme_path),
+                str(state_path),
+                "--relation",
+                "R1",
+                "--values",
+                "H=h,R=r,C=other",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert '"consistent": false' in out
+
+    def test_insert_without_state_or_store_errors(
+        self, university_files, capsys
+    ):
+        scheme_path, _ = university_files
+        code = main(
+            [
+                "insert",
+                str(scheme_path),
+                "--relation",
+                "R4",
+                "--values",
+                "C=c,S=s,G=g",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    def _script(self, tmp_path, text):
+        path = tmp_path / "script.txt"
+        path.write_text(text)
+        return path
+
+    def test_serve_script_durable_roundtrip(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        store_dir = tmp_path / "store"
+        script = self._script(
+            tmp_path,
+            "insert R4 C=CS445,S=sue,G=A\n"
+            "query CS\n"
+            "session bob\n"
+            "insert R4 C=CS445,S=sue,G=F\n"
+            "sessions\n"
+            "metrics\n"
+            "snapshot\n"
+            "exit\n",
+        )
+        code = main(
+            [
+                "serve",
+                str(scheme_path),
+                "--store",
+                str(store_dir),
+                "--script",
+                str(script),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+        assert "CS445\tsue" in out
+        assert "REJECTED" in out
+        assert "bob, default" in out
+        assert '"ops.insert": 2' in out
+        assert "snapshot written" in out
+        # The store survives: reopening serves the committed tuple.
+        capsys.readouterr()
+        code = main(["replay", "--store", str(store_dir)])
+        assert code == 0
+        assert "1 stored tuple" in capsys.readouterr().out
+
+    def test_serve_in_memory(self, university_files, tmp_path, capsys):
+        scheme_path, _ = university_files
+        script = self._script(
+            tmp_path, "insert R4 C=c,S=s,G=A\nstate\nexit\n"
+        )
+        code = main(
+            ["serve", str(scheme_path), "--script", str(script)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "in-memory" in out
+        assert '"G": "A"' in out
+
+    def test_serve_reports_protocol_errors_and_continues(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        script = self._script(
+            tmp_path,
+            "bogus command\ninsert R9 A=a\nquery CS\nexit\n",
+        )
+        code = main(["serve", str(scheme_path), "--script", str(script)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unknown command" in out
+        assert "error:" in out  # R9 does not exist, loop keeps serving
+        assert "C\tS" in out
+
+    def test_serve_without_scheme_or_store_errors(self, capsys):
+        assert main(["serve"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_replay_reports_recovery(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        store_dir = tmp_path / "store"
+        for index in range(3):
+            main(
+                [
+                    "insert",
+                    str(scheme_path),
+                    "--store",
+                    str(store_dir),
+                    "--relation",
+                    "R4",
+                    "--values",
+                    f"C=C{index},S=S{index},G=A",
+                ]
+            )
+        capsys.readouterr()
+        out_path = tmp_path / "recovered.json"
+        code = main(
+            [
+                "replay",
+                "--store",
+                str(store_dir),
+                "--json",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{") : out.rindex("}") + 1])
+        assert payload["replayed"] == 3
+        assert payload["tuples"] == 3
+        recovered = json.loads(out_path.read_text())
+        assert len(recovered["R4"]) == 3
+
+    def test_replay_repairs_torn_tail(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        store_dir = tmp_path / "store"
+        main(
+            [
+                "insert",
+                str(scheme_path),
+                "--store",
+                str(store_dir),
+                "--relation",
+                "R4",
+                "--values",
+                "C=c,S=s,G=A",
+            ]
+        )
+        with open(store_dir / "wal.jsonl", "ab") as handle:
+            handle.write(b'{"seq": 2, "op"')
+        capsys.readouterr()
+        assert main(["replay", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail" in out
+        assert "1 stored tuple" in out
+
+    def test_replay_missing_store_errors(self, tmp_path, capsys):
+        code = main(["replay", "--store", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_repro_errors_become_exit_1(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
