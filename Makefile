@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench serve-bench bench-suite
+.PHONY: test bench serve-bench bench-suite trace-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -22,3 +22,8 @@ serve-bench:
 # timings into BENCH_perf.json).
 bench-suite:
 	$(PY) -m pytest benchmarks -q
+
+# Drive a traced workload through the CLI and assert every observability
+# surface (slow-op log, repro stats, Prometheus exposition) parses.
+trace-smoke:
+	$(PY) scripts/trace_smoke.py

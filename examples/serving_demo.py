@@ -77,6 +77,30 @@ def main():
         banner("metrics")
         for name, value in sorted(server.metrics_snapshot().items()):
             print(f"  {name} = {value}")
+
+        banner("traced run: per-stage latency histograms")
+        # Every server operation ran under the server's tracer, so the
+        # engine/store/WAL spans are already binned into bounded latency
+        # histograms; stats() summarises them with percentiles and the
+        # same data renders as a Prometheus exposition document.
+        stats = server.stats()
+        for span_name, summary in sorted(stats["spans"].items()):
+            print(
+                f"  {span_name:<16} count={int(summary['count']):>3} "
+                f"p50={summary['p50'] * 1e3:8.3f}ms "
+                f"p95={summary['p95'] * 1e3:8.3f}ms "
+                f"p99={summary['p99'] * 1e3:8.3f}ms"
+            )
+        print("  span counters:")
+        for name, value in sorted(stats["span_counters"].items()):
+            print(f"    {name} = {value:g}")
+        exposition = server.prometheus()
+        print(f"  prometheus exposition: {len(exposition.splitlines())} "
+              "lines (first histogram series follows)")
+        for line in exposition.splitlines():
+            if line.startswith("# TYPE") and line.endswith("histogram"):
+                print(f"    {line}")
+                break
         server.close()
 
         banner("simulate a crash mid-append")

@@ -16,6 +16,7 @@ from typing import Hashable, Mapping, Sequence, Union
 
 from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs, sorted_attrs
 from repro.foundations.errors import StateError
+from repro.obs.spans import span
 from repro.state.relation import Relation
 
 #: What expressions evaluate against: a state-like mapping of relation
@@ -251,18 +252,23 @@ def join_relations(left: Relation, right: Relation) -> Relation:
         (0, left_position[a]) if a in left_position else (1, right_position[a])
         for a in order
     ]
-    index: dict[tuple, list[tuple]] = {}
-    index_setdefault = index.setdefault
-    for row in right.row_vectors:
-        index_setdefault(tuple(row[i] for i in right_key), []).append(row)
-    joined: list[tuple] = []
-    append = joined.append
-    for row in left.row_vectors:
-        bucket = index.get(tuple(row[i] for i in left_key))
-        if bucket is not None:
-            for match in bucket:
-                pair = (row, match)
-                append(tuple(pair[side][i] for side, i in takers))
+    with span("join.hash") as sp:
+        index: dict[tuple, list[tuple]] = {}
+        index_setdefault = index.setdefault
+        for row in right.row_vectors:
+            index_setdefault(tuple(row[i] for i in right_key), []).append(row)
+        joined: list[tuple] = []
+        append = joined.append
+        for row in left.row_vectors:
+            bucket = index.get(tuple(row[i] for i in left_key))
+            if bucket is not None:
+                for match in bucket:
+                    pair = (row, match)
+                    append(tuple(pair[side][i] for side, i in takers))
+        if sp:
+            sp.add("build_tuples", len(right))
+            sp.add("probe_tuples", len(left))
+            sp.add("tuples_out", len(joined))
     return Relation.from_vectors(output_attributes, order, joined)
 
 
@@ -381,54 +387,67 @@ def evaluate_natural_join(
         if needed is not None:
             return project_relation(relation, attrs(needed) & relation.attributes)
         return relation
-    output_attributes: frozenset[str] = frozenset()
-    for relation in relations:
-        output_attributes = output_attributes | relation.attributes
-
-    if needed is not None:
-        tally: dict[str, int] = {}
+    with span("join.pipeline") as sp:
+        if sp:
+            sp.add("operands", len(relations))
+            sp.add("tuples_in", sum(len(relation) for relation in relations))
+        output_attributes: frozenset[str] = frozenset()
         for relation in relations:
-            for attribute in relation.attributes:
-                tally[attribute] = tally.get(attribute, 0) + 1
-        keep_base = attrs(needed) | {
-            attribute for attribute, uses in tally.items() if uses > 1
-        }
-        relations = [
-            relation
-            if relation.attributes <= keep_base
-            else project_relation(
-                relation,
-                (relation.attributes & keep_base)
-                or {min(relation.attributes)},
+            output_attributes = output_attributes | relation.attributes
+
+        if needed is not None:
+            tally: dict[str, int] = {}
+            for relation in relations:
+                for attribute in relation.attributes:
+                    tally[attribute] = tally.get(attribute, 0) + 1
+            keep_base = attrs(needed) | {
+                attribute for attribute, uses in tally.items() if uses > 1
+            }
+            relations = [
+                relation
+                if relation.attributes <= keep_base
+                else project_relation(
+                    relation,
+                    (relation.attributes & keep_base)
+                    or {min(relation.attributes)},
+                )
+                for relation in relations
+            ]
+
+        reduced = list(relations)
+        count = len(reduced)
+        for i in range(count):
+            left = reduced[i]
+            for j in range(count):
+                if i != j:
+                    left = _semijoin(left, reduced[j])
+            reduced[i] = left
+        if sp:
+            sp.add(
+                "tuples_after_semijoin",
+                sum(len(relation) for relation in reduced),
             )
-            for relation in relations
-        ]
+        if any(not relation for relation in reduced):
+            # An annihilated operand empties the whole join, cartesian or not.
+            if sp:
+                sp.add("annihilated", 1)
+            return Relation(output_attributes)
 
-    reduced = list(relations)
-    count = len(reduced)
-    for i in range(count):
-        left = reduced[i]
-        for j in range(count):
-            if i != j:
-                left = _semijoin(left, reduced[j])
-        reduced[i] = left
-    if any(not relation for relation in reduced):
-        # An annihilated operand empties the whole join, cartesian or not.
-        return Relation(output_attributes)
-
-    pending = sorted(range(count), key=lambda i: len(reduced[i]))
-    first = pending.pop(0)
-    result = reduced[first]
-    joined_attributes = set(result.attributes)
-    while pending:
-        connected = [
-            i for i in pending if reduced[i].attributes & joined_attributes
-        ]
-        choice = connected[0] if connected else pending[0]
-        pending.remove(choice)
-        result = join_relations(result, reduced[choice])
-        joined_attributes |= reduced[choice].attributes
-    return result
+        pending = sorted(range(count), key=lambda i: len(reduced[i]))
+        first = pending.pop(0)
+        result = reduced[first]
+        joined_attributes = set(result.attributes)
+        while pending:
+            connected = [
+                i for i in pending if reduced[i].attributes & joined_attributes
+            ]
+            choice = connected[0] if connected else pending[0]
+            pending.remove(choice)
+            result = join_relations(result, reduced[choice])
+            joined_attributes |= reduced[choice].attributes
+        if sp:
+            sp.add("tuples_out", len(result))
+        return result
 
 
 # -- convenience constructors -----------------------------------------------------

@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from repro.obs.spans import Tracer, tracing
 from repro.state.consistency import chase_state, chase_state_naive
 from repro.state.database_state import DatabaseState
 
@@ -243,9 +244,16 @@ def run_serving_scenarios(
         shutil.rmtree(root, ignore_errors=True)
 
 
-def write_report(scenarios: dict[str, dict], path: Path) -> dict:
+def write_report(
+    scenarios: dict[str, dict],
+    path: Path,
+    spans: dict[str, dict] | None = None,
+) -> dict:
     """Merge the scenario records into ``BENCH_perf.json`` (preserving
-    any per-test timings the benchmark suite recorded there)."""
+    any per-test timings the benchmark suite recorded there).  ``spans``
+    — the traced run's per-stage latency summaries
+    (count/sum/min/max/p50/p95/p99 per span name) — lands under the
+    ``"spans"`` key."""
     report: dict = {}
     if path.exists():
         try:
@@ -253,6 +261,10 @@ def write_report(scenarios: dict[str, dict], path: Path) -> dict:
         except (OSError, ValueError):
             report = {}
     report.setdefault("scenarios", {}).update(scenarios)
+    if spans:
+        # Merge like scenarios: `make bench` then `make serve-bench`
+        # accumulates both families' histograms in one report.
+        report.setdefault("spans", {}).update(spans)
     report["unit"] = "seconds (wall clock, best of N)"
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
@@ -317,13 +329,25 @@ def main(argv: list[str] | None = None) -> int:
     root = _repo_root()
     sys.path.insert(0, str(root))  # for the benchmarks package
     scenarios: dict[str, dict] = {}
-    if args.all or not args.serving:
-        scenarios.update(run_scenarios(repeats=args.repeats))
-    if args.all or args.serving:
-        scenarios.update(run_serving_scenarios(ops=args.serving_ops))
+    # The whole run is traced: every chase/join/store/wal span lands in
+    # a latency histogram whose percentile summary is persisted next to
+    # the wall-clock numbers.  Span overhead is part of what the <5%
+    # tracing-regression budget measures, so tracing stays on here.
+    tracer = Tracer()
+    with tracing(tracer):
+        if args.all or not args.serving:
+            scenarios.update(run_scenarios(repeats=args.repeats))
+        if args.all or args.serving:
+            scenarios.update(run_serving_scenarios(ops=args.serving_ops))
+    spans = tracer.span_summaries()
     path = root / BENCH_PATH_NAME
-    write_report(scenarios, path)
+    write_report(scenarios, path, spans=spans)
     _print_scenarios(scenarios)
+    if spans:
+        print(
+            f"recorded {len(spans)} span histogram(s): "
+            + ", ".join(sorted(spans))
+        )
     print(f"wrote {path}")
     slow = [
         name

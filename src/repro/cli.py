@@ -38,6 +38,17 @@ Subcommands::
         Validate one insertion; with --store the outcome is durable
         (accepted updates hit the WAL, rejections are logged as
         diagnostics).
+
+    python -m repro stats SCHEME.json STATE.json --target ACG [--repeat N]
+    python -m repro stats --store DIR [--target ACG]
+        Run a traced workload (chase + queries, or store recovery) and
+        report per-stage span latency histograms (p50/p95/p99) with
+        their counters; --json and --prometheus select the format.
+
+``serve``, ``insert``, ``query`` and ``stats`` accept ``--trace
+FILE.jsonl`` to append a slow-operation log: one JSON object per span
+at or above ``--slow-ms`` milliseconds (default 0 = log every span),
+each carrying the span name, its duration and its counters.
 """
 
 from __future__ import annotations
@@ -60,8 +71,35 @@ from repro.io import (
     scheme_to_dict,
     state_to_dict,
 )
+from repro.obs.exposition import prometheus_text
+from repro.obs.spans import Tracer, tracing
 from repro.schema.synthesis import synthesize_3nf
 from repro.state.consistency import is_consistent, is_locally_consistent
+
+
+def _tracer_from_args(args: argparse.Namespace) -> Optional[Tracer]:
+    """The slow-op tracer the ``--trace``/``--slow-ms`` flags ask for
+    (``None`` when ``--trace`` was not given)."""
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return None
+    threshold = getattr(args, "slow_ms", 0.0) / 1000.0
+    return Tracer(slow_log=trace_path, slow_threshold=threshold)
+
+
+def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace",
+        help="append a slow-operation JSONL log to this file",
+    )
+    subparser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        dest="slow_ms",
+        help="only log spans at least this many milliseconds long "
+        "(default 0 = every span)",
+    )
 
 
 def _parse_values(text: str) -> dict[str, str]:
@@ -119,16 +157,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    scheme = load_scheme(args.scheme)
-    state = load_state(scheme, args.state)
-    engine = WeakInstanceEngine(scheme)
-    target = attrs(args.target)
-    rows = engine.query(state, target)
-    ordered = sorted(target)
-    print("\t".join(ordered))
-    for row in sorted(rows):
-        print("\t".join(str(value) for value in row))
-    return 0
+    tracer = _tracer_from_args(args)
+    try:
+        with tracing(tracer):
+            scheme = load_scheme(args.scheme)
+            state = load_state(scheme, args.state)
+            engine = WeakInstanceEngine(scheme)
+            target = attrs(args.target)
+            rows = engine.query(state, target)
+        ordered = sorted(target)
+        print("\t".join(ordered))
+        for row in sorted(rows):
+            print("\t".join(str(value) for value in row))
+        return 0
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def _print_rejection(relation_name: str, outcome) -> None:
@@ -165,6 +209,16 @@ def _open_or_create_store(args: argparse.Namespace):
 
 
 def _cmd_insert(args: argparse.Namespace) -> int:
+    tracer = _tracer_from_args(args)
+    try:
+        with tracing(tracer):
+            return _run_insert(args)
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+
+def _run_insert(args: argparse.Namespace) -> int:
     if args.store:
         store = _open_or_create_store(args)
         try:
@@ -219,6 +273,8 @@ commands:
   query ATTRS                 evaluate the total projection [ATTRS]
   state                       print the committed state as JSON
   metrics                     print server + engine-cache counters
+  stats                       print span histograms + counters as JSON
+  prometheus                  print the Prometheus text exposition
   snapshot                    force a snapshot + WAL reset (durable only)
   sessions                    list the open sessions
   help                        this text
@@ -276,6 +332,10 @@ def _serve_loop(server, lines, echo: bool = False) -> int:
                         server.metrics_snapshot(), indent=2, sort_keys=True
                     )
                 )
+            elif command == "stats":
+                print(json.dumps(server.stats(), indent=2, sort_keys=True))
+            elif command == "prometheus":
+                print(server.prometheus(), end="")
             elif command == "snapshot":
                 server.snapshot()
                 print("snapshot written")
@@ -289,10 +349,11 @@ def _serve_loop(server, lines, echo: bool = False) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import SchemeServer
 
+    tracer = _tracer_from_args(args)
     store = None
     if args.store:
         store = _open_or_create_store(args)
-        server = SchemeServer(store=store)
+        server = SchemeServer(store=store, tracer=tracer)
         print(
             f"serving {store.directory} "
             f"(seq {store.last_seq}, recovery: replayed "
@@ -306,7 +367,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        server = SchemeServer(scheme=load_scheme(args.scheme))
+        server = SchemeServer(scheme=load_scheme(args.scheme), tracer=tracer)
         print("serving in-memory (no --store: nothing will be persisted)")
     try:
         if args.script:
@@ -315,6 +376,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return _serve_loop(server, sys.stdin)
     finally:
         server.close()
+        if tracer is not None:
+            tracer.close()
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -340,6 +403,85 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return 0
     finally:
         store.close()
+
+
+def _render_span_table(summaries: dict) -> str:
+    """Fixed-width ``span  count  p50  p95  p99  max`` lines (times in
+    milliseconds), sorted by span name."""
+    if not summaries:
+        return "(no spans recorded)"
+    header = f"{'span':<20} {'count':>7} {'p50ms':>10} {'p95ms':>10} {'p99ms':>10} {'maxms':>10}"
+    lines = [header]
+    for name in sorted(summaries):
+        summary = summaries[name]
+        lines.append(
+            f"{name:<20} {int(summary['count']):>7} "
+            f"{summary['p50'] * 1000:>10.3f} "
+            f"{summary['p95'] * 1000:>10.3f} "
+            f"{summary['p99'] * 1000:>10.3f} "
+            f"{summary['max'] * 1000:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Trace a real workload and report the per-stage histograms."""
+    slow_tracer = _tracer_from_args(args)
+    tracer = slow_tracer if slow_tracer is not None else Tracer()
+    metrics: dict = {}
+    try:
+        with tracing(tracer):
+            if args.store:
+                store = _open_or_create_store(args)
+                try:
+                    if args.target:
+                        for _ in range(args.repeat):
+                            store.query(args.target)
+                    metrics = store.metrics.snapshot()
+                finally:
+                    store.close()
+            else:
+                if not args.scheme or not args.state:
+                    print(
+                        "error: stats needs SCHEME.json and STATE.json, "
+                        "or --store DIR",
+                        file=sys.stderr,
+                    )
+                    return 1
+                scheme = load_scheme(args.scheme)
+                state = load_state(scheme, args.state)
+                engine = WeakInstanceEngine(scheme)
+                if args.target:
+                    for _ in range(args.repeat):
+                        engine.query(state, args.target)
+                else:
+                    engine.representative(state)
+        if args.prometheus:
+            counters = dict(metrics)
+            counters.update(tracer.counter_snapshot())
+            print(
+                prometheus_text(
+                    counters=counters, histograms=tracer.histograms()
+                ),
+                end="",
+            )
+        elif args.json:
+            report = {
+                "spans": tracer.span_summaries(),
+                "counters": tracer.counter_snapshot(),
+                "metrics": metrics,
+            }
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(_render_span_table(tracer.span_summaries()))
+            counters = tracer.counter_snapshot()
+            if counters:
+                print()
+                for name in sorted(counters):
+                    print(f"{name} = {counters[name]:g}")
+        return 0
+    finally:
+        tracer.close()
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -422,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("scheme", help="scheme JSON file")
     query.add_argument("state", help="state JSON file")
     query.add_argument("--target", required=True, help="attributes, e.g. ACG")
+    _add_trace_flags(query)
     query.set_defaults(func=_cmd_query)
 
     insert = commands.add_parser("insert", help="validate one insertion")
@@ -441,6 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist through a durable store directory instead of "
         "STATE.json (created from SCHEME.json when missing)",
     )
+    _add_trace_flags(insert)
     insert.set_defaults(func=_cmd_insert)
 
     serve = commands.add_parser(
@@ -464,7 +608,42 @@ def build_parser() -> argparse.ArgumentParser:
         dest="fsync_every",
         help="batch WAL fsyncs (default 1 = strict durability)",
     )
+    _add_trace_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    stats = commands.add_parser(
+        "stats",
+        help="trace a workload and report per-stage latency histograms",
+    )
+    stats.add_argument(
+        "scheme", nargs="?", help="scheme JSON file (omit with --store)"
+    )
+    stats.add_argument(
+        "state", nargs="?", help="state JSON file (omit with --store)"
+    )
+    stats.add_argument(
+        "--store", help="trace recovery + queries of this store directory"
+    )
+    stats.add_argument(
+        "--target",
+        help="attributes to query, e.g. ACG (default: chase only)",
+    )
+    stats.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        help="how many traced queries to run (default 5)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="Prometheus text exposition instead of the table",
+    )
+    _add_trace_flags(stats)
+    stats.set_defaults(func=_cmd_stats)
 
     replay = commands.add_parser(
         "replay", help="recover a durable store and report what happened"

@@ -27,8 +27,9 @@ from repro.core.query import (
     total_projection_reducible,
 )
 from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs
-from repro.foundations.cache import CacheInfo, LRUCache
+from repro.foundations.cache import MISSING, CacheInfo, LRUCache
 from repro.foundations.errors import InconsistentStateError, StateError
+from repro.obs.spans import span
 from repro.schema.database_scheme import DatabaseScheme
 from repro.state.consistency import MaintenanceOutcome, chase_state
 from repro.state.database_state import DatabaseState
@@ -120,8 +121,11 @@ class WeakInstanceEngine:
         Raises :class:`InconsistentStateError` when the state has no
         weak instance (the rejection is memoized too)."""
         key = id(state)
-        entry = self._chase.get(key)
-        if entry is None or entry[0] is not state:
+        # Sentinel lookup: the stored entry is a tuple, never None, but
+        # the sentinel keeps presence and value strictly separate (see
+        # repro.foundations.cache.MISSING).
+        entry = self._chase.get(key, MISSING)
+        if entry is MISSING or entry[0] is not state:
             entry = (state, chase_state(state))
             self._chase.put(key, entry)
         result = entry[1]
@@ -141,7 +145,14 @@ class WeakInstanceEngine:
         values: Mapping[str, Hashable],
     ) -> MaintenanceOutcome:
         """Validate and apply one insertion (Algorithm 5 / 2 / chase)."""
-        return self.maintainer.insert(state, relation_name, values)
+        with span("engine.insert") as sp:
+            outcome = self.maintainer.insert(state, relation_name, values)
+            if sp:
+                sp.add("tuples_examined", outcome.tuples_examined)
+                sp.add("chase_steps", outcome.chase_steps)
+                sp.add("accepted", 1 if outcome.consistent else 0)
+                sp.add("rejected", 0 if outcome.consistent else 1)
+            return outcome
 
     def delete(
         self,
@@ -209,11 +220,14 @@ class WeakInstanceEngine:
         """The cached predetermined plan for ``[X]`` (reducible schemes
         only)."""
         target = attrs(attributes)
-        cached = self._plans.get(target)
-        if cached is None:
-            cached = total_projection_plan(
-                self.scheme, target, self.recognition
-            )
+        cached = self._plans.get(target, MISSING)
+        if cached is MISSING:
+            with span("engine.plan") as sp:
+                cached = total_projection_plan(
+                    self.scheme, target, self.recognition
+                )
+                if sp:
+                    sp.add("branches", len(cached.branches))
             self._plans.put(target, cached)
         return cached
 
@@ -233,6 +247,13 @@ class WeakInstanceEngine:
     ) -> set[tuple[Hashable, ...]]:
         """``[X]`` evaluated by the cheapest correct route."""
         target = attrs(attributes)
-        if self.reducible:
-            return total_projection_reducible(state, target, self.recognition)
-        return self.representative(state).total_projection(target)
+        with span("engine.query") as sp:
+            if self.reducible:
+                rows = total_projection_reducible(
+                    state, target, self.recognition
+                )
+            else:
+                rows = self.representative(state).total_projection(target)
+            if sp:
+                sp.add("rows_out", len(rows))
+            return rows

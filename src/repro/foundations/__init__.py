@@ -13,7 +13,7 @@ from repro.foundations.attrs import (
     sorted_attrs,
     union_all,
 )
-from repro.foundations.cache import CacheInfo, LRUCache
+from repro.foundations.cache import MISSING, CacheInfo, LRUCache
 from repro.foundations.errors import (
     ChaseError,
     DependencyError,
@@ -36,6 +36,7 @@ __all__ = [
     "union_all",
     "CacheInfo",
     "ChaseError",
+    "MISSING",
     "DependencyError",
     "LRUCache",
     "InconsistentStateError",

@@ -14,6 +14,23 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Optional
 
 
+class _Missing:
+    """The type of :data:`MISSING` (its repr keeps diagnostics readable)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<MISSING>"
+
+
+#: Sentinel for :meth:`LRUCache.get`'s ``default``: a memo layer whose
+#: values may legitimately be ``None`` (or any other default-looking
+#: value) passes ``cache.get(key, MISSING)`` and tests ``is MISSING``,
+#: so a cached ``None`` is a *hit* returning ``None`` — not a miss that
+#: recomputes the entry forever.
+MISSING: Any = _Missing()
+
+
 @dataclass(frozen=True)
 class CacheInfo:
     """A point-in-time snapshot of one cache's accounting."""
@@ -54,10 +71,17 @@ class LRUCache:
         self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        """The cached value, or ``default`` on a miss.
+
+        Presence is tested with a sentinel, never by comparing the
+        stored value: an entry whose value *is* the default (``None``
+        included) still counts and returns as a hit.  Callers that
+        memoize possibly-``None`` values should pass
+        :data:`MISSING` as the default and test ``is MISSING``.
+        """
         with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
+            value = self._data.get(key, MISSING)
+            if value is MISSING:
                 self._misses += 1
                 return default
             self._data.move_to_end(key)

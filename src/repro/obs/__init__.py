@@ -1,0 +1,54 @@
+"""Engine-deep observability: spans, latency histograms, exposition.
+
+The serving layer's flat counters (:mod:`repro.service.metrics`) say
+*what* a process did; this package says *where the time went*.  Spans
+wrap the evaluation core's stages — chase runs, join-pipeline
+evaluations, plan construction, store and WAL operations — and record
+per-stage counters (chase steps and passes, tuples in/out, semi-join
+reduction, bytes appended) into bounded latency histograms with
+p50/p95/p99, exposed through ``repro stats``, the serve protocol's
+``stats``/``prometheus`` commands, and ``BENCH_perf.json``.
+
+Tracing is off by default and near-free when off: each instrumented
+call site pays one context-var read.  See :mod:`repro.obs.spans` for
+the activation model (context-local vs. process-global) and the
+slow-op JSONL log.
+"""
+
+from repro.obs.histogram import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    merge_histograms,
+)
+from repro.obs.exposition import (
+    parse_exposition,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_tracer,
+    install,
+    span,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "install",
+    "merge_histograms",
+    "parse_exposition",
+    "prometheus_text",
+    "sanitize_metric_name",
+    "span",
+    "tracing",
+    "tracing_enabled",
+]

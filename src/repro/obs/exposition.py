@@ -1,0 +1,138 @@
+"""Prometheus text exposition (version 0.0.4) for metrics and spans.
+
+Renders a :class:`~repro.service.metrics.MetricsRegistry` snapshot and
+the tracer's per-stage latency histograms into the plain-text format a
+Prometheus scraper (or ``promtool check metrics``) accepts:
+
+* counters → ``repro_<name>_total`` with ``# TYPE ... counter``;
+* gauges → ``repro_<name>`` with ``# TYPE ... gauge``;
+* span histograms → ``repro_span_<name>_seconds`` as native histograms
+  (cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``).
+
+Dots and other characters outside ``[a-zA-Z0-9_:]`` become underscores.
+Two input metrics that sanitize to the same exposition name raise
+:class:`ValueError` — the registry itself refuses cross-namespace
+collisions (see ``MetricsRegistry.snapshot``), and this guard catches
+the remaining sanitization-induced ones instead of emitting a series
+twice.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Optional, Union
+
+from repro.obs.histogram import LatencyHistogram
+
+Number = Union[int, float]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """``name`` mapped into the Prometheus metric-name alphabet."""
+    cleaned = _INVALID.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: Number) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._seen: set[str] = set()
+
+    def claim(self, name: str, source: str) -> None:
+        if name in self._seen:
+            raise ValueError(
+                f"metric {source!r} collides with an already-emitted "
+                f"series named {name!r}"
+            )
+        self._seen.add(name)
+
+    def simple(
+        self, name: str, kind: str, value: Number, source: str
+    ) -> None:
+        self.claim(name, source)
+        self.lines.append(f"# TYPE {name} {kind}")
+        self.lines.append(f"{name} {_format_value(value)}")
+
+    def histogram(
+        self, name: str, histogram: LatencyHistogram, source: str
+    ) -> None:
+        self.claim(name, source)
+        self.lines.append(f"# TYPE {name} histogram")
+        for bound, cumulative in histogram.cumulative_buckets():
+            self.lines.append(
+                f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        self.lines.append(f"{name}_sum {_format_value(histogram.total)}")
+        self.lines.append(f"{name}_count {histogram.count}")
+
+
+def prometheus_text(
+    counters: Optional[Mapping[str, Number]] = None,
+    gauges: Optional[Mapping[str, Number]] = None,
+    histograms: Optional[Mapping[str, LatencyHistogram]] = None,
+    prefix: str = "repro",
+) -> str:
+    """The exposition document for the given metric families.
+
+    Every series name is prefixed with ``prefix`` and sanitized; the
+    result ends with a newline, ready to serve as
+    ``text/plain; version=0.0.4``.
+    """
+    emitter = _Emitter()
+    for name, value in sorted((counters or {}).items()):
+        emitter.simple(
+            f"{prefix}_{sanitize_metric_name(name)}_total",
+            "counter",
+            value,
+            name,
+        )
+    for name, value in sorted((gauges or {}).items()):
+        emitter.simple(
+            f"{prefix}_{sanitize_metric_name(name)}", "gauge", value, name
+        )
+    for name, histogram in sorted((histograms or {}).items()):
+        emitter.histogram(
+            f"{prefix}_span_{sanitize_metric_name(name)}_seconds",
+            histogram,
+            name,
+        )
+    return "\n".join(emitter.lines) + "\n" if emitter.lines else ""
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse an exposition document back into ``{series: value}``.
+
+    A deliberately strict reader used by the trace-smoke check and the
+    tests: every non-comment line must be ``name[{labels}] value``, and
+    a repeated series (same name and labels) raises :class:`ValueError`.
+    """
+    series: dict[str, float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            raise ValueError(f"line {line_number}: not 'name value': {line!r}")
+        name, raw_value = parts
+        try:
+            value = float(raw_value.replace("+Inf", "inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: bad sample value {raw_value!r}"
+            ) from None
+        if name in series:
+            raise ValueError(f"line {line_number}: duplicate series {name!r}")
+        series[name] = value
+    return series

@@ -1,0 +1,136 @@
+"""Bounded latency histograms with percentile estimation.
+
+A :class:`LatencyHistogram` records durations (seconds) into a fixed
+set of logarithmically spaced buckets — four per decade from 1 µs to
+100 s — so memory stays constant no matter how many observations land
+in it, and p50/p95/p99 come out with relative error bounded by the
+bucket ratio (≈ 78% per bucket step, interpolated linearly inside the
+bucket, clamped by the exact min/max).
+
+The class is deliberately free of locking: the tracer that feeds it
+(:mod:`repro.obs.spans`) serializes writers, and single-threaded users
+(``repro.bench``) need no lock at all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+#: Upper bucket boundaries in seconds: 10^(k/4) for k in [-24, 8], i.e.
+#: 1 µs … 100 s in steps of ×10^0.25 (~1.78).  Everything above the last
+#: boundary lands in one overflow bucket.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (k / 4.0) for k in range(-24, 9)
+)
+
+
+class LatencyHistogram:
+    """Fixed-size log-bucketed histogram of durations in seconds."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        # One count per boundary plus the overflow bucket.
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        self.counts[bisect_right(BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one."""
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    # -- percentiles -----------------------------------------------------------
+    def percentile(self, fraction: float) -> float:
+        """The estimated value at quantile ``fraction`` (0 < f ≤ 1).
+
+        Finds the bucket holding the ranked observation and
+        interpolates linearly between its bounds; the result is clamped
+        to the exact observed ``[min, max]`` so tiny sample counts never
+        report a value outside what was actually seen.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("percentile fraction must be in (0, 1]")
+        rank = fraction * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else self.max
+                )
+                within = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * within
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative always reaches rank
+
+    # -- reporting -------------------------------------------------------------
+    def summary(self) -> dict[str, float]:
+        """Count, sum and the headline percentiles as a JSON-ready dict."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": round(self.min, 9),
+            "max": round(self.max, 9),
+            "p50": round(self.percentile(0.50), 9),
+            "p95": round(self.percentile(0.95), 9),
+            "p99": round(self.percentile(0.99), 9),
+        }
+
+    def cumulative_buckets(self) -> Iterable[tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs in Prometheus
+        ``le`` form, ending with ``(inf, count)``."""
+        cumulative = 0
+        for bound, bucket_count in zip(BUCKET_BOUNDS, self.counts):
+            cumulative += bucket_count
+            yield bound, cumulative
+        yield float("inf"), self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "LatencyHistogram(empty)"
+        summary = self.summary()
+        return (
+            f"LatencyHistogram(count={summary['count']}, "
+            f"p50={summary['p50']}, p95={summary['p95']}, "
+            f"p99={summary['p99']})"
+        )
+
+
+def merge_histograms(
+    histograms: Sequence[LatencyHistogram],
+) -> LatencyHistogram:
+    """A new histogram holding every observation of ``histograms``."""
+    merged = LatencyHistogram()
+    for histogram in histograms:
+        merged.merge(histogram)
+    return merged

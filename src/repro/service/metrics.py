@@ -9,7 +9,10 @@ operation: one lock acquisition and one dict write.
 
 Counter names are dotted paths (``ops.insert``, ``wal.bytes``,
 ``store.rejects``); :meth:`MetricsRegistry.snapshot` returns them as a
-flat ``name -> value`` dict ready for JSON rendering.
+flat ``name -> value`` dict ready for JSON rendering.  Counters, gauges
+and timers are separate namespaces internally; ``snapshot`` refuses to
+merge them when two kinds share a name, because silently letting one
+shadow the other corrupts whatever dashboard reads the result.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, Union
+
+from repro.foundations.errors import ServiceError
 
 Number = Union[int, float]
 
@@ -29,6 +34,10 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, Number] = {}
         self._gauges: dict[str, Number] = {}
+        # name -> [seconds, calls]; timers no longer write into the
+        # counter namespace, so metrics.timer("ops.insert") cannot
+        # clobber (or be clobbered by) the counter of the same name.
+        self._timers: dict[str, list[Number]] = {}
 
     # -- counters -------------------------------------------------------------
     def increment(self, name: str, amount: Number = 1) -> None:
@@ -54,29 +63,73 @@ class MetricsRegistry:
     # -- timers ---------------------------------------------------------------
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
-        """Accumulate wall-clock seconds into ``<name>.seconds`` and bump
-        ``<name>.calls``."""
+        """Accumulate wall-clock seconds and a call count under the
+        timer ``name`` (reported as ``<name>.seconds`` / ``<name>.calls``
+        in :meth:`snapshot`)."""
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
             with self._lock:
-                self._counters[f"{name}.seconds"] = (
-                    self._counters.get(f"{name}.seconds", 0.0) + elapsed
-                )
-                self._counters[f"{name}.calls"] = (
-                    self._counters.get(f"{name}.calls", 0) + 1
-                )
+                cell = self._timers.setdefault(name, [0.0, 0])
+                cell[0] += elapsed
+                cell[1] += 1
+
+    def timer_totals(self, name: str) -> tuple[float, int]:
+        """Accumulated ``(seconds, calls)`` of timer ``name``."""
+        with self._lock:
+            seconds, calls = self._timers.get(name, (0.0, 0))
+            return float(seconds), int(calls)
 
     # -- reporting ------------------------------------------------------------
     def snapshot(self) -> dict[str, Number]:
-        """All counters and gauges as one flat dict (gauges win on a
-        name collision, which well-behaved callers never create)."""
+        """All counters, gauges and timers as one flat dict.
+
+        Timers contribute ``<name>.seconds`` and ``<name>.calls``.
+        Raises :class:`ServiceError` when two kinds of metric collide on
+        a name — one silently shadowing the other would misreport both.
+        """
         with self._lock:
             merged: dict[str, Number] = dict(self._counters)
-            merged.update(self._gauges)
+            for name, value in self._gauges.items():
+                if name in merged:
+                    raise ServiceError(
+                        f"metric name collision: {name!r} is both a "
+                        "counter and a gauge"
+                    )
+                merged[name] = value
+            for name, (seconds, calls) in self._timers.items():
+                for derived, value in (
+                    (f"{name}.seconds", seconds),
+                    (f"{name}.calls", calls),
+                ):
+                    if derived in merged:
+                        raise ServiceError(
+                            f"metric name collision: timer {name!r} "
+                            f"derives {derived!r}, which is already a "
+                            "counter or gauge"
+                        )
+                    merged[derived] = value
             return merged
+
+    def snapshot_by_kind(
+        self,
+    ) -> dict[str, dict[str, Number]]:
+        """The three namespaces separately (for exposition formats that
+        distinguish metric kinds): ``{"counters": ..., "gauges": ...,
+        "timers": ...}`` with timers flattened to ``<name>.seconds`` /
+        ``<name>.calls``."""
+        with self._lock:
+            timers: dict[str, Number] = {}
+            for name, (seconds, calls) in self._timers.items():
+                timers[f"{name}.seconds"] = seconds
+                timers[f"{name}.calls"] = calls
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": timers,
+            }
 
     def describe(self) -> str:
         """One ``name = value`` line per metric, sorted by name."""

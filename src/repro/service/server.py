@@ -27,6 +27,8 @@ from typing import Hashable, Mapping, Optional, Sequence, Union
 from repro.core.engine import BatchOutcome, Update, WeakInstanceEngine
 from repro.foundations.attrs import AttrsLike
 from repro.foundations.errors import ServiceError
+from repro.obs.exposition import prometheus_text
+from repro.obs.spans import Tracer, tracing
 from repro.schema.database_scheme import DatabaseScheme
 from repro.service.metrics import MetricsRegistry
 from repro.service.store import DurableStore
@@ -82,11 +84,18 @@ class SchemeServer:
         store: Optional[DurableStore] = None,
         scheme: Optional[DatabaseScheme] = None,
         state: Optional[DatabaseState] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if (store is None) == (scheme is None):
             raise ServiceError(
                 "pass exactly one of store= (durable) or scheme= (in-memory)"
             )
+        # Every public operation runs under this tracer, so the engine-
+        # and store-level spans (chase.*, join.*, wal.*, ...) land in
+        # per-stage latency histograms the stats/prometheus surfaces
+        # report.  Pass a Tracer configured with a slow-op log to get
+        # threshold-triggered JSONL records of slow operations.
+        self.tracer = tracer if tracer is not None else Tracer()
         self._write_lock = threading.Lock()
         self._sessions_lock = threading.Lock()
         self._sessions: dict[str, Session] = {}
@@ -149,13 +158,14 @@ class SchemeServer:
         without the write lock; concurrent writers do not block it."""
         snapshot = self._state
         self.metrics.increment("ops.query")
-        return self.engine.query(snapshot, attributes)
+        with tracing(self.tracer):
+            return self.engine.query(snapshot, attributes)
 
     # -- writes (serialized) ---------------------------------------------------
     def insert(
         self, relation_name: str, values: Mapping[str, Hashable]
     ) -> MaintenanceOutcome:
-        with self._write_lock:
+        with self._write_lock, tracing(self.tracer):
             if self._store is not None:
                 outcome = self._store.insert(relation_name, values)
                 self._state = self._store.state
@@ -174,7 +184,7 @@ class SchemeServer:
     def delete(
         self, relation_name: str, values: Mapping[str, Hashable]
     ) -> DatabaseState:
-        with self._write_lock:
+        with self._write_lock, tracing(self.tracer):
             if self._store is not None:
                 self._state = self._store.delete(relation_name, values)
             else:
@@ -185,7 +195,7 @@ class SchemeServer:
             return self._state
 
     def apply_batch(self, updates: Sequence[Update]) -> BatchOutcome:
-        with self._write_lock:
+        with self._write_lock, tracing(self.tracer):
             if self._store is not None:
                 outcome = self._store.apply_batch(updates)
                 self._state = self._store.state
@@ -204,7 +214,7 @@ class SchemeServer:
         """Durable mode: force a snapshot + WAL reset now."""
         if self._store is None:
             raise ServiceError("an in-memory server has nothing to snapshot")
-        with self._write_lock:
+        with self._write_lock, tracing(self.tracer):
             self._store.snapshot()
 
     def metrics_snapshot(self) -> dict[str, Union[int, float]]:
@@ -215,6 +225,36 @@ class SchemeServer:
             merged[f"cache.{cache_name}.misses"] = info.misses
             merged[f"cache.{cache_name}.evictions"] = info.evictions
         return merged
+
+    def stats(self) -> dict[str, object]:
+        """The full observability report: operation metrics, per-stage
+        span histograms (count/sum/min/max/p50/p95/p99) and the spans'
+        aggregated counters, JSON-ready."""
+        return {
+            "metrics": self.metrics_snapshot(),
+            "spans": self.tracer.span_summaries(),
+            "span_counters": self.tracer.counter_snapshot(),
+        }
+
+    def prometheus(self) -> str:
+        """The same report as Prometheus text exposition v0.0.4.
+
+        Operation/span counters become ``_total`` counter series, gauges
+        stay gauges, and each span's latency histogram becomes a
+        ``repro_span_<name>_seconds`` histogram family."""
+        kinds = self.metrics.snapshot_by_kind()
+        counters = dict(kinds["counters"])
+        counters.update(kinds["timers"])
+        for cache_name, info in self.engine.cache_info().items():
+            counters[f"cache.{cache_name}.hits"] = info.hits
+            counters[f"cache.{cache_name}.misses"] = info.misses
+            counters[f"cache.{cache_name}.evictions"] = info.evictions
+        counters.update(self.tracer.counter_snapshot())
+        return prometheus_text(
+            counters=counters,
+            gauges=kinds["gauges"],
+            histograms=self.tracer.histograms(),
+        )
 
     def close(self) -> None:
         if self._store is not None:

@@ -48,6 +48,7 @@ from repro.io import (
     load_scheme,
     state_to_dict,
 )
+from repro.obs.spans import span
 from repro.schema.database_scheme import DatabaseScheme
 from repro.service.metrics import MetricsRegistry
 from repro.service.wal import WalRecord, WriteAheadLog, replayable
@@ -181,69 +182,77 @@ class DurableStore:
         """Recover the store at ``directory``: snapshot + WAL replay."""
         started = time.perf_counter()
         directory = Path(directory)
-        scheme_path = directory / SCHEME_FILE
-        if not scheme_path.exists():
-            raise StoreError(f"{directory} does not contain a store")
-        scheme = load_scheme(scheme_path)
-        engine = WeakInstanceEngine(scheme)
+        with span("store.recovery") as sp:
+            scheme_path = directory / SCHEME_FILE
+            if not scheme_path.exists():
+                raise StoreError(f"{directory} does not contain a store")
+            scheme = load_scheme(scheme_path)
+            engine = WeakInstanceEngine(scheme)
 
-        snapshot_path = directory / SNAPSHOT_FILE
-        if snapshot_path.exists():
-            snapshot = load_json(snapshot_path)
-            if (
-                not isinstance(snapshot, dict)
-                or not isinstance(snapshot.get("seq"), int)
-                or not isinstance(snapshot.get("state"), dict)
-            ):
-                raise StoreError(f"{snapshot_path} is malformed")
-            snapshot_seq = snapshot["seq"]
-            # engine.load chases (memoized) — a corrupt snapshot that
-            # somehow passed JSON parsing still cannot serve queries.
-            state = engine.load(snapshot["state"])
-        else:
-            snapshot_seq = 0
-            state = engine.empty_state()
-            dump_json_atomic(
-                {"seq": 0, "state": state_to_dict(state)}, snapshot_path
-            )
+            snapshot_path = directory / SNAPSHOT_FILE
+            if snapshot_path.exists():
+                snapshot = load_json(snapshot_path)
+                if (
+                    not isinstance(snapshot, dict)
+                    or not isinstance(snapshot.get("seq"), int)
+                    or not isinstance(snapshot.get("state"), dict)
+                ):
+                    raise StoreError(f"{snapshot_path} is malformed")
+                snapshot_seq = snapshot["seq"]
+                # engine.load chases (memoized) — a corrupt snapshot that
+                # somehow passed JSON parsing still cannot serve queries.
+                state = engine.load(snapshot["state"])
+            else:
+                snapshot_seq = 0
+                state = engine.empty_state()
+                dump_json_atomic(
+                    {"seq": 0, "state": state_to_dict(state)}, snapshot_path
+                )
 
-        wal = WriteAheadLog(
-            directory / WAL_FILE,
-            base_seq=snapshot_seq,
-            fsync_every=fsync_every,
-            flexible=True,
-        )
-        scan = wal.recovered
-        if scan.records and scan.records[0].seq > snapshot_seq + 1:
-            raise StoreError(
-                f"WAL starts at seq {scan.records[0].seq} but the "
-                f"snapshot ends at {snapshot_seq}: records are missing"
+            wal = WriteAheadLog(
+                directory / WAL_FILE,
+                base_seq=snapshot_seq,
+                fsync_every=fsync_every,
+                flexible=True,
             )
-        to_replay = [
-            record
-            for record in replayable(scan.records)
-            if record.seq > snapshot_seq
-        ]
-        stale_log = bool(scan.records) and scan.last_seq <= snapshot_seq
-        replayed = 0
-        for record in to_replay:
-            state = _apply_record(engine, state, record)
-            replayed += 1
-        if wal.last_seq < snapshot_seq:
-            # Crash between snapshot write and WAL reset left a log that
-            # predates the snapshot entirely; its records are all baked
-            # into the snapshot, so restart the sequence cleanly.
-            wal.reset(snapshot_seq)
-        report = RecoveryReport(
-            snapshot_seq=snapshot_seq,
-            replayed=replayed,
-            rejects_in_log=sum(
-                1 for record in scan.records if record.op == "reject"
-            ),
-            discarded_bytes=scan.discarded_bytes,
-            stale_log=stale_log,
-            seconds=time.perf_counter() - started,
-        )
+            scan = wal.recovered
+            if scan.records and scan.records[0].seq > snapshot_seq + 1:
+                raise StoreError(
+                    f"WAL starts at seq {scan.records[0].seq} but the "
+                    f"snapshot ends at {snapshot_seq}: records are missing"
+                )
+            to_replay = [
+                record
+                for record in replayable(scan.records)
+                if record.seq > snapshot_seq
+            ]
+            stale_log = bool(scan.records) and scan.last_seq <= snapshot_seq
+            replayed = 0
+            for record in to_replay:
+                state = _apply_record(engine, state, record)
+                replayed += 1
+            if stale_log:
+                # Crash between snapshot write and WAL reset left a log
+                # whose every record is already baked into the snapshot
+                # (its last seq is at or before the snapshot's).  Reset
+                # now, or the dead records linger in the live log and
+                # the next open replays nothing but still carries them —
+                # the flag and the cleanup must agree on the condition.
+                wal.reset(snapshot_seq)
+            report = RecoveryReport(
+                snapshot_seq=snapshot_seq,
+                replayed=replayed,
+                rejects_in_log=sum(
+                    1 for record in scan.records if record.op == "reject"
+                ),
+                discarded_bytes=scan.discarded_bytes,
+                stale_log=stale_log,
+                seconds=time.perf_counter() - started,
+            )
+            if sp:
+                sp.add("replayed", replayed)
+                sp.add("discarded_bytes", scan.discarded_bytes)
+                sp.add("stale_logs", 1 if stale_log else 0)
         return cls(
             directory=directory,
             scheme=scheme,
@@ -280,67 +289,77 @@ class DurableStore:
     ) -> MaintenanceOutcome:
         """Validate one insertion; log and apply it when accepted, log a
         durable ``reject`` diagnostic when refused."""
-        outcome = self.engine.insert(self._state, relation_name, values)
-        if outcome.consistent:
-            assert outcome.state is not None
-            self._wal.append("insert", relation_name, values)
-            self._state = outcome.state
-            self.metrics.increment("ops.insert")
-            self._after_write()
-        else:
-            self._wal.append(
-                "reject",
-                relation_name,
-                values,
-                extra={"outcome": outcome.to_dict()},
-            )
-            self.metrics.increment("ops.insert")
-            self.metrics.increment("store.rejects")
-            self._after_write()
-        return outcome
+        with span("store.insert") as sp:
+            outcome = self.engine.insert(self._state, relation_name, values)
+            if outcome.consistent:
+                assert outcome.state is not None
+                self._wal.append("insert", relation_name, values)
+                self._state = outcome.state
+                self.metrics.increment("ops.insert")
+                self._after_write()
+            else:
+                self._wal.append(
+                    "reject",
+                    relation_name,
+                    values,
+                    extra={"outcome": outcome.to_dict()},
+                )
+                self.metrics.increment("ops.insert")
+                self.metrics.increment("store.rejects")
+                self._after_write()
+            if sp:
+                sp.add("accepted", 1 if outcome.consistent else 0)
+                sp.add("rejected", 0 if outcome.consistent else 1)
+            return outcome
 
     def delete(
         self, relation_name: str, values: Mapping[str, Hashable]
     ) -> DatabaseState:
         """Log and apply one deletion (always consistency-preserving)."""
-        updated = self.engine.delete(self._state, relation_name, values)
-        self._wal.append("delete", relation_name, values)
-        self._state = updated
-        self.metrics.increment("ops.delete")
-        self._after_write()
-        return updated
+        with span("store.delete"):
+            updated = self.engine.delete(self._state, relation_name, values)
+            self._wal.append("delete", relation_name, values)
+            self._state = updated
+            self.metrics.increment("ops.delete")
+            self._after_write()
+            return updated
 
     def apply_batch(self, updates: Sequence[Update]) -> BatchOutcome:
         """Atomic batch: either every update is validated, logged and
         applied, or none is and the rejection is logged as a diagnostic."""
-        outcome = self.engine.apply_batch(self._state, updates)
-        if outcome:
-            assert outcome.state is not None
-            for operation, relation_name, values in updates:
-                self._wal.append(operation, relation_name, values)
-            self._state = outcome.state
-            self.metrics.increment("ops.batch")
-            self.metrics.increment("ops.batch_updates", len(updates))
-        else:
-            assert outcome.failed_index is not None
-            _, relation_name, values = updates[outcome.failed_index]
-            self._wal.append(
-                "reject",
-                relation_name,
-                values,
-                extra={"outcome": outcome.to_dict()},
-            )
-            self.metrics.increment("ops.batch")
-            self.metrics.increment("store.rejects")
-        self._after_write()
-        return outcome
+        with span("store.batch") as sp:
+            outcome = self.engine.apply_batch(self._state, updates)
+            if outcome:
+                assert outcome.state is not None
+                for operation, relation_name, values in updates:
+                    self._wal.append(operation, relation_name, values)
+                self._state = outcome.state
+                self.metrics.increment("ops.batch")
+                self.metrics.increment("ops.batch_updates", len(updates))
+            else:
+                assert outcome.failed_index is not None
+                _, relation_name, values = updates[outcome.failed_index]
+                self._wal.append(
+                    "reject",
+                    relation_name,
+                    values,
+                    extra={"outcome": outcome.to_dict()},
+                )
+                self.metrics.increment("ops.batch")
+                self.metrics.increment("store.rejects")
+            self._after_write()
+            if sp:
+                sp.add("updates", len(updates))
+                sp.add("applied", outcome.applied)
+            return outcome
 
     # -- queries --------------------------------------------------------------
     def query(self, attributes: AttrsLike) -> set[tuple[Hashable, ...]]:
         """``[X]`` over the current state via the engine's cheapest
         correct route."""
-        self.metrics.increment("ops.query")
-        return self.engine.query(self._state, attributes)
+        with span("store.query"):
+            self.metrics.increment("ops.query")
+            return self.engine.query(self._state, attributes)
 
     # -- durability -----------------------------------------------------------
     def sync(self) -> None:
@@ -354,16 +373,19 @@ class DurableStore:
         atomically *first*; only then is the log reset.  A crash in
         between leaves a stale log that recovery recognises by its
         sequence numbers and discards."""
-        self._wal.sync()
-        seq = self._wal.last_seq
-        path = self.directory / SNAPSHOT_FILE
-        dump_json_atomic(
-            {"seq": seq, "state": state_to_dict(self._state)}, path
-        )
-        self._wal.reset(seq)
-        self._snapshot_bytes = path.stat().st_size
-        self.metrics.increment("store.snapshots")
-        return path
+        with span("store.snapshot") as sp:
+            self._wal.sync()
+            seq = self._wal.last_seq
+            path = self.directory / SNAPSHOT_FILE
+            dump_json_atomic(
+                {"seq": seq, "state": state_to_dict(self._state)}, path
+            )
+            self._wal.reset(seq)
+            self._snapshot_bytes = path.stat().st_size
+            self.metrics.increment("store.snapshots")
+            if sp:
+                sp.add("snapshot_bytes", self._snapshot_bytes)
+            return path
 
     def _after_write(self) -> None:
         self.metrics.set_gauge("wal.bytes", self._wal.size_bytes)

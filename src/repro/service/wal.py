@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.foundations.errors import WALError
+from repro.obs.spans import span
 
 PathLike = Union[str, Path]
 
@@ -230,7 +231,18 @@ class WriteAheadLog:
 
     @property
     def size_bytes(self) -> int:
-        return self._handle.tell() if not self._handle.closed else 0
+        """The log's current size.
+
+        While open this is the append handle's position (cheap, exact).
+        Once closed it falls back to ``stat`` — a closed non-empty log
+        must keep reporting its real on-disk size, because compaction
+        thresholds and metrics read this after ``close()``."""
+        if not self._handle.closed:
+            return self._handle.tell()
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
 
     @property
     def closed(self) -> bool:
@@ -256,19 +268,24 @@ class WriteAheadLog:
             values=None if values is None else dict(values),
             extra=dict(extra or {}),
         )
-        self._handle.write(record.to_line())
-        self._handle.flush()
-        self._seq = record.seq
-        self._unsynced += 1
-        if self._unsynced >= self.fsync_every:
-            self.sync()
+        with span("wal.append") as sp:
+            line = record.to_line()
+            self._handle.write(line)
+            self._handle.flush()
+            self._seq = record.seq
+            self._unsynced += 1
+            if self._unsynced >= self.fsync_every:
+                self.sync()
+            if sp:
+                sp.add("bytes", len(line))
         return record
 
     def sync(self) -> None:
         """Force an ``fsync`` of everything appended so far."""
         if not self._handle.closed:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+            with span("wal.fsync"):
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
             self._unsynced = 0
 
     def reset(self, base_seq: int) -> None:

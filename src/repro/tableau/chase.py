@@ -41,6 +41,7 @@ from typing import Hashable, Iterable, Iterator, Optional, Sequence, Tuple
 from repro.fd.fdset import FDSet, FDsLike
 from repro.foundations.attrs import AttrsLike, attrs, sorted_attrs
 from repro.foundations.errors import StateError
+from repro.obs.spans import span
 from repro.tableau.symbols import (
     KIND_CONSTANT,
     KIND_DV,
@@ -307,22 +308,30 @@ def chase(tableau: Tableau, fds: FDsLike) -> ChaseResult:
         # Mirror the naive engine: one (empty) sweep confirms fixpoint.
         return ChaseResult(tableau.copy(), consistent=True, steps=0, passes=1)
 
-    order = sorted_attrs(tableau.universe)
-    column = {a: i for i, a in enumerate(order)}
-    distinct: set[Symbol] = set()
-    for row in rows:
-        distinct.update(row.cells.values())
-    to_id, table, constant_bound = _intern_symbols(distinct)
-    cells = [
-        [to_id[mapping[a]] for a in order]
-        for mapping in (row.cells for row in rows)
-    ]
-    rule_columns = [
-        ([column[a] for a in lhs], column[rhs_attr]) for lhs, rhs_attr in rules
-    ]
-    consistent, steps, passes = _chase_core(
-        len(order), cells, rule_columns, constant_bound
-    )
+    with span("chase.tableau") as sp:
+        order = sorted_attrs(tableau.universe)
+        column = {a: i for i, a in enumerate(order)}
+        distinct: set[Symbol] = set()
+        for row in rows:
+            distinct.update(row.cells.values())
+        to_id, table, constant_bound = _intern_symbols(distinct)
+        cells = [
+            [to_id[mapping[a]] for a in order]
+            for mapping in (row.cells for row in rows)
+        ]
+        rule_columns = [
+            ([column[a] for a in lhs], column[rhs_attr])
+            for lhs, rhs_attr in rules
+        ]
+        consistent, steps, passes = _chase_core(
+            len(order), cells, rule_columns, constant_bound
+        )
+        if sp:
+            sp.add("rows", len(cells))
+            sp.add("rules", len(rule_columns))
+            sp.add("steps", steps)
+            sp.add("passes", passes)
+            sp.add("contradictions", 0 if consistent else 1)
     if not consistent:
         return ChaseResult(
             Tableau(tableau.universe),
@@ -367,41 +376,48 @@ def chase_relations(
     # ndv id and the core's min-id rule prefers constants.  Which ndv of
     # a merged ndv pair survives is unobservable — every ndv is a fresh
     # variable private to this chase.
-    constant_ids: dict[Hashable, int] = {}
-    next_ndv = count(_NDV_ID_BASE)
-    cells: list[list[int]] = []
-    tags: list[str] = []
-    for tag, columns, vectors in stored:
-        try:
-            positions = [column[a] for a in columns]
-        except KeyError:
-            raise StateError(
-                f"relation {tag} is not contained in the universe"
-            ) from None
-        # Row order is free: the chase is Church-Rosser for fds, so no
-        # observable output depends on it (tests assert this).
-        padding = [j for j in range(width) if j not in set(positions)]
-        for vector in vectors:
-            row: list = [None] * width
-            for position, value in zip(positions, vector):
-                row[position] = constant_ids.setdefault(
-                    value, len(constant_ids)
-                )
-            for j in padding:
-                row[j] = next(next_ndv)
-            cells.append(row)
-            tags.append(tag)
+    with span("chase.relations") as sp:
+        constant_ids: dict[Hashable, int] = {}
+        next_ndv = count(_NDV_ID_BASE)
+        cells: list[list[int]] = []
+        tags: list[str] = []
+        for tag, columns, vectors in stored:
+            try:
+                positions = [column[a] for a in columns]
+            except KeyError:
+                raise StateError(
+                    f"relation {tag} is not contained in the universe"
+                ) from None
+            # Row order is free: the chase is Church-Rosser for fds, so no
+            # observable output depends on it (tests assert this).
+            padding = [j for j in range(width) if j not in set(positions)]
+            for vector in vectors:
+                row: list = [None] * width
+                for position, value in zip(positions, vector):
+                    row[position] = constant_ids.setdefault(
+                        value, len(constant_ids)
+                    )
+                for j in padding:
+                    row[j] = next(next_ndv)
+                cells.append(row)
+                tags.append(tag)
 
-    if not rules or not cells:
-        consistent, steps, passes = True, 0, 1
-    else:
-        rule_columns = [
-            ([column[a] for a in lhs], column[rhs_attr])
-            for lhs, rhs_attr in rules
-        ]
-        consistent, steps, passes = _chase_core(
-            width, cells, rule_columns, len(constant_ids)
-        )
+        if not rules or not cells:
+            consistent, steps, passes = True, 0, 1
+        else:
+            rule_columns = [
+                ([column[a] for a in lhs], column[rhs_attr])
+                for lhs, rhs_attr in rules
+            ]
+            consistent, steps, passes = _chase_core(
+                width, cells, rule_columns, len(constant_ids)
+            )
+        if sp:
+            sp.add("rows", len(cells))
+            sp.add("rules", len(rules))
+            sp.add("steps", steps)
+            sp.add("passes", passes)
+            sp.add("contradictions", 0 if consistent else 1)
     if not consistent:
         return ChaseResult(
             Tableau(universe_attrs),

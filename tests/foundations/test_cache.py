@@ -1,0 +1,74 @@
+"""LRUCache: bounded eviction, accounting, and the MISSING sentinel."""
+
+import pytest
+
+from repro.foundations.cache import MISSING, LRUCache
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("b", default=-1) == -1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.info().evictions == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestCachedNone:
+    """Regression: ``get`` used to answer a cached ``None`` with the
+    miss default, so memoizing a legitimately-``None`` result recomputed
+    it on every lookup (and miscounted the lookups as misses)."""
+
+    def test_cached_none_is_a_hit(self):
+        cache = LRUCache(4)
+        cache.put("key", None)
+        assert cache.get("key", default="fallback") is None
+        info = cache.info()
+        assert info.hits == 1
+        assert info.misses == 0
+
+    def test_cached_none_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("none", None)
+        cache.put("other", 1)
+        cache.get("none")  # must count as use, keeping "none" alive
+        cache.put("third", 3)
+        assert "none" in cache
+        assert "other" not in cache
+
+    def test_missing_sentinel_distinguishes_absence(self):
+        cache = LRUCache(4)
+        cache.put("present", None)
+        assert cache.get("present", MISSING) is None
+        assert cache.get("absent", MISSING) is MISSING
+
+    def test_memoization_pattern_computes_once(self):
+        cache = LRUCache(4)
+        calls = []
+
+        def compute(key):
+            value = cache.get(key, MISSING)
+            if value is MISSING:
+                calls.append(key)
+                value = None  # the legitimate answer happens to be None
+                cache.put(key, value)
+            return value
+
+        assert compute("k") is None
+        assert compute("k") is None
+        assert calls == ["k"]

@@ -1,0 +1,86 @@
+"""Prometheus text exposition: rendering, sanitization, collisions."""
+
+import pytest
+
+from repro.obs.exposition import (
+    parse_exposition,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.obs.histogram import LatencyHistogram
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("ops.insert") == "ops_insert"
+
+    def test_leading_digit_is_guarded(self):
+        assert sanitize_metric_name("4xx") == "_4xx"
+
+    def test_unicode_and_spaces(self):
+        assert sanitize_metric_name("joins ⋈/s") == "joins___s"
+
+
+class TestRendering:
+    def test_counters_gauges_and_types(self):
+        text = prometheus_text(
+            counters={"ops.insert": 5},
+            gauges={"wal.bytes": 1024},
+        )
+        assert "# TYPE repro_ops_insert_total counter" in text
+        assert "repro_ops_insert_total 5" in text
+        assert "# TYPE repro_wal_bytes gauge" in text
+        assert "repro_wal_bytes 1024" in text
+        assert text.endswith("\n")
+
+    def test_histogram_series(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.001, 0.01, 0.1):
+            histogram.observe(seconds)
+        text = prometheus_text(histograms={"chase.relations": histogram})
+        assert "# TYPE repro_span_chase_relations_seconds histogram" in text
+        assert 'le="+Inf"} 3' in text
+        assert "repro_span_chase_relations_seconds_count 3" in text
+        series = parse_exposition(text)
+        assert (
+            series['repro_span_chase_relations_seconds_bucket{le="+Inf"}']
+            == 3
+        )
+
+    def test_empty_input_renders_empty_document(self):
+        assert prometheus_text() == ""
+
+    def test_round_trips_through_the_parser(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.5)
+        text = prometheus_text(
+            counters={"a.b": 1, "c": 2.5},
+            gauges={"g": 7},
+            histograms={"h": histogram},
+        )
+        series = parse_exposition(text)
+        assert series["repro_a_b_total"] == 1
+        assert series["repro_c_total"] == 2.5
+        assert series["repro_g"] == 7
+        assert series["repro_span_h_seconds_count"] == 1
+
+
+class TestCollisions:
+    def test_sanitization_collision_raises(self):
+        with pytest.raises(ValueError, match="collides"):
+            prometheus_text(counters={"ops.insert": 1, "ops_insert": 2})
+
+    def test_counter_gauge_collision_raises(self):
+        with pytest.raises(ValueError, match="collides"):
+            # counter "x" emits repro_x_total; so does gauge "x.total".
+            prometheus_text(counters={"x": 1}, gauges={"x.total": 2})
+
+    def test_parser_rejects_duplicate_series(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_exposition("a 1\na 2\n")
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_exposition("just-a-name\n")
+        with pytest.raises(ValueError):
+            parse_exposition("name not-a-number\n")

@@ -1,0 +1,117 @@
+"""LatencyHistogram: bucketing, percentiles, merging, exposition form."""
+
+import random
+
+import pytest
+
+from repro.obs.histogram import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    merge_histograms,
+)
+
+
+class TestObserve:
+    def test_empty_summary(self):
+        histogram = LatencyHistogram()
+        assert histogram.summary() == {"count": 0, "sum": 0.0}
+        assert not histogram
+
+    def test_count_sum_min_max(self):
+        histogram = LatencyHistogram()
+        for seconds in (0.001, 0.002, 0.004):
+            histogram.observe(seconds)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.007)
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.004)
+
+    def test_overflow_and_underflow_are_retained(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1e-9)   # below the first boundary
+        histogram.observe(1e6)    # above the last boundary
+        assert histogram.count == 2
+        assert sum(histogram.counts) == 2
+        assert histogram.counts[0] == 1
+        assert histogram.counts[-1] == 1
+
+    def test_memory_is_bounded(self):
+        histogram = LatencyHistogram()
+        for _ in range(10_000):
+            histogram.observe(random.random())
+        assert len(histogram.counts) == len(BUCKET_BOUNDS) + 1
+
+
+class TestPercentiles:
+    def test_percentiles_are_ordered_and_clamped(self):
+        histogram = LatencyHistogram()
+        values = [random.uniform(1e-5, 1.0) for _ in range(500)]
+        for value in values:
+            histogram.observe(value)
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        p99 = histogram.percentile(0.99)
+        assert min(values) <= p50 <= p95 <= p99 <= max(values)
+
+    def test_percentile_accuracy_within_bucket_ratio(self):
+        # Uniform values spanning several decades: each estimate must
+        # land within one bucket step (×10^0.25) of the true quantile.
+        histogram = LatencyHistogram()
+        values = sorted(10 ** random.uniform(-5, 0) for _ in range(2000))
+        for value in values:
+            histogram.observe(value)
+        for fraction in (0.50, 0.95, 0.99):
+            true = values[int(fraction * len(values)) - 1]
+            estimate = histogram.percentile(fraction)
+            assert true / (10**0.25) <= estimate <= true * (10**0.25)
+
+    def test_single_observation(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.5)
+        assert histogram.percentile(0.5) == pytest.approx(0.5)
+        assert histogram.percentile(0.99) == pytest.approx(0.5)
+
+    def test_invalid_fraction_rejected(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(0.99) == 0.0
+
+
+class TestMerge:
+    def test_merge_equals_joint_observation(self):
+        left, right, joint = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        for value in (0.001, 0.01, 0.1):
+            left.observe(value)
+            joint.observe(value)
+        for value in (0.002, 0.02):
+            right.observe(value)
+            joint.observe(value)
+        merged = merge_histograms([left, right])
+        assert merged.counts == joint.counts
+        assert merged.count == joint.count
+        assert merged.total == pytest.approx(joint.total)
+        assert merged.summary() == joint.summary()
+
+
+class TestExpositionForm:
+    def test_cumulative_buckets_end_at_inf_with_total_count(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.01, 100.0, 1e9):
+            histogram.observe(value)
+        buckets = list(histogram.cumulative_buckets())
+        bounds = [bound for bound, _ in buckets]
+        counts = [count for _, count in buckets]
+        assert bounds[-1] == float("inf")
+        assert counts[-1] == 4
+        assert counts == sorted(counts)  # cumulative is monotone

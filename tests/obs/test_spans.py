@@ -1,0 +1,166 @@
+"""Spans and tracers: activation scopes, aggregation, slow-op log."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_SPAN,
+    Tracer,
+    current_tracer,
+    install,
+    span,
+    tracing,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_global_tracer():
+    """Tests must not leak a process-global tracer into each other."""
+    install(None)
+    yield
+    install(None)
+
+
+class TestActivation:
+    def test_disabled_tracing_returns_the_shared_null_span(self):
+        assert not tracing_enabled()
+        handle = span("chase.relations")
+        assert handle is NULL_SPAN
+        assert not handle
+        with handle as sp:
+            sp.add("steps", 5)  # must be a silent no-op
+
+    def test_context_scoped_tracer(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            assert current_tracer() is tracer
+            with span("stage") as sp:
+                sp.add("work", 3)
+        assert current_tracer() is None
+        assert tracer.span_summaries()["stage"]["count"] == 1
+        assert tracer.counter_snapshot() == {"stage.work": 3}
+
+    def test_global_tracer_fallback_and_context_override(self):
+        fallback = Tracer()
+        override = Tracer()
+        install(fallback)
+        with span("a"):
+            pass
+        with tracing(override):
+            with span("b"):
+                pass
+        with span("c"):
+            pass
+        assert set(fallback.span_summaries()) == {"a", "c"}
+        assert set(override.span_summaries()) == {"b"}
+
+    def test_tracing_none_is_a_noop(self):
+        with tracing(None) as active:
+            assert active is None
+            assert span("x") is NULL_SPAN
+
+    def test_threads_see_the_global_but_not_the_context_tracer(self):
+        context_tracer = Tracer()
+        global_tracer = Tracer()
+        install(global_tracer)
+        seen = {}
+
+        def worker():
+            seen["tracer"] = current_tracer()
+
+        with tracing(context_tracer):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["tracer"] is global_tracer
+
+
+class TestAggregation:
+    def test_histogram_percentiles_accumulate_across_spans(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            for _ in range(20):
+                with span("stage"):
+                    pass
+        summary = tracer.span_summaries()["stage"]
+        assert summary["count"] == 20
+        assert 0 <= summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p99"] <= summary["max"]
+
+    def test_counters_sum_per_stage(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            for tuples in (10, 20, 30):
+                with span("join.pipeline") as sp:
+                    sp.add("tuples_in", tuples)
+                    sp.add("joins")
+        counters = tracer.counter_snapshot()
+        assert counters["join.pipeline.tuples_in"] == 60
+        assert counters["join.pipeline.joins"] == 3
+
+    def test_stats_is_json_ready(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("stage") as sp:
+                sp.add("n", 1)
+        rendered = json.loads(json.dumps(tracer.stats()))
+        assert rendered["spans"]["stage"]["count"] == 1
+        assert rendered["counters"]["stage.n"] == 1
+
+    def test_concurrent_recording_loses_nothing(self):
+        tracer = Tracer()
+        rounds = 500
+
+        def hammer():
+            with tracing(tracer):
+                for _ in range(rounds):
+                    with span("hot") as sp:
+                        sp.add("work")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.span_summaries()["hot"]["count"] == 8 * rounds
+        assert tracer.counter_snapshot()["hot.work"] == 8 * rounds
+
+
+class TestSlowOpLog:
+    def test_all_spans_logged_at_zero_threshold(self):
+        sink = io.StringIO()
+        tracer = Tracer(slow_log=sink, slow_threshold=0.0)
+        with tracing(tracer):
+            with span("stage") as sp:
+                sp.add("rows", 7)
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert len(lines) == 1
+        record = lines[0]
+        assert record["span"] == "stage"
+        assert record["seconds"] >= 0.0
+        assert record["counters"] == {"rows": 7}
+        assert "ts" in record
+
+    def test_threshold_filters_fast_spans(self):
+        sink = io.StringIO()
+        tracer = Tracer(slow_log=sink, slow_threshold=10.0)
+        with tracing(tracer):
+            with span("fast"):
+                pass
+        assert sink.getvalue() == ""
+        # The histogram still sees the span even when the log skips it.
+        assert tracer.span_summaries()["fast"]["count"] == 1
+
+    def test_file_sink_is_created_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(slow_log=path) as tracer:
+            with tracing(tracer):
+                with span("stage"):
+                    pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["span"] == "stage"

@@ -2,6 +2,9 @@
 
 import threading
 
+import pytest
+
+from repro.foundations.errors import ServiceError
 from repro.service.metrics import MetricsRegistry
 
 
@@ -35,6 +38,48 @@ class TestCounters:
         snapshot = metrics.snapshot()
         assert snapshot["chase.calls"] == 2
         assert snapshot["chase.seconds"] >= 0.0
+
+    def test_timer_does_not_pollute_counter_namespace(self):
+        """Regression: ``timer`` used to write ``<name>.seconds`` and
+        ``<name>.calls`` straight into the counter dict, so a timer
+        named after an existing counter silently corrupted it."""
+        metrics = MetricsRegistry()
+        with metrics.timer("chase"):
+            pass
+        assert metrics.count("chase.seconds") == 0
+        assert metrics.count("chase.calls") == 0
+        seconds, calls = metrics.timer_totals("chase")
+        assert calls == 1
+        assert seconds >= 0.0
+
+    def test_snapshot_raises_on_counter_gauge_collision(self):
+        """Regression: gauges silently shadowed counters of the same
+        name in ``snapshot`` — the report just dropped the counter."""
+        metrics = MetricsRegistry()
+        metrics.increment("wal.bytes", 5)
+        metrics.set_gauge("wal.bytes", 99)
+        with pytest.raises(ServiceError, match="collision"):
+            metrics.snapshot()
+
+    def test_snapshot_raises_on_timer_derived_collision(self):
+        metrics = MetricsRegistry()
+        metrics.increment("chase.calls")
+        with metrics.timer("chase"):
+            pass
+        with pytest.raises(ServiceError, match="collision"):
+            metrics.snapshot()
+
+    def test_snapshot_by_kind_separates_namespaces(self):
+        metrics = MetricsRegistry()
+        metrics.increment("ops.insert", 3)
+        metrics.set_gauge("wal.bytes", 7)
+        with metrics.timer("chase"):
+            pass
+        kinds = metrics.snapshot_by_kind()
+        assert kinds["counters"] == {"ops.insert": 3}
+        assert kinds["gauges"] == {"wal.bytes": 7}
+        assert kinds["timers"]["chase.calls"] == 1
+        assert kinds["timers"]["chase.seconds"] >= 0.0
 
     def test_describe_renders_sorted_lines(self):
         metrics = MetricsRegistry()

@@ -203,3 +203,57 @@ class TestDurableServer:
         assert "cache.plans.hits" in snapshot
         assert "cache.chase.misses" in snapshot
         assert snapshot["ops.query"] == 1
+
+
+class TestObservability:
+    def test_stats_reports_span_histograms(self, scheme):
+        server = SchemeServer.in_memory(scheme)
+        server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        server.query("CS")
+        stats = server.stats()
+        assert stats["spans"]["engine.insert"]["count"] == 1
+        assert stats["spans"]["engine.query"]["count"] == 1
+        summary = stats["spans"]["engine.query"]
+        assert 0 <= summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p99"] <= summary["max"]
+        assert stats["span_counters"]["engine.query.rows_out"] == 1
+        assert stats["metrics"]["ops.insert"] == 1
+
+    def test_stats_is_json_ready(self, scheme):
+        import json
+
+        server = SchemeServer.in_memory(scheme)
+        server.query("CS")
+        json.dumps(server.stats())  # must not raise
+
+    def test_prometheus_exposition_parses(self, scheme):
+        from repro.obs.exposition import parse_exposition
+
+        server = SchemeServer.in_memory(scheme)
+        server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        server.query("CS")
+        text = server.prometheus()
+        series = parse_exposition(text)
+        assert series["repro_ops_query_total"] == 1.0
+        assert series["repro_span_engine_query_seconds_count"] == 1.0
+        assert 'repro_span_engine_query_seconds_bucket{le="+Inf"}' in series
+
+    def test_durable_server_traces_store_spans(self, tmp_path, scheme):
+        store = DurableStore.create(tmp_path / "store", scheme)
+        server = SchemeServer.serving(store)
+        try:
+            server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+            spans = server.stats()["spans"]
+            assert "store.insert" in spans
+            assert "wal.append" in spans
+        finally:
+            server.close()
+
+    def test_external_tracer_receives_spans(self, scheme):
+        from repro.obs.spans import Tracer
+
+        tracer = Tracer()
+        server = SchemeServer(scheme=scheme, tracer=tracer)
+        server.query("CS")
+        assert server.tracer is tracer
+        assert tracer.span_summaries()["engine.query"]["count"] == 1

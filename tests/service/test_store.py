@@ -179,6 +179,33 @@ class TestSnapshotCompaction:
             reopened.insert("R4", r4_tuple(99))
             assert reopened.last_seq == 4
 
+    def test_stale_wal_is_actually_reset_on_disk(self, tmp_path, scheme):
+        """Regression: recovery flagged a stale log whose last seq
+        *equalled* the snapshot seq but skipped the reset (the guard
+        required strictly-less-than), so the dead pre-snapshot records
+        stayed in the live log forever — every subsequent open re-read
+        and re-discarded them."""
+        directory = tmp_path / "store"
+        with DurableStore.create(directory, scheme) as store:
+            for index in range(3):
+                store.insert("R4", r4_tuple(index))
+            old_wal = (directory / WAL_FILE).read_bytes()
+            store.snapshot()  # snapshot seq == old log's last seq == 3
+            expected = store.state
+        (directory / WAL_FILE).write_bytes(old_wal)
+        with DurableStore.open(directory) as reopened:
+            assert reopened.recovery.stale_log
+            # The cleanup must hit the disk, not just the flag.
+            assert reopened.wal_bytes == 0
+            assert (directory / WAL_FILE).stat().st_size == 0
+        # A second open starts clean: nothing stale left to discard.
+        with DurableStore.open(directory) as again:
+            assert not again.recovery.stale_log
+            assert again.recovery.replayed == 0
+            assert again.state == expected
+            again.insert("R4", r4_tuple(99))
+            assert again.last_seq == 4
+
 
 class TestTruncationFuzz:
     """Kill the store at arbitrary WAL byte offsets; recovery must land

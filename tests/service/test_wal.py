@@ -165,3 +165,23 @@ class TestDurability:
         wal.close()
         with pytest.raises(WALError):
             wal.append("insert", "R1", {"A": "a"})
+
+    def test_size_bytes_survives_close(self, wal_path):
+        """Regression: ``size_bytes`` answered 0 once the handle was
+        closed, so post-close compaction checks and metrics saw an
+        empty log that was actually full."""
+        wal = WriteAheadLog(wal_path)
+        wal.append("insert", "R1", {"A": "a"})
+        wal.append("insert", "R1", {"A": "b"})
+        open_size = wal.size_bytes
+        assert open_size > 0
+        wal.close()
+        assert wal.size_bytes == open_size
+        assert wal.size_bytes == wal_path.stat().st_size
+
+    def test_size_bytes_zero_when_file_gone(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("insert", "R1", {"A": "a"})
+        wal.close()
+        wal_path.unlink()
+        assert wal.size_bytes == 0

@@ -460,3 +460,185 @@ class TestErrors:
         bad.write_text('{"relations": {}}')
         assert main(["analyze", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_table_reports_spans(self, university_files, capsys):
+        scheme_path, state_path = university_files
+        code = main(
+            [
+                "stats",
+                str(scheme_path),
+                str(state_path),
+                "--target",
+                "CS",
+                "--repeat",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine.query" in out
+        assert "p95ms" in out
+
+    def test_stats_json_has_percentiles(self, university_files, capsys):
+        scheme_path, state_path = university_files
+        code = main(
+            [
+                "stats",
+                str(scheme_path),
+                str(state_path),
+                "--target",
+                "CS",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        query = report["spans"]["engine.query"]
+        assert query["count"] == 5  # default --repeat
+        for key in ("p50", "p95", "p99", "min", "max", "sum"):
+            assert key in query
+
+    def test_stats_without_target_traces_the_chase(
+        self, university_files, capsys
+    ):
+        scheme_path, state_path = university_files
+        assert main(["stats", str(scheme_path), str(state_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chase.relations" in out
+
+    def test_stats_prometheus_parses(self, university_files, capsys):
+        from repro.obs.exposition import parse_exposition
+
+        scheme_path, state_path = university_files
+        code = main(
+            [
+                "stats",
+                str(scheme_path),
+                str(state_path),
+                "--target",
+                "CS",
+                "--prometheus",
+            ]
+        )
+        assert code == 0
+        series = parse_exposition(capsys.readouterr().out)
+        assert series["repro_span_engine_query_seconds_count"] == 5.0
+
+    def test_stats_store_mode_traces_recovery(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        store_dir = tmp_path / "store"
+        main(
+            [
+                "insert",
+                str(scheme_path),
+                "--store",
+                str(store_dir),
+                "--relation",
+                "R4",
+                "--values",
+                "C=c,S=s,G=A",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["stats", "--store", str(store_dir), "--target", "CS", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["spans"]["store.recovery"]["count"] == 1
+        assert report["counters"]["store.recovery.replayed"] == 1
+        assert report["metrics"]["ops.query"] == 5
+
+    def test_stats_without_inputs_errors(self, capsys):
+        assert main(["stats"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSlowOpLog:
+    def test_query_trace_writes_jsonl(self, university_files, tmp_path, capsys):
+        scheme_path, state_path = university_files
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "query",
+                str(scheme_path),
+                str(state_path),
+                "--target",
+                "CS",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert records, "slow-op log is empty"
+        names = {record["span"] for record in records}
+        assert "engine.query" in names
+        for record in records:
+            assert set(record) == {"ts", "span", "seconds", "counters"}
+            assert record["seconds"] >= 0.0
+
+    def test_slow_ms_threshold_filters(self, university_files, tmp_path):
+        scheme_path, state_path = university_files
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "query",
+                str(scheme_path),
+                str(state_path),
+                "--target",
+                "CS",
+                "--trace",
+                str(trace_path),
+                "--slow-ms",
+                "60000",
+            ]
+        )
+        assert code == 0
+        assert trace_path.read_text() == ""
+
+    def test_serve_stats_and_prometheus_commands(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        script = tmp_path / "script.txt"
+        script.write_text(
+            "insert R4 C=c2,S=s2,G=A\nquery CS\nstats\nprometheus\nexit\n"
+        )
+        code = main(["serve", str(scheme_path), "--script", str(script)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"spans"' in out
+        assert '"engine.insert"' in out
+        assert "repro_span_engine_query_seconds_count 1" in out
+
+    def test_serve_trace_flag_logs_spans(
+        self, university_files, tmp_path, capsys
+    ):
+        scheme_path, _ = university_files
+        script = tmp_path / "script.txt"
+        script.write_text("insert R4 C=c3,S=s3,G=A\nexit\n")
+        trace_path = tmp_path / "serve-trace.jsonl"
+        code = main(
+            [
+                "serve",
+                str(scheme_path),
+                "--script",
+                str(script),
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        names = {
+            json.loads(line)["span"]
+            for line in trace_path.read_text().splitlines()
+        }
+        assert "engine.insert" in names
