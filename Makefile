@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench serve-bench bench-suite trace-smoke
+.PHONY: test bench serve-bench bench-suite bench-compare trace-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -17,6 +17,11 @@ bench:
 # BENCH_perf.json.
 serve-bench:
 	$(PY) -m repro.bench --serving
+
+# Re-run the tracked scenarios and fail when any speedup ratio falls
+# more than 25% below the committed BENCH_perf.json baseline.
+bench-compare:
+	$(PY) scripts/bench_compare.py
 
 # Full benchmark/experiment suite (also merges per-test wall-clock
 # timings into BENCH_perf.json).

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Guard against performance regressions in the tracked scenarios.
+
+Re-runs the headline benchmark scenarios and compares each *speedup*
+ratio against the committed ``BENCH_perf.json`` baseline.  Ratios —
+optimized-vs-naive within one process on one machine — are what the
+repository actually promises (the 2x bars in ROADMAP.md), and unlike
+wall-clock seconds they transfer across host speeds, so a slower CI
+runner does not trip the gate.
+
+A scenario regresses when its fresh speedup falls below
+``baseline_speedup * (1 - TOLERANCE)`` with ``TOLERANCE = 0.25``: a
+scenario that shipped at 4.0x may wobble down to 3.0x with scheduler
+noise, but not further.  Scenarios present in the baseline and missing
+from the fresh run (or vice versa) are reported but only the tracked
+intersection gates.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_compare.py [--repeats N]
+        [--workers N] [--baseline PATH]
+
+Exit status 1 on any regression — wired to ``make bench-compare`` and
+the ``bench-compare`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))  # for the benchmarks package
+
+TOLERANCE = 0.25
+
+
+def load_baseline(path: Path) -> dict[str, float]:
+    """Scenario name → committed speedup, for ratio-tracked scenarios."""
+    report = json.loads(path.read_text())
+    return {
+        name: record["speedup"]
+        for name, record in report.get("scenarios", {}).items()
+        if "speedup" in record
+    }
+
+
+def fresh_speedups(repeats: int, workers: int) -> dict[str, float]:
+    from repro.bench import run_parallel_scenarios, run_scenarios
+
+    scenarios = dict(run_scenarios(repeats=repeats))
+    scenarios.update(run_parallel_scenarios(repeats=repeats, workers=workers))
+    return {
+        name: record["speedup"]
+        for name, record in scenarios.items()
+        if "speedup" in record
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh benchmark speedups against the "
+        "committed BENCH_perf.json baseline"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=10,
+        help="best-of repeats per scenario (default 10)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="block-executor width for the parallel scenarios "
+        "(default 4, matching the committed baseline)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="baseline report (default: the committed BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    if not baseline:
+        print(f"no speedup-tracked scenarios in {args.baseline}")
+        return 1
+    fresh = fresh_speedups(args.repeats, args.workers)
+
+    regressions: list[str] = []
+    width = max(len(name) for name in sorted(baseline | fresh.keys()))
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"{name:{width}}  baseline {baseline[name]:6.2f}x  (not in fresh run — skipped)")
+            continue
+        floor = baseline[name] * (1 - TOLERANCE)
+        verdict = "ok" if fresh[name] >= floor else "REGRESSED"
+        print(
+            f"{name:{width}}  baseline {baseline[name]:6.2f}x  "
+            f"fresh {fresh[name]:6.2f}x  floor {floor:6.2f}x  {verdict}"
+        )
+        if fresh[name] < floor:
+            regressions.append(name)
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:{width}}  fresh {fresh[name]:6.2f}x  (new — no baseline)")
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} scenario(s) regressed more than "
+            f"{int(TOLERANCE * 100)}% vs baseline: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"all {len(baseline)} tracked scenario(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

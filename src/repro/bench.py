@@ -29,6 +29,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
+import random
 import shutil
 import sys
 import tempfile
@@ -52,6 +55,10 @@ def _repo_root() -> Path:
 
 
 BENCH_PATH_NAME = "BENCH_perf.json"
+
+#: Every randomized workload below draws from a Random seeded with this
+#: value, so two runs of the suite time identical inputs.
+BENCH_SEED = 20260805
 
 
 def _best_seconds(run: Callable[[], object], repeats: int) -> float:
@@ -146,6 +153,162 @@ def run_scenarios(repeats: int = 30) -> dict[str, dict]:
         max(3, repeats // 4),
         lambda fast, slow: fast == slow,
     )
+    return scenarios
+
+
+def run_parallel_scenarios(
+    repeats: int = 30, workers: int = 4
+) -> dict[str, dict]:
+    """The block-parallel and delta-maintenance scenarios.
+
+    * ``scaling_block_parallel_batch_w{workers}`` (``workers > 1``
+      only): a shuffled 192-update batch over 8 tiles of the university
+      scheme, through ``WeakInstanceEngine.batch`` serially and with a
+      ``workers``-wide block executor.  The independence decomposition
+      routes each tile's updates to its blocks; beyond any pool
+      concurrency, the block path amortizes one substate extraction,
+      one persistent :class:`~repro.core.maintenance.StateIndex`, and
+      one full-state merge over the whole slice, where the serial loop
+      pays each per insert.
+    * ``delta_insert_replay_e02_n64``: sixteen accepted inserts
+      replayed in sequence on Example 2's chain (the full-chase
+      strategy's home turf) — the engine's persistent
+      :class:`~repro.tableau.chase.DeltaChase` basis extends the chased
+      fixpoint one row at a time, against the PR-3 baseline that
+      re-chases the whole state per insert.  Cumulative delta steps are
+      asserted equal to the from-scratch count.
+    """
+    from repro.core.engine import WeakInstanceEngine
+    from repro.core.partition import partition_scheme
+    from repro.state.consistency import maintain_by_chase
+    from repro.state.database_state import DatabaseState
+    from repro.workloads.adversarial import example2_chain_state
+    from repro.workloads.scaling import tiled_university
+
+    scenarios: dict[str, dict] = {}
+
+    if workers > 1:
+        tiles = 8
+        scheme = tiled_university(tiles)
+        state = DatabaseState(
+            scheme,
+            {
+                f"T{tile}R4": [
+                    {
+                        f"C{tile}": f"c{i}",
+                        f"S{tile}": f"s{i}",
+                        f"G{tile}": "A",
+                    }
+                    for i in range(40)
+                ]
+                for tile in range(tiles)
+            },
+        )
+        rng = random.Random(BENCH_SEED)
+        updates: list = []
+        for tile in range(tiles):
+            for i in range(16):
+                updates.append(
+                    (
+                        "insert",
+                        f"T{tile}R4",
+                        {
+                            f"C{tile}": f"nc{i}",
+                            f"S{tile}": f"ns{i}",
+                            f"G{tile}": "B",
+                        },
+                    )
+                )
+            for i in range(8):
+                updates.append(
+                    (
+                        "insert",
+                        f"T{tile}R5",
+                        {
+                            f"H{tile}": f"h{i}",
+                            f"S{tile}": f"s{i}",
+                            f"R{tile}": f"r{i}",
+                        },
+                    )
+                )
+        rng.shuffle(updates)
+        serial = WeakInstanceEngine(scheme)
+        parallel = WeakInstanceEngine(scheme, workers=workers)
+        try:
+            record = _scenario(
+                "block-parallel batch",
+                state,
+                lambda: parallel.batch(state, updates),
+                lambda: serial.batch(state, updates),
+                repeats,
+                lambda fast, slow: bool(fast) == bool(slow)
+                and fast.applied == slow.applied
+                and all(
+                    fast.state[name].row_vectors
+                    == slow.state[name].row_vectors
+                    for name in scheme.names
+                ),
+            )
+            record.update(
+                {
+                    "updates": len(updates),
+                    "workers": workers,
+                    "blocks": len(partition_scheme(scheme).blocks),
+                    "seed": BENCH_SEED,
+                    "scheme_fingerprint": partition_scheme(
+                        scheme
+                    ).fingerprint,
+                }
+            )
+            scenarios[f"scaling_block_parallel_batch_w{workers}"] = record
+        finally:
+            parallel.close()
+
+    # Delta replay: each timed run replays the same insert sequence
+    # from the same base state; the engine re-seeds its basis on the
+    # first insert of a run and extends it for the rest, exactly the
+    # WAL-replay access pattern.
+    chain = example2_chain_state(64)
+    engine = WeakInstanceEngine(chain.scheme)
+    inserts = [("R1", {"A": f"x{i}", "B": f"y{i}"}) for i in range(16)]
+
+    def replay_delta() -> tuple[bool, int]:
+        current = chain
+        steps = 0
+        for name, values in inserts:
+            outcome = engine.insert(current, name, values)
+            assert outcome.consistent and outcome.state is not None
+            current = outcome.state
+            steps = outcome.chase_steps
+        return (True, steps)
+
+    def replay_full() -> tuple[bool, int]:
+        current = chain
+        steps = 0
+        for name, values in inserts:
+            outcome = maintain_by_chase(current, name, values)
+            assert outcome.consistent and outcome.state is not None
+            current = outcome.state
+            steps = outcome.chase_steps
+        return (True, steps)
+
+    record = _scenario(
+        "delta insert replay",
+        chain,
+        replay_delta,
+        replay_full,
+        repeats,
+        lambda fast, slow: fast == slow,  # identical cumulative steps
+    )
+    record.update(
+        {
+            "inserts": len(inserts),
+            "scheme_fingerprint": partition_scheme(
+                chain.scheme
+            ).fingerprint,
+        }
+    )
+    scenarios["delta_insert_replay_e02_n64"] = record
     return scenarios
 
 
@@ -244,16 +407,29 @@ def run_serving_scenarios(
         shutil.rmtree(root, ignore_errors=True)
 
 
+def run_metadata(workers: int) -> dict:
+    """The run's provenance: pool size, host shape, interpreter, and
+    the seed every randomized workload derives from."""
+    return {
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "seed": BENCH_SEED,
+    }
+
+
 def write_report(
     scenarios: dict[str, dict],
     path: Path,
     spans: dict[str, dict] | None = None,
+    metadata: dict | None = None,
 ) -> dict:
     """Merge the scenario records into ``BENCH_perf.json`` (preserving
     any per-test timings the benchmark suite recorded there).  ``spans``
     — the traced run's per-stage latency summaries
     (count/sum/min/max/p50/p95/p99 per span name) — lands under the
-    ``"spans"`` key."""
+    ``"spans"`` key; ``metadata`` (workers, cpu count, seed, ...) under
+    ``"metadata"``."""
     report: dict = {}
     if path.exists():
         try:
@@ -265,6 +441,8 @@ def write_report(
         # Merge like scenarios: `make bench` then `make serve-bench`
         # accumulates both families' histograms in one report.
         report.setdefault("spans", {}).update(spans)
+    if metadata:
+        report.setdefault("metadata", {}).update(metadata)
     report["unit"] = "seconds (wall clock, best of N)"
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
@@ -324,6 +502,14 @@ def main(argv: list[str] | None = None) -> int:
         default=600,
         help="operations in the sustained serving mix (default 600)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="block-executor width for the parallel scenarios "
+        "(default 1: the block-parallel scenario is skipped and every "
+        "measured path stays single-threaded)",
+    )
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
 
     root = _repo_root()
@@ -337,11 +523,18 @@ def main(argv: list[str] | None = None) -> int:
     with tracing(tracer):
         if args.all or not args.serving:
             scenarios.update(run_scenarios(repeats=args.repeats))
+            scenarios.update(
+                run_parallel_scenarios(
+                    repeats=args.repeats, workers=args.workers
+                )
+            )
         if args.all or args.serving:
             scenarios.update(run_serving_scenarios(ops=args.serving_ops))
     spans = tracer.span_summaries()
     path = root / BENCH_PATH_NAME
-    write_report(scenarios, path, spans=spans)
+    write_report(
+        scenarios, path, spans=spans, metadata=run_metadata(args.workers)
+    )
     _print_scenarios(scenarios)
     if spans:
         print(

@@ -195,8 +195,11 @@ def _open_or_create_store(args: argparse.Namespace):
 
     store_dir = Path(args.store)
     fsync_every = getattr(args, "fsync_every", 1)
+    workers = getattr(args, "workers", 1)
     if (store_dir / SCHEME_FILE).exists():
-        return DurableStore.open(store_dir, fsync_every=fsync_every)
+        return DurableStore.open(
+            store_dir, fsync_every=fsync_every, workers=workers
+        )
     scheme_path = getattr(args, "scheme", None)
     if not scheme_path:
         raise StoreError(
@@ -204,7 +207,10 @@ def _open_or_create_store(args: argparse.Namespace):
             "create it"
         )
     return DurableStore.create(
-        store_dir, load_scheme(scheme_path), fsync_every=fsync_every
+        store_dir,
+        load_scheme(scheme_path),
+        fsync_every=fsync_every,
+        workers=workers,
     )
 
 
@@ -367,7 +373,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        server = SchemeServer(scheme=load_scheme(args.scheme), tracer=tracer)
+        server = SchemeServer(
+            scheme=load_scheme(args.scheme),
+            tracer=tracer,
+            workers=getattr(args, "workers", 1),
+        )
         print("serving in-memory (no --store: nothing will be persisted)")
     try:
         if args.script:
@@ -584,6 +594,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist through a durable store directory instead of "
         "STATE.json (created from SCHEME.json when missing)",
     )
+    insert.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker pool size for block-parallel batches "
+        "(default 1 = serial)",
+    )
     _add_trace_flags(insert)
     insert.set_defaults(func=_cmd_insert)
 
@@ -607,6 +624,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         dest="fsync_every",
         help="batch WAL fsyncs (default 1 = strict durability)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker pool size for block-parallel batches "
+        "(default 1 = serial)",
     )
     _add_trace_flags(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -4,12 +4,19 @@ answering and incremental maintenance (paper, Sections 3-5)."""
 
 from repro.core.corresponding import CorrespondingState, corresponding_state
 from repro.core.ctm import (
+    BlockOutcome,
     InsertMaintainer,
     MaintainerReport,
     is_ctm,
     split_blocks,
 )
 from repro.core.engine import BatchOutcome, Update, WeakInstanceEngine
+from repro.core.parallel import ParallelExecutor
+from repro.core.partition import (
+    SchemePartition,
+    partition_scheme,
+    scheme_fingerprint,
+)
 from repro.core.independence import (
     describe_violations,
     find_independence_counterexample,
@@ -63,6 +70,7 @@ from repro.core.split import (
 
 __all__ = [
     "BatchOutcome",
+    "BlockOutcome",
     "BlockMaterializedViews",
     "ChaseRILookup",
     "CorrespondingState",
@@ -77,8 +85,10 @@ __all__ = [
     "MaterializedRepInstance",
     "KERepInstance",
     "MaintainerReport",
+    "ParallelExecutor",
     "QueryPlan",
     "RecognitionResult",
+    "SchemePartition",
     "SplitWitness",
     "StateIndex",
     "algebraic_insert",
@@ -96,12 +106,14 @@ __all__ = [
     "is_key_split",
     "is_split_free",
     "key_equivalent_chase",
+    "partition_scheme",
     "key_equivalent_partition",
     "key_equivalent_representative_instance",
     "recognize_independence_reducible",
     "require_key_equivalent",
     "satisfies_uniqueness_condition",
     "scheme_closure",
+    "scheme_fingerprint",
     "split_blocks",
     "split_keys",
     "total_projection_expression",

@@ -16,8 +16,10 @@ for schemes outside the class.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
-from typing import Hashable, Mapping, Optional
+from typing import Hashable, Mapping, Optional, Sequence
 
 from repro.core.maintenance import (
     ExpressionRILookup,
@@ -25,6 +27,7 @@ from repro.core.maintenance import (
     algebraic_insert,
     ctm_insert,
 )
+from repro.core.partition import RoutedUpdate, SchemePartition, partition_scheme
 from repro.core.reducible import (
     RecognitionResult,
     recognize_independence_reducible,
@@ -34,6 +37,7 @@ from repro.foundations.errors import NotApplicableError
 from repro.schema.database_scheme import DatabaseScheme
 from repro.state.consistency import MaintenanceOutcome, maintain_by_chase
 from repro.state.database_state import DatabaseState
+from repro.tableau.chase import DeltaChase
 
 
 def is_ctm(
@@ -99,14 +103,22 @@ class InsertMaintainer:
       at all (no guarantee from the paper; correctness only).
     """
 
-    def __init__(self, scheme: DatabaseScheme) -> None:
+    def __init__(
+        self,
+        scheme: DatabaseScheme,
+        partition: Optional[SchemePartition] = None,
+    ) -> None:
         self.scheme = scheme
-        self.recognition = recognize_independence_reducible(scheme)
+        self.partition = (
+            partition if partition is not None else partition_scheme(scheme)
+        )
+        self.recognition = self.partition.recognition
         self._strategy: dict[str, str] = {}
         self._block_of: dict[str, DatabaseScheme] = {}
         if self.recognition.accepted:
-            for block in self.recognition.partition:
-                block_ctm = is_split_free(block)
+            for block, block_ctm in zip(
+                self.partition.blocks, self.partition.block_ctm
+            ):
                 for member in block.relations:
                     self._block_of[member.name] = block
                     self._strategy[member.name] = (
@@ -115,6 +127,11 @@ class InsertMaintainer:
         else:
             for member in scheme.relations:
                 self._strategy[member.name] = "full-chase"
+        # Delta-chase basis for the full-chase strategy: the last
+        # accepted state and its persistent chased fixpoint, so the next
+        # insert on that exact state extends instead of re-chasing.
+        self._delta_lock = threading.Lock()
+        self._delta: Optional[tuple[DatabaseState, DeltaChase]] = None
 
     def report(self) -> MaintainerReport:
         """Describe the chosen strategies."""
@@ -131,8 +148,155 @@ class InsertMaintainer:
     def _substate(
         self, state: DatabaseState, block: DatabaseScheme
     ) -> DatabaseState:
+        # Immutable Relation objects are shared, not re-normalized.
         return DatabaseState(
-            block, {name: list(state[name]) for name in block.names}
+            block, {name: state[name] for name in block.names}
+        )
+
+    def _insert_full_chase(
+        self,
+        state: DatabaseState,
+        relation_name: str,
+        values: Mapping[str, Hashable],
+    ) -> MaintenanceOutcome:
+        """The full-chase strategy, incrementalized.
+
+        A persistent :class:`DeltaChase` basis keyed by state identity
+        absorbs each accepted insert as a one-row delta; only a basis
+        miss (first insert, or an insert against a state the maintainer
+        has not seen) re-chases from scratch.  Diagnostics — and on
+        rejection the entire outcome, via the chase oracle — match
+        :func:`maintain_by_chase` exactly: cumulative delta steps equal
+        the from-scratch step count on consistent histories."""
+        with self._delta_lock:
+            basis = self._delta
+            if basis is None or basis[0] is not state:
+                chase = DeltaChase(self.scheme.universe, self.scheme.fds)
+                seeded = chase.extend(
+                    (name, relation.columns, relation.row_vectors)
+                    for name, relation in state
+                )
+                if not seeded.consistent:
+                    # The base state itself admits no weak instance;
+                    # defer to the oracle for the historical outcome.
+                    self._delta = None
+                    return maintain_by_chase(state, relation_name, values)
+                basis = (state, chase)
+                self._delta = basis
+            chase = basis[1]
+            updated = state.insert(relation_name, values)
+            relation = updated[relation_name]
+            if values in state[relation_name]:
+                # Set semantics: a duplicate changes no stored row, so
+                # the fixpoint is already exact — rebind the basis to
+                # the fresh state object and report as the oracle would.
+                self._delta = (updated, chase)
+                return MaintenanceOutcome(
+                    consistent=True,
+                    state=updated,
+                    tuples_examined=updated.total_tuples(),
+                    chase_steps=chase.steps,
+                )
+            vector = tuple(values[a] for a in relation.columns)
+            outcome = chase.extend(
+                [(relation_name, relation.columns, (vector,))]
+            )
+            if outcome.consistent:
+                self._delta = (updated, chase)
+                return MaintenanceOutcome(
+                    consistent=True,
+                    state=updated,
+                    tuples_examined=updated.total_tuples(),
+                    chase_steps=chase.steps,
+                )
+            # Rejected: the extension rolled back, so the basis still
+            # serves `state`.  Re-run the oracle for the diagnostics (a
+            # from-scratch rejection counts every merge before its
+            # contradiction, which a delta cannot know).
+            return maintain_by_chase(state, relation_name, values)
+
+    def block_batch(
+        self,
+        substate: DatabaseState,
+        block_index: int,
+        operations: Sequence[RoutedUpdate],
+    ) -> "BlockOutcome":
+        """Apply one block's slice of a batch to its substate.
+
+        Blocks are share-nothing, so the slice's outcome is exactly what
+        the serial batch would decide at each of these global indexes —
+        the earliest rejection (or raised error) across all blocks is
+        the serial batch's first failure.  One :class:`StateIndex` is
+        kept exact across the loop for ctm blocks, replacing the
+        per-insert rebuild of the single-insert path."""
+        started = time.perf_counter()
+        is_ctm = self.partition.block_ctm[block_index]
+        index = StateIndex(substate) if is_ctm else None
+        current = substate
+        applied = 0
+        for global_index, operation, relation_name, values in operations:
+            try:
+                if operation == "insert":
+                    if is_ctm:
+                        assert index is not None
+                        duplicate = values in current[relation_name]
+                        outcome = ctm_insert(
+                            current,
+                            relation_name,
+                            values,
+                            index=index,
+                            check_scheme=False,
+                        )
+                        if outcome.consistent and not duplicate:
+                            assert outcome.state is not None
+                            index.absorb(
+                                relation_name, values, outcome.state
+                            )
+                    else:
+                        outcome = algebraic_insert(
+                            current,
+                            relation_name,
+                            values,
+                            lookup=ExpressionRILookup(current),
+                            check_scheme=False,
+                        )
+                    if not outcome.consistent:
+                        return BlockOutcome(
+                            block_index=block_index,
+                            substate=None,
+                            applied=applied,
+                            failed_index=global_index,
+                            failure=outcome,
+                            seconds=time.perf_counter() - started,
+                            ops=len(operations),
+                        )
+                    assert outcome.state is not None
+                    current = outcome.state
+                else:  # "delete" — route_updates admits nothing else
+                    current = current.delete(relation_name, values)
+                    if index is not None:
+                        index.evict(relation_name, current)
+            except Exception as error:  # noqa: BLE001 — replayed by rank
+                # Captured, not raised: the serial batch only reaches
+                # this op when every earlier op succeeded, so the error
+                # counts as an event at this global index and the
+                # engine re-raises it iff it is the earliest event.
+                return BlockOutcome(
+                    block_index=block_index,
+                    substate=None,
+                    applied=applied,
+                    error_index=global_index,
+                    error=error,
+                    seconds=time.perf_counter() - started,
+                    ops=len(operations),
+                )
+            applied += 1
+        return BlockOutcome(
+            block_index=block_index,
+            substate=current,
+            applied=applied,
+            seconds=time.perf_counter() - started,
+            ops=len(operations),
         )
 
     def insert(
@@ -150,7 +314,7 @@ class InsertMaintainer:
         if strategy is None:
             raise NotApplicableError(f"unknown relation {relation_name!r}")
         if strategy == "full-chase":
-            return maintain_by_chase(state, relation_name, values)
+            return self._insert_full_chase(state, relation_name, values)
         block = self._block_of[relation_name]
         substate = self._substate(state, block)
         if strategy.startswith("algorithm-5"):
@@ -186,3 +350,34 @@ class InsertMaintainer:
             chase_steps=outcome.chase_steps,
             witness=outcome.witness,
         )
+
+
+@dataclass(frozen=True)
+class BlockOutcome:
+    """One block's verdict on its slice of a batch.
+
+    Exactly one of three shapes: success (``substate`` set), rejection
+    (``failed_index``/``failure`` set, block-level diagnostics intact),
+    or a captured error (``error_index``/``error`` set).  Indexes are
+    global batch positions, so the engine can take the minimum across
+    blocks to reproduce the serial batch's first failure."""
+
+    block_index: int
+    substate: Optional[DatabaseState]
+    applied: int
+    ops: int = 0
+    failed_index: Optional[int] = None
+    failure: Optional[MaintenanceOutcome] = None
+    error_index: Optional[int] = None
+    error: Optional[BaseException] = None
+    seconds: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.substate is not None
+
+    @property
+    def event_index(self) -> Optional[int]:
+        """The global index of this block's failure event, if any."""
+        if self.failed_index is not None:
+            return self.failed_index
+        return self.error_index

@@ -18,22 +18,32 @@ downstream application needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
 from typing import Hashable, Iterable, Mapping, Optional, Sequence
 
-from repro.core.ctm import InsertMaintainer
+from repro.core.ctm import BlockOutcome, InsertMaintainer
+from repro.core.parallel import BACKENDS, ParallelExecutor
+from repro.core.partition import SchemePartition, partition_scheme
 from repro.core.query import (
     QueryPlan,
     total_projection_plan,
     total_projection_reducible,
 )
-from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs
+from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs, sorted_attrs
 from repro.foundations.cache import MISSING, CacheInfo, LRUCache
 from repro.foundations.errors import InconsistentStateError, StateError
-from repro.obs.spans import span
+from repro.io import scheme_from_dict, scheme_to_dict
+from repro.obs.spans import current_tracer, span
 from repro.schema.database_scheme import DatabaseScheme
-from repro.state.consistency import MaintenanceOutcome, chase_state
+from repro.state.consistency import (
+    ChaseResult,
+    MaintenanceOutcome,
+    chase_state,
+)
 from repro.state.database_state import DatabaseState
-from repro.tableau.tableau import Tableau
+from repro.tableau.chase import chase_relations
+from repro.tableau.symbols import KIND_NDV
+from repro.tableau.tableau import Row, Tableau
 
 #: One batch operation: ("insert" | "delete", relation name, tuple).
 Update = tuple[str, str, Mapping[str, Hashable]]
@@ -84,12 +94,48 @@ class WeakInstanceEngine:
         scheme: DatabaseScheme,
         plan_cache_size: int = 256,
         chase_cache_size: int = 64,
+        workers: int = 1,
+        parallel_backend: str = "thread",
     ) -> None:
+        if parallel_backend not in BACKENDS:
+            raise StateError(
+                f"unknown parallel backend {parallel_backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
+            )
         self.scheme = scheme
-        self.maintainer = InsertMaintainer(scheme)
+        self.partition: SchemePartition = partition_scheme(scheme)
+        self.maintainer = InsertMaintainer(scheme, partition=self.partition)
         self.recognition = self.maintainer.recognition
+        self.workers = max(1, int(workers))
+        self.parallel_backend = parallel_backend
+        self._executor: Optional[ParallelExecutor] = None
         self._plans: LRUCache = LRUCache(plan_cache_size)
         self._chase: LRUCache = LRUCache(chase_cache_size)
+        # Representative-instance fragments memoized per (block,
+        # relation identities): an insert into one block leaves every
+        # other block's Relation objects — hence its cached chase —
+        # untouched, so only the written block re-chases.
+        self._block_chase: LRUCache = LRUCache(
+            max(chase_cache_size, 4 * max(1, len(self.partition.blocks)))
+        )
+
+    @property
+    def executor(self) -> Optional[ParallelExecutor]:
+        """The block-task executor — ``None`` at ``workers=1`` (the
+        default), where every path stays strictly single-threaded."""
+        if self.workers <= 1:
+            return None
+        if self._executor is None:
+            self._executor = ParallelExecutor(
+                self.workers, backend=self.parallel_backend
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was ever started."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
 
     # -- classification -------------------------------------------------------
     @property
@@ -126,16 +172,98 @@ class WeakInstanceEngine:
         # repro.foundations.cache.MISSING).
         entry = self._chase.get(key, MISSING)
         if entry is MISSING or entry[0] is not state:
-            entry = (state, chase_state(state))
+            if self.partition.parallelizable:
+                entry = (state, self._assembled_chase(state))
+            else:
+                entry = (state, chase_state(state))
             self._chase.put(key, entry)
         result = entry[1]
         if not result.consistent:
             raise InconsistentStateError("state admits no weak instance")
         return result.tableau
 
+    def _block_chase_result(
+        self, state: DatabaseState, block_index: int
+    ) -> ChaseResult:
+        """The chase of one block's substate, memoized per relation
+        identities — updates to other blocks reuse this entry."""
+        names = self.partition.block_names[block_index]
+        relations = tuple(state[name] for name in names)
+        key = (block_index,) + tuple(id(relation) for relation in relations)
+        entry = self._block_chase.get(key, MISSING)
+        if entry is not MISSING and all(
+            cached is live for cached, live in zip(entry[0], relations)
+        ):
+            return entry[1]
+        block = self.partition.blocks[block_index]
+        result = chase_relations(
+            block.universe,
+            (
+                (name, relation.columns, relation.row_vectors)
+                for name, relation in zip(names, relations)
+            ),
+            block.fds,
+        )
+        self._block_chase.put(key, (relations, result))
+        return result
+
+    def _assembled_chase(self, state: DatabaseState) -> ChaseResult:
+        """``CHASE_F(T_r)`` assembled from per-block chases.
+
+        Sound because an accepted partition admits no cross-block rule
+        firing: a key of block ``P`` embedded in block ``Q``'s
+        attributes would violate the uniqueness condition Algorithm 6
+        checks, so chase rules only ever equate symbols within one
+        block's rows.  Block-local ndvs are renumbered during assembly
+        to keep them distinct across blocks; the padding columns outside
+        a block's universe get fresh ndvs, exactly as the global state
+        tableau would."""
+        results = [
+            self._block_chase_result(state, index)
+            for index in range(len(self.partition.blocks))
+        ]
+        steps = sum(result.steps for result in results)
+        passes = max((result.passes for result in results), default=1)
+        universe = self.scheme.universe
+        if not all(result.consistent for result in results):
+            return ChaseResult(
+                Tableau(universe),
+                consistent=False,
+                steps=steps,
+                passes=passes,
+            )
+        fresh = count()
+        rows: list[Row] = []
+        for block, result in zip(self.partition.blocks, results):
+            remap: dict = {}
+            padding = sorted_attrs(universe - block.universe)
+            for row in result.tableau.rows:
+                cells: dict = {}
+                for attribute, symbol in row.cells.items():
+                    if symbol[0] == KIND_NDV:
+                        renamed = remap.get(symbol)
+                        if renamed is None:
+                            renamed = remap[symbol] = (KIND_NDV, next(fresh))
+                        cells[attribute] = renamed
+                    else:
+                        cells[attribute] = symbol
+                for attribute in padding:
+                    cells[attribute] = (KIND_NDV, next(fresh))
+                rows.append(Row(cells, tag=row.tag))
+        return ChaseResult(
+            Tableau(universe, rows),
+            consistent=True,
+            steps=steps,
+            passes=passes,
+        )
+
     def cache_info(self) -> dict[str, CacheInfo]:
         """Hit/miss/eviction accounting for the engine's memo layers."""
-        return {"plans": self._plans.info(), "chase": self._chase.info()}
+        return {
+            "plans": self._plans.info(),
+            "chase": self._chase.info(),
+            "block_chase": self._block_chase.info(),
+        }
 
     # -- updates -----------------------------------------------------------------
     def insert(
@@ -183,11 +311,35 @@ class WeakInstanceEngine:
         without = state.delete(relation_name, old_values)
         return self.insert(without, relation_name, new_values)
 
-    def apply_batch(
+    def batch(
         self, state: DatabaseState, updates: Sequence[Update]
     ) -> BatchOutcome:
         """Apply updates atomically: on the first rejected insert the
-        original state is kept and the failure reported."""
+        original state is kept and the failure reported.
+
+        With ``workers > 1`` on a decomposable scheme the batch is
+        routed per block and the blocks run on the executor; blocks are
+        share-nothing, so the outcome — including the identity of the
+        first failure and its diagnostics — equals the serial result.
+        Batches that cannot be routed (an unknown operation or relation)
+        take the serial path so errors surface with their original
+        ordering semantics."""
+        executor = self.executor
+        if executor is not None and self.partition.parallelizable:
+            routed = self.partition.route_updates(updates)
+            if routed is not None:
+                return self._batch_blocks(state, updates, routed, executor)
+        return self._batch_serial(state, updates)
+
+    def apply_batch(
+        self, state: DatabaseState, updates: Sequence[Update]
+    ) -> BatchOutcome:
+        """Alias of :meth:`batch` (the historical name)."""
+        return self.batch(state, updates)
+
+    def _batch_serial(
+        self, state: DatabaseState, updates: Sequence[Update]
+    ) -> BatchOutcome:
         current = state
         for index, (operation, relation_name, values) in enumerate(updates):
             if operation == "insert":
@@ -206,6 +358,127 @@ class WeakInstanceEngine:
             else:
                 raise StateError(f"unknown batch operation {operation!r}")
         return BatchOutcome(state=current, applied=len(updates))
+
+    def _run_block_task(self, task) -> BlockOutcome:
+        """Thread-backend block task: runs under the dispatching
+        context (the executor copies contextvars), so the block span and
+        every nested chase/join span land in the caller's tracer."""
+        block_index, substate, operations = task
+        with span("engine.block") as sp:
+            outcome = self.maintainer.block_batch(
+                substate, block_index, operations
+            )
+            if sp:
+                sp.add("ops", outcome.ops)
+                sp.add("applied", outcome.applied)
+                sp.add("rejected", 0 if outcome.failed_index is None else 1)
+        return outcome
+
+    def _encode_block_task(
+        self, state: DatabaseState, block_index: int, operations
+    ) -> dict:
+        """Primitive payload for the process backend: states and
+        relations are slotted immutables that refuse pickling, so the
+        child rebuilds the block substate from plain dicts."""
+        names = self.partition.block_names[block_index]
+        return {
+            "block_index": block_index,
+            "scheme": scheme_to_dict(self.partition.blocks[block_index]),
+            "relations": {
+                name: [dict(values) for values in state[name]]
+                for name in names
+            },
+            "operations": [
+                (global_index, operation, relation_name, dict(values))
+                for global_index, operation, relation_name, values in operations
+            ],
+        }
+
+    def _decode_block_outcome(self, encoded: dict) -> BlockOutcome:
+        substate = None
+        if encoded["relations"] is not None:
+            substate = DatabaseState(
+                self.partition.blocks[encoded["block_index"]],
+                encoded["relations"],
+            )
+        return BlockOutcome(
+            block_index=encoded["block_index"],
+            substate=substate,
+            applied=encoded["applied"],
+            ops=encoded["ops"],
+            failed_index=encoded["failed_index"],
+            failure=encoded["failure"],
+            error_index=encoded["error_index"],
+            error=encoded["error"],
+            seconds=encoded["seconds"],
+        )
+
+    def _batch_blocks(
+        self,
+        state: DatabaseState,
+        updates: Sequence[Update],
+        routed: Mapping[int, list],
+        executor: ParallelExecutor,
+    ) -> BatchOutcome:
+        ordered = sorted(routed.items())
+        if executor.backend == "process":
+            payloads = [
+                self._encode_block_task(state, block_index, operations)
+                for block_index, operations in ordered
+            ]
+            outcomes = [
+                self._decode_block_outcome(encoded)
+                for encoded in executor.map(_process_block_task, payloads)
+            ]
+            # A child process cannot share the parent's tracer; fold the
+            # measured block timings in from here instead.
+            tracer = current_tracer()
+            if tracer is not None:
+                for outcome in outcomes:
+                    tracer.record(
+                        "engine.block",
+                        outcome.seconds,
+                        {"ops": outcome.ops, "applied": outcome.applied},
+                    )
+        else:
+            tasks = [
+                (
+                    block_index,
+                    self.partition.substate(state, block_index),
+                    operations,
+                )
+                for block_index, operations in ordered
+            ]
+            outcomes = executor.map(self._run_block_task, tasks)
+
+        events = [
+            outcome for outcome in outcomes if outcome.event_index is not None
+        ]
+        if events:
+            first = min(events, key=lambda outcome: outcome.event_index)
+            if first.error is not None:
+                # The serial loop would have raised here: every earlier
+                # update (across all blocks) succeeded.
+                raise first.error
+            assert first.failed_index is not None
+            return BatchOutcome(
+                state=None,
+                applied=first.failed_index,
+                failed_index=first.failed_index,
+                failure=first.failure,
+            )
+        merged: dict[str, object] = {}
+        for outcome in outcomes:
+            assert outcome.substate is not None
+            for name in self.partition.block_names[outcome.block_index]:
+                merged[name] = outcome.substate[name]
+        relations = {
+            name: merged.get(name, state[name]) for name in self.scheme.names
+        }
+        return BatchOutcome(
+            state=DatabaseState(self.scheme, relations),
+            applied=len(updates),
+        )
 
     def streaming(self, state: DatabaseState):
         """Per-block materialized views over ``state`` — the insert-heavy
@@ -257,3 +530,32 @@ class WeakInstanceEngine:
             if sp:
                 sp.add("rows_out", len(rows))
             return rows
+
+
+def _process_block_task(payload: dict) -> dict:
+    """Process-backend block task (top level: workers import it by
+    name).  Rebuilds the block as a standalone scheme — a single
+    key-equivalent block partitions to itself, so maintenance strategy
+    selection matches the parent's — applies the slice, and returns a
+    picklable rendering of the outcome."""
+    block = scheme_from_dict(payload["scheme"])
+    maintainer = InsertMaintainer(block)
+    substate = DatabaseState(block, payload["relations"])
+    outcome = maintainer.block_batch(substate, 0, payload["operations"])
+    relations = None
+    if outcome.substate is not None:
+        relations = {
+            name: [dict(values) for values in relation]
+            for name, relation in outcome.substate
+        }
+    return {
+        "block_index": payload["block_index"],
+        "relations": relations,
+        "applied": outcome.applied,
+        "ops": outcome.ops,
+        "failed_index": outcome.failed_index,
+        "failure": outcome.failure,
+        "error_index": outcome.error_index,
+        "error": outcome.error,
+        "seconds": outcome.seconds,
+    }

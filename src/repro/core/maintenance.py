@@ -88,6 +88,39 @@ class StateIndex:
         self.tuples_retrieved += len(matches)
         return matches
 
+    def absorb(
+        self,
+        relation_name: str,
+        values: Mapping[str, Hashable],
+        state: DatabaseState,
+    ) -> None:
+        """Register one just-inserted tuple and adopt the updated state.
+
+        Keeps every already-built index of the relation exact, so a
+        batch loop can probe one persistent index instead of rebuilding
+        from scratch per insert (lazily built indexes read the adopted
+        state).  Callers must not absorb a tuple the relation already
+        stored — relations are sets, so a duplicate insert changes
+        nothing and must leave the index alone."""
+        self.state = state
+        stored = dict(values)
+        for (name, key_attrs), index in self._indexes.items():
+            if name != relation_name:
+                continue
+            key_values = tuple(stored[a] for a in key_attrs)
+            index.setdefault(key_values, []).append(stored)
+
+    def evict(self, relation_name: str, state: DatabaseState) -> None:
+        """Drop the relation's built indexes (e.g. after a deletion) and
+        adopt the updated state; the next probe rebuilds lazily."""
+        self.state = state
+        for signature in [
+            signature
+            for signature in self._indexes
+            if signature[0] == relation_name
+        ]:
+            del self._indexes[signature]
+
 
 @dataclass(frozen=True)
 class Extension:

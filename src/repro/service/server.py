@@ -85,6 +85,8 @@ class SchemeServer:
         scheme: Optional[DatabaseScheme] = None,
         state: Optional[DatabaseState] = None,
         tracer: Optional[Tracer] = None,
+        workers: int = 1,
+        parallel_backend: str = "thread",
     ) -> None:
         if (store is None) == (scheme is None):
             raise ServiceError(
@@ -110,7 +112,9 @@ class SchemeServer:
         else:
             assert scheme is not None
             self.scheme = scheme
-            self.engine = WeakInstanceEngine(scheme)
+            self.engine = WeakInstanceEngine(
+                scheme, workers=workers, parallel_backend=parallel_backend
+            )
             self.metrics = MetricsRegistry()
             self._state = (
                 state if state is not None else self.engine.empty_state()
@@ -119,9 +123,12 @@ class SchemeServer:
     # -- construction conveniences -------------------------------------------
     @classmethod
     def in_memory(
-        cls, scheme: DatabaseScheme, state: Optional[DatabaseState] = None
+        cls,
+        scheme: DatabaseScheme,
+        state: Optional[DatabaseState] = None,
+        workers: int = 1,
     ) -> "SchemeServer":
-        return cls(scheme=scheme, state=state)
+        return cls(scheme=scheme, state=state, workers=workers)
 
     @classmethod
     def serving(cls, store: DurableStore) -> "SchemeServer":
@@ -260,3 +267,5 @@ class SchemeServer:
         if self._store is not None:
             with self._write_lock:
                 self._store.close()
+        else:
+            self.engine.close()

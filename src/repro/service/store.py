@@ -149,6 +149,8 @@ class DurableStore:
         compact_factor: float = 4.0,
         auto_compact: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        workers: int = 1,
+        parallel_backend: str = "thread",
     ) -> "DurableStore":
         """Initialise a fresh store directory (must not already hold
         one) and return it opened."""
@@ -167,6 +169,8 @@ class DurableStore:
             compact_factor=compact_factor,
             auto_compact=auto_compact,
             metrics=metrics,
+            workers=workers,
+            parallel_backend=parallel_backend,
         )
 
     @classmethod
@@ -178,8 +182,17 @@ class DurableStore:
         compact_factor: float = 4.0,
         auto_compact: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        workers: int = 1,
+        parallel_backend: str = "thread",
     ) -> "DurableStore":
-        """Recover the store at ``directory``: snapshot + WAL replay."""
+        """Recover the store at ``directory``: snapshot + WAL replay.
+
+        ``workers`` sizes the engine's block-task executor; the default
+        of 1 keeps every code path single-threaded.  Replay itself is
+        sequential either way, but each replayed insert extends the
+        engine's delta-chase basis instead of re-chasing the whole
+        state, so recovery cost follows the log's cascades, not
+        (log length) x (state size)."""
         started = time.perf_counter()
         directory = Path(directory)
         with span("store.recovery") as sp:
@@ -187,7 +200,9 @@ class DurableStore:
             if not scheme_path.exists():
                 raise StoreError(f"{directory} does not contain a store")
             scheme = load_scheme(scheme_path)
-            engine = WeakInstanceEngine(scheme)
+            engine = WeakInstanceEngine(
+                scheme, workers=workers, parallel_backend=parallel_backend
+            )
 
             snapshot_path = directory / SNAPSHOT_FILE
             if snapshot_path.exists():
@@ -407,6 +422,7 @@ class DurableStore:
 
     def close(self) -> None:
         self._wal.close()
+        self.engine.close()
 
     def __enter__(self) -> "DurableStore":
         return self

@@ -446,6 +446,339 @@ def chase_relations(
     return ChaseResult(resolved, consistent=True, steps=steps, passes=passes)
 
 
+@dataclass(frozen=True)
+class DeltaOutcome:
+    """Result of one :meth:`DeltaChase.extend`.
+
+    ``steps`` counts the merges this extension performed (the attempted
+    merges before the contradiction when rejected); ``rows_added`` is 0
+    when the extension was rolled back."""
+
+    consistent: bool
+    steps: int
+    passes: int
+    rows_added: int
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+class DeltaChase:
+    """A persistent, incrementally extendable ``CHASE_F(T_r)``.
+
+    Holds a chased fixpoint — interned-id row vectors, the per-rule
+    group maps and the symbol-occurrence index of :func:`_chase_core` —
+    across calls.  :meth:`extend` adds newly stored rows and re-chases
+    *only from them*: new rows probe the persistent group maps (old rows
+    never re-enter the worklist unless one of their symbols is merged),
+    so the cost of absorbing a delta is proportional to the delta's
+    cascade, not to the fixpoint's size.  This is what lets single-tuple
+    inserts and WAL replay skip re-chasing the whole representative
+    instance.
+
+    Every mutation an extension performs is journaled; when the delta
+    equates two constants the extension rolls back completely, leaving
+    the previous fixpoint intact — a rejected insert costs its own
+    cascade, never the basis.
+
+    Cumulative ``steps`` equals the from-scratch chase's count on every
+    consistent history (both equal the number of symbol classes merged
+    away, which Church-Rosser makes order-invariant), so maintenance
+    diagnostics built on a delta basis match the full re-chase exactly;
+    the differential suite asserts this against :func:`chase_naive`.
+
+    Not thread-safe: callers serialize extensions (block-parallel
+    batches use one basis per block, which are share-nothing).
+    """
+
+    def __init__(self, universe: AttrsLike, fds: FDsLike) -> None:
+        universe_attrs = attrs(universe)
+        self.universe = universe_attrs
+        self._order = sorted_attrs(universe_attrs)
+        self._column = {a: i for i, a in enumerate(self._order)}
+        self._width = len(self._order)
+        self._rule_columns = [
+            ([self._column[a] for a in lhs], self._column[rhs_attr])
+            for lhs, rhs_attr in _split_rules(fds)
+        ]
+        self._cells: list[list[int]] = []
+        self._tags: list[str] = []
+        self._constant_ids: dict[Hashable, int] = {}
+        self._constant_table: list[Symbol] = []
+        self._next_ndv = _NDV_ID_BASE
+        self._occurrences: dict[int, list[int]] = {}
+        self._parent: dict[int, int] = {}
+        self._groups: list[dict] = [{} for _ in self._rule_columns]
+        self._steps = 0
+        self._passes = 0
+
+    @property
+    def rows(self) -> int:
+        return len(self._cells)
+
+    @property
+    def steps(self) -> int:
+        """Cumulative merges over every accepted extension — equal to a
+        from-scratch chase of the same rows."""
+        return self._steps
+
+    @property
+    def passes(self) -> int:
+        return self._passes
+
+    # -- the journaled worklist ------------------------------------------------
+    def _combine(
+        self,
+        journal: list,
+        dirty: set[int],
+        group: dict,
+        rule_index: int,
+        signature,
+        anchor: int,
+        rhs_symbol: int,
+    ) -> None:
+        """The slow path of one rule application, mirroring
+        :func:`_chase_core`'s ``combine`` with every mutation journaled
+        (journal entries precede their mutations; rollback replays them
+        in reverse)."""
+        parent = self._parent
+        if anchor in parent:
+            root = parent[anchor]
+            while root in parent:
+                root = parent[root]
+            journal.append(("gset", rule_index, signature, anchor))
+            group[signature] = root
+            anchor = root
+            if anchor == rhs_symbol:
+                return
+        if anchor < rhs_symbol:
+            winner, loser = anchor, rhs_symbol
+        else:
+            winner, loser = rhs_symbol, anchor
+        if loser < _NDV_ID_BASE:
+            # Constants intern below every ndv id, so a constant loser
+            # means both sides are constants: a contradiction.
+            raise _Contradiction(anchor, rhs_symbol)
+        self._steps += 1
+        journal.append(("gset", rule_index, signature, anchor))
+        group[signature] = winner
+        journal.append(("parent", loser))
+        parent[loser] = winner
+        touched = self._occurrences.pop(loser, None)
+        if touched is not None:
+            journal.append(("occpop", loser, touched))
+        if touched:
+            cells = self._cells
+            width = self._width
+            for row_index in touched:
+                vector = cells[row_index]
+                journal.append(("row", row_index, vector.copy()))
+                for j in range(width):
+                    if vector[j] == loser:
+                        vector[j] = winner
+            winner_list = self._occurrences.setdefault(winner, [])
+            journal.append(("occ", winner, len(winner_list)))
+            winner_list.extend(touched)
+            dirty.update(touched)
+
+    def _sweep(self, journal: list, dirty: set[int], pairs: list) -> None:
+        for rule_index, (lhs_columns, rhs_column) in enumerate(
+            self._rule_columns
+        ):
+            group = self._groups[rule_index]
+            group_get = group.get
+            if len(lhs_columns) == 1:
+                lone = lhs_columns[0]
+                for row_index, vector in pairs:
+                    signature = vector[lone]
+                    rhs_symbol = vector[rhs_column]
+                    anchor = group_get(signature)
+                    if anchor is None:
+                        journal.append(("gnew", rule_index, signature))
+                        group[signature] = rhs_symbol
+                    elif anchor != rhs_symbol:
+                        self._combine(
+                            journal,
+                            dirty,
+                            group,
+                            rule_index,
+                            signature,
+                            anchor,
+                            rhs_symbol,
+                        )
+            else:
+                for row_index, vector in pairs:
+                    signature = tuple(vector[j] for j in lhs_columns)
+                    rhs_symbol = vector[rhs_column]
+                    anchor = group_get(signature)
+                    if anchor is None:
+                        journal.append(("gnew", rule_index, signature))
+                        group[signature] = rhs_symbol
+                    elif anchor != rhs_symbol:
+                        self._combine(
+                            journal,
+                            dirty,
+                            group,
+                            rule_index,
+                            signature,
+                            anchor,
+                            rhs_symbol,
+                        )
+
+    def _rollback(
+        self,
+        journal: list,
+        base_rows: int,
+        base_constants: int,
+        base_ndv: int,
+        base_steps: int,
+    ) -> None:
+        cells = self._cells
+        occurrences = self._occurrences
+        groups = self._groups
+        for entry in reversed(journal):
+            kind = entry[0]
+            if kind == "row":
+                cells[entry[1]][:] = entry[2]
+            elif kind == "gnew":
+                del groups[entry[1]][entry[2]]
+            elif kind == "gset":
+                groups[entry[1]][entry[2]] = entry[3]
+            elif kind == "parent":
+                del self._parent[entry[1]]
+            elif kind == "occpop":
+                occurrences[entry[1]] = entry[2]
+            elif kind == "occ":
+                del occurrences[entry[1]][entry[2]:]
+            else:  # "const"
+                del self._constant_ids[entry[1]]
+        del cells[base_rows:]
+        del self._tags[base_rows:]
+        del self._constant_table[base_constants:]
+        self._next_ndv = base_ndv
+        self._steps = base_steps
+
+    # -- public API ------------------------------------------------------------
+    def extend(self, stored: Iterable[StoredVectors]) -> DeltaOutcome:
+        """Absorb newly stored rows into the fixpoint.
+
+        ``stored`` follows the :func:`chase_relations` layout.  Rows
+        already part of the basis must not be re-presented (relations
+        are sets; callers dedup).  On a contradiction every effect of
+        this call is rolled back and ``consistent=False`` returned."""
+        journal: list = []
+        base_rows = len(self._cells)
+        base_constants = len(self._constant_table)
+        base_ndv = self._next_ndv
+        base_steps = self._steps
+        width = self._width
+        column = self._column
+        cells = self._cells
+        tags = self._tags
+        constant_ids = self._constant_ids
+        constant_table = self._constant_table
+        occurrences = self._occurrences
+        with span("chase.delta") as sp:
+            new_pairs: list[tuple[int, list[int]]] = []
+            for tag, columns, vectors in stored:
+                try:
+                    positions = [column[a] for a in columns]
+                except KeyError:
+                    raise StateError(
+                        f"relation {tag} is not contained in the universe"
+                    ) from None
+                padding = [
+                    j for j in range(width) if j not in set(positions)
+                ]
+                for vector in vectors:
+                    row: list = [None] * width
+                    for position, value in zip(positions, vector):
+                        interned = constant_ids.get(value)
+                        if interned is None:
+                            interned = len(constant_table)
+                            journal.append(("const", value))
+                            constant_ids[value] = interned
+                            constant_table.append((KIND_CONSTANT, value))
+                        row[position] = interned
+                    for j in padding:
+                        row[j] = self._next_ndv
+                        self._next_ndv += 1
+                    index = len(cells)
+                    cells.append(row)
+                    tags.append(tag)
+                    new_pairs.append((index, row))
+            # New rows are born resolved: constants never lose a merge
+            # and fresh ndvs are new classes, so indexing them is enough.
+            for index, row in new_pairs:
+                for symbol in row:
+                    bucket = occurrences.get(symbol)
+                    if bucket is None:
+                        bucket = occurrences[symbol] = []
+                    journal.append(("occ", symbol, len(bucket)))
+                    bucket.append(index)
+
+            passes = 0
+            rejected = False
+            dirty: set[int] = set()
+            if self._rule_columns and new_pairs:
+                try:
+                    passes = 1
+                    self._sweep(journal, dirty, new_pairs)
+                    while dirty:
+                        passes += 1
+                        batch = [(i, cells[i]) for i in sorted(dirty)]
+                        dirty.clear()
+                        self._sweep(journal, dirty, batch)
+                except _Contradiction:
+                    rejected = True
+            else:
+                passes = 1
+            attempted = self._steps - base_steps
+            if rejected:
+                self._rollback(
+                    journal, base_rows, base_constants, base_ndv, base_steps
+                )
+            else:
+                self._passes += passes
+            if sp:
+                sp.add("rows", len(new_pairs))
+                sp.add("steps", attempted)
+                sp.add("passes", passes)
+                sp.add("contradictions", 1 if rejected else 0)
+        return DeltaOutcome(
+            consistent=not rejected,
+            steps=attempted,
+            passes=passes,
+            rows_added=0 if rejected else len(new_pairs),
+        )
+
+    def result(self) -> ChaseResult:
+        """The current fixpoint materialized as a
+        :class:`ChaseResult` — same layout :func:`chase_relations`
+        produces for the same rows."""
+        table = self._constant_table
+        order = self._order
+
+        def to_symbol(interned: int) -> Symbol:
+            if interned < _NDV_ID_BASE:
+                return table[interned]
+            return (KIND_NDV, interned - _NDV_ID_BASE)
+
+        resolved = Tableau(
+            self.universe,
+            (
+                Row(dict(zip(order, map(to_symbol, vector))), tag=tag)
+                for vector, tag in zip(self._cells, self._tags)
+            ),
+        )
+        return ChaseResult(
+            resolved,
+            consistent=True,
+            steps=self._steps,
+            passes=self._passes,
+        )
+
+
 def chase_naive(tableau: Tableau, fds: FDsLike) -> ChaseResult:
     """The original full-sweep ``CHASE_F(tableau)``.
 

@@ -1,0 +1,312 @@
+"""Differential tests for block-parallel batch evaluation.
+
+The independence decomposition says block tasks are share-nothing, so a
+batch routed per block and run on an executor must be observationally
+identical to the serial loop: same final relations, same first-failure
+index and diagnostics, same raised errors.  These tests pin that
+equivalence over random and adversarial workloads, plus the executor's
+own contract and the per-block representative-instance cache.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import WeakInstanceEngine
+from repro.core.parallel import ParallelExecutor
+from repro.foundations.errors import StateError
+from repro.state.database_state import DatabaseState
+from repro.workloads.scaling import tiled_university
+from repro.workloads.states import (
+    conflicting_insert_candidate,
+    consistent_insert_candidate,
+    random_consistent_state,
+)
+
+N_RANDOM_BATCHES = 25
+
+
+class TestParallelExecutor:
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(StateError):
+            ParallelExecutor(2, backend="fiber")
+
+    def test_single_worker_runs_inline(self):
+        executor = ParallelExecutor(1)
+        assert executor.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+        assert executor._pool is None  # never built a pool
+
+    def test_results_preserve_item_order(self):
+        with ParallelExecutor(4) as executor:
+            items = list(range(32))
+            assert executor.map(lambda x: x * x, items) == [
+                x * x for x in items
+            ]
+
+    def test_task_exceptions_propagate(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("task 3")
+            return x
+
+        with ParallelExecutor(4) as executor:
+            with pytest.raises(ValueError, match="task 3"):
+                executor.map(boom, list(range(8)))
+
+    def test_close_is_idempotent(self):
+        executor = ParallelExecutor(2)
+        executor.map(lambda x: x, [1, 2])
+        executor.close()
+        executor.close()
+        # And usable again: a fresh pool is built lazily.
+        assert executor.map(lambda x: x + 1, [1, 2]) == [2, 3]
+        executor.close()
+
+
+def _equal_outcomes(scheme, serial, parallel) -> None:
+    """Batch outcomes must agree on verdict, diagnostics and state."""
+    assert bool(serial) == bool(parallel)
+    assert serial.applied == parallel.applied
+    assert serial.failed_index == parallel.failed_index
+    if serial.failure is None:
+        assert parallel.failure is None
+        for name in scheme.names:
+            assert (
+                serial.state[name].row_vectors
+                == parallel.state[name].row_vectors
+            )
+    else:
+        assert parallel.failure is not None
+        assert serial.failure.consistent == parallel.failure.consistent
+        assert (
+            serial.failure.tuples_examined
+            == parallel.failure.tuples_examined
+        )
+        assert serial.failure.chase_steps == parallel.failure.chase_steps
+        assert serial.failure.witness == parallel.failure.witness
+
+
+def _engines(scheme, workers=4, backend="thread"):
+    serial = WeakInstanceEngine(scheme)
+    parallel = WeakInstanceEngine(
+        scheme, workers=workers, parallel_backend=backend
+    )
+    return serial, parallel
+
+
+class TestRandomWorkloads:
+    def test_random_batches_match_serial(self):
+        """Random mixed batches — consistent inserts, key conflicts,
+        duplicates, deletes — on the tiled scheme: the parallel outcome
+        (including every rejection's diagnostics) equals the serial
+        one."""
+        rng = random.Random(20260806)
+        scheme = tiled_university(3)
+        serial, parallel = _engines(scheme)
+        try:
+            for _ in range(N_RANDOM_BATCHES):
+                n_entities = rng.randint(2, 4)
+                state = random_consistent_state(scheme, rng, n_entities)
+                updates = []
+                for _ in range(rng.randint(4, 12)):
+                    roll = rng.random()
+                    if roll < 0.5:
+                        name, values = consistent_insert_candidate(
+                            scheme, rng, n_entities
+                        )
+                        updates.append(("insert", name, values))
+                    elif roll < 0.75:
+                        name, values = conflicting_insert_candidate(
+                            scheme, rng, n_entities
+                        )
+                        updates.append(("insert", name, values))
+                    else:
+                        name = rng.choice(scheme.names)
+                        stored = list(state[name])
+                        if stored:
+                            updates.append(
+                                ("delete", name, rng.choice(stored))
+                            )
+                rng.shuffle(updates)
+                _equal_outcomes(
+                    scheme,
+                    serial.batch(state, updates),
+                    parallel.batch(state, updates),
+                )
+        finally:
+            parallel.close()
+
+    def test_workers_one_takes_the_serial_path(self):
+        engine = WeakInstanceEngine(tiled_university(2), workers=1)
+        assert engine.executor is None
+
+
+class TestFailureOrdering:
+    def _conflicting_batch(self, scheme, state):
+        """A batch whose earliest rejection sits in one block while a
+        later rejection sits in another: index 1 must win."""
+        return [
+            ("insert", "T1R4", {"C1": "cx", "S1": "sx", "G1": "A"}),
+            ("insert", "T0R4", {"C0": "c0", "S0": "s0", "G0": "CLASH"}),
+            ("insert", "T1R4", {"C1": "cx", "S1": "sx", "G1": "B"}),
+        ]
+
+    def test_earliest_rejection_across_blocks_wins(self):
+        scheme = tiled_university(2)
+        state = DatabaseState(
+            scheme,
+            {"T0R4": [{"C0": "c0", "S0": "s0", "G0": "A"}]},
+        )
+        updates = self._conflicting_batch(scheme, state)
+        serial, parallel = _engines(scheme)
+        try:
+            serial_outcome = serial.batch(state, updates)
+            parallel_outcome = parallel.batch(state, updates)
+            assert serial_outcome.failed_index == 1
+            _equal_outcomes(scheme, serial_outcome, parallel_outcome)
+        finally:
+            parallel.close()
+
+    def test_error_after_earlier_rejection_is_not_raised(self):
+        """Index 1 rejects in block A; index 2 would raise (malformed
+        tuple) in block B.  The serial loop never reaches index 2, so
+        the parallel batch must report the rejection, not the error."""
+        scheme = tiled_university(2)
+        state = DatabaseState(
+            scheme,
+            {"T0R4": [{"C0": "c0", "S0": "s0", "G0": "A"}]},
+        )
+        updates = [
+            ("insert", "T1R4", {"C1": "c", "S1": "s", "G1": "A"}),
+            ("insert", "T0R4", {"C0": "c0", "S0": "s0", "G0": "CLASH"}),
+            ("insert", "T1R4", {"WRONG": "attrs"}),
+        ]
+        serial, parallel = _engines(scheme)
+        try:
+            with pytest.raises(StateError):
+                # Sanity: the malformed tuple does raise when reached.
+                serial.batch(state, updates[2:])
+            serial_outcome = serial.batch(state, updates)
+            parallel_outcome = parallel.batch(state, updates)
+            assert serial_outcome.failed_index == 1
+            _equal_outcomes(scheme, serial_outcome, parallel_outcome)
+        finally:
+            parallel.close()
+
+    def test_earliest_error_is_raised(self):
+        """When the malformed tuple precedes every rejection, both
+        paths raise it."""
+        scheme = tiled_university(2)
+        state = DatabaseState(scheme)
+        updates = [
+            ("insert", "T1R4", {"WRONG": "attrs"}),
+            ("insert", "T0R4", {"C0": "c", "S0": "s", "G0": "A"}),
+        ]
+        serial, parallel = _engines(scheme)
+        try:
+            with pytest.raises(StateError):
+                serial.batch(state, updates)
+            with pytest.raises(StateError):
+                parallel.batch(state, updates)
+        finally:
+            parallel.close()
+
+    def test_unknown_operation_falls_back_to_serial_semantics(self):
+        """An unroutable batch (unknown op) takes the serial path, so
+        an earlier rejection still wins over the later bad op."""
+        scheme = tiled_university(2)
+        state = DatabaseState(
+            scheme,
+            {"T0R4": [{"C0": "c0", "S0": "s0", "G0": "A"}]},
+        )
+        updates = [
+            ("insert", "T0R4", {"C0": "c0", "S0": "s0", "G0": "CLASH"}),
+            ("upsert", "T1R4", {"C1": "c", "S1": "s", "G1": "A"}),
+        ]
+        serial, parallel = _engines(scheme)
+        try:
+            serial_outcome = serial.batch(state, updates)
+            parallel_outcome = parallel.batch(state, updates)
+            assert serial_outcome.failed_index == 0
+            _equal_outcomes(scheme, serial_outcome, parallel_outcome)
+        finally:
+            parallel.close()
+
+
+class TestProcessBackend:
+    def test_process_backend_smoke(self):
+        """The process pool round-trips primitive payloads and matches
+        the serial outcome on an accepted and a rejected batch."""
+        scheme = tiled_university(2)
+        state = DatabaseState(
+            scheme,
+            {"T0R4": [{"C0": "c0", "S0": "s0", "G0": "A"}]},
+        )
+        accepted = [
+            ("insert", "T0R4", {"C0": "c1", "S0": "s1", "G0": "A"}),
+            ("insert", "T1R4", {"C1": "c1", "S1": "s1", "G1": "B"}),
+        ]
+        rejected = accepted + [
+            ("insert", "T0R4", {"C0": "c0", "S0": "s0", "G0": "CLASH"}),
+        ]
+        serial, parallel = _engines(scheme, workers=2, backend="process")
+        try:
+            _equal_outcomes(
+                scheme,
+                serial.batch(state, accepted),
+                parallel.batch(state, accepted),
+            )
+            _equal_outcomes(
+                scheme,
+                serial.batch(state, rejected),
+                parallel.batch(state, rejected),
+            )
+        finally:
+            parallel.close()
+
+
+class TestBlockChaseCache:
+    def test_block_local_insert_keeps_other_blocks_cached(self):
+        """An insert touching one block must not evict the other
+        blocks' memoized representative fragments: re-assembling the
+        representative instance after the insert re-chases exactly one
+        block."""
+        scheme = tiled_university(2)
+        engine = WeakInstanceEngine(scheme)
+        state = DatabaseState(
+            scheme,
+            {
+                "T0R4": [{"C0": "c0", "S0": "s0", "G0": "A"}],
+                "T1R4": [{"C1": "c1", "S1": "s1", "G1": "B"}],
+            },
+        )
+        engine.representative(state)
+        blocks = len(engine.partition.blocks)
+        info = engine.cache_info()["block_chase"]
+        assert info.misses == blocks
+
+        outcome = engine.insert(
+            state, "T0R4", {"C0": "c9", "S0": "s9", "G0": "A"}
+        )
+        assert outcome.consistent
+        engine.representative(outcome.state)
+        info = engine.cache_info()["block_chase"]
+        # Only the written block re-chased; every other block hit.
+        assert info.misses == blocks + 1
+        assert info.hits == blocks - 1
+
+    def test_assembled_representative_matches_whole_state_chase(self):
+        """The per-block assembly is just a memo layout: its total
+        projections equal the single global chase's."""
+        from repro.state.consistency import chase_state
+
+        scheme = tiled_university(2)
+        engine = WeakInstanceEngine(scheme)
+        state = random_consistent_state(scheme, random.Random(11), 3)
+        assembled = engine.representative(state)
+        global_chase = chase_state(state)
+        assert global_chase.consistent
+        for member in scheme.relations:
+            assert assembled.total_projection(
+                member.attributes
+            ) == global_chase.tableau.total_projection(member.attributes)
