@@ -3,10 +3,21 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench serve-bench bench-suite bench-compare trace-smoke
+.PHONY: test lint bench serve-bench bench-suite bench-compare trace-smoke
 
 test:
 	$(PY) -m pytest -x -q
+
+# Invariant linter (lock discipline, determinism, span hygiene,
+# resource safety) gated on the committed baseline, plus ruff when it
+# is installed (CI always has it; a plain checkout may not).
+lint:
+	$(PY) -m repro.cli lint --root . --baseline lint-baseline.json
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src; \
+	else \
+		echo "ruff not installed; skipping style pass (CI runs it)"; \
+	fi
 
 # Headline optimized-vs-naive scenarios; writes BENCH_perf.json.
 bench:

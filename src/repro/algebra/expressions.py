@@ -12,7 +12,7 @@ in the paper's notation and evaluation over database states.
 
 from __future__ import annotations
 
-from typing import Hashable, Mapping, Sequence, Union
+from typing import Hashable, Mapping, Sequence
 
 from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs, sorted_attrs
 from repro.foundations.errors import StateError

@@ -1,0 +1,90 @@
+"""Baseline suppression for the invariant linter.
+
+A baseline is a committed JSON file mapping finding *fingerprints*
+(:attr:`repro.analysis.findings.Finding.fingerprint` — line-number
+independent) to how many findings carry that fingerprint.  ``repro
+lint --baseline FILE`` subtracts the baseline from the current run:
+only *new* findings (fingerprints absent from the baseline, or present
+more times than the baseline allows) fail the build.  Fixing a
+baselined finding never breaks the build — the baseline is a ceiling,
+not a pin — and regenerating with ``--write-baseline`` ratchets it
+down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+def save(path: Path, findings: Sequence[Finding]) -> None:
+    """Write a baseline covering ``findings``.
+
+    Alongside each fingerprint count we record one representative
+    ``rule``/``path``/``message`` triple so the file is reviewable in
+    a diff; only the counts are consulted when suppressing.
+    """
+    counts = Counter(finding.fingerprint for finding in findings)
+    by_fingerprint = {finding.fingerprint: finding for finding in findings}
+    entries = {
+        fingerprint: {
+            "count": count,
+            "rule": by_fingerprint[fingerprint].rule,
+            "path": by_fingerprint[fingerprint].path,
+            "message": by_fingerprint[fingerprint].message,
+        }
+        for fingerprint, count in counts.items()
+    }
+    payload = {
+        "version": FORMAT_VERSION,
+        "findings": {k: entries[k] for k in sorted(entries)},
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load(path: Path) -> dict[str, int]:
+    """``fingerprint → allowed count`` from a baseline file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    allowed: dict[str, int] = {}
+    for fingerprint, entry in payload.get("findings", {}).items():
+        count = entry.get("count", 0) if isinstance(entry, dict) else entry
+        allowed[fingerprint] = int(count)
+    return allowed
+
+
+def apply(
+    findings: Sequence[Finding], allowed: dict[str, int]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed-count).
+
+    Findings sharing a fingerprint are suppressed up to the allowed
+    count in deterministic (sorted) order, so the *first* occurrences
+    are suppressed and any excess — a genuinely new instance of a known
+    pattern — surfaces.
+    """
+    remaining = dict(allowed)
+    new: list[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        budget = remaining.get(finding.fingerprint, 0)
+        if budget > 0:
+            remaining[finding.fingerprint] = budget - 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    return new, suppressed

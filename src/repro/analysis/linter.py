@@ -1,0 +1,108 @@
+"""The invariant linter: file collection, rule dispatch, reporting.
+
+:class:`Analyzer` walks the requested paths, parses each ``.py`` file
+once into a :class:`~repro.analysis.astcheck.SourceFile`, runs every
+registered per-file rule over it, then runs the project-wide rules
+(span hygiene needs the whole tree at once to cross-check the span
+catalogue).  Rules are plain functions — per-file rules take a
+``SourceFile``, project rules take the full list — so adding a rule is
+one import and one registry entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.analysis import (
+    rules_determinism,
+    rules_locks,
+    rules_resources,
+    rules_spans,
+)
+from repro.analysis.astcheck import SourceFile
+from repro.analysis.findings import Finding
+from repro.analysis.rules_spans import SpanConfig
+
+FileRule = Callable[[SourceFile], list[Finding]]
+
+#: The four rule packs, in report order.
+FILE_RULES: dict[str, FileRule] = {
+    rules_locks.RULE_ID: rules_locks.check,
+    rules_determinism.RULE_ID: rules_determinism.check,
+    rules_resources.RULE_ID: rules_resources.check,
+}
+
+ALL_RULES: tuple[str, ...] = tuple(FILE_RULES) + (rules_spans.RULE_ID,)
+
+
+@dataclass
+class Analyzer:
+    """One lint run: which paths, which rules, which span config."""
+
+    paths: Sequence[Path]
+    root: Optional[Path] = None
+    rules: Sequence[str] = field(default_factory=lambda: ALL_RULES)
+    span_config: Optional[SpanConfig] = None
+
+    def __post_init__(self) -> None:
+        unknown = set(self.rules) - set(ALL_RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(sorted(unknown))} "
+                f"(available: {', '.join(ALL_RULES)})"
+            )
+
+    def collect(self) -> list[Path]:
+        """Every ``.py`` file under the requested paths, sorted (the
+        linter must itself be deterministic)."""
+        files: set[Path] = set()
+        for path in self.paths:
+            if path.is_dir():
+                files.update(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.add(path)
+        return sorted(files)
+
+    def _display(self, path: Path) -> str:
+        if self.root is not None:
+            try:
+                return path.resolve().relative_to(self.root.resolve()).as_posix()
+            except ValueError:
+                pass
+        return path.as_posix()
+
+    def sources(self) -> Iterator[SourceFile]:
+        for path in self.collect():
+            yield SourceFile.load(path, display=self._display(path))
+
+    def run(self) -> list[Finding]:
+        findings: list[Finding] = []
+        loaded: list[SourceFile] = []
+        for source in self.sources():
+            loaded.append(source)
+            for rule_id, rule in FILE_RULES.items():
+                if rule_id in self.rules:
+                    findings.extend(rule(source))
+        if rules_spans.RULE_ID in self.rules and self.span_config is not None:
+            findings.extend(
+                rules_spans.check_project(loaded, self.span_config)
+            )
+        return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+    span_config: Optional[SpanConfig] = None,
+) -> list[Finding]:
+    """Convenience front door used by the CLI and the tests."""
+    analyzer = Analyzer(
+        paths=list(paths),
+        root=root,
+        rules=tuple(rules) if rules is not None else ALL_RULES,
+        span_config=span_config,
+    )
+    return analyzer.run()

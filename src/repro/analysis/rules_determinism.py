@@ -1,0 +1,245 @@
+"""Determinism lint: unordered iteration must not shape outputs.
+
+Chase output, join results, WAL records and scheme fingerprints are
+all asserted byte-identical across processes (and across
+``PYTHONHASHSEED`` values) by the differential tests — an iteration
+over a ``set``/``frozenset`` whose order leaks into an ordered product
+(a list, a tuple, a joined string, a yielded sequence) silently breaks
+that guarantee only on *some* hash seeds, which is the worst possible
+way to fail.
+
+What fires:
+
+* ``list(s)`` / ``tuple(s)`` / ``"sep".join(s)`` over a set-typed
+  expression — materializing an ordered sequence straight from an
+  unordered one;
+* a ``for`` statement iterating a set-typed expression whose body
+  appends/extends/inserts into a sequence, yields, or writes —
+  unless the sink is bucketed *by the loop variable itself*
+  (``index[attr].append(...)`` builds per-key buckets whose contents
+  do not depend on the iteration order);
+* list/generator comprehensions over set-typed iterables (set and
+  dict comprehensions rebuild unordered containers and are exempt;
+  a generator consumed by an order-insensitive reducer such as
+  ``sorted``/``min``/``sum``/``any`` is exempt too);
+* ``os.listdir`` / ``glob.glob`` / ``Path.iterdir`` / ``Path.glob``
+  results consumed without an enclosing ``sorted(...)`` — directory
+  order is an OS artifact.
+
+``sorted(...)`` around the unordered expression silences the rule at
+the source, which is also the correct fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.astcheck import (
+    FS_ENUMERATORS,
+    SourceFile,
+    call_name,
+    infer_set_locals,
+    is_set_expr,
+    parents,
+)
+from repro.analysis.findings import Finding
+
+RULE_ID = "determinism"
+
+#: Reducers whose result does not depend on element order.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {
+        "sorted",
+        "set",
+        "frozenset",
+        "attrs",
+        "union_all",
+        "sum",
+        "min",
+        "max",
+        "len",
+        "any",
+        "all",
+        "Counter",
+        "update",
+        "intersection",
+        "union",
+        "difference",
+    }
+)
+
+#: Sequence-building method calls that make a loop order-sensitive.
+ORDER_SENSITIVE_SINKS = frozenset(
+    {"append", "extend", "insert", "write", "writelines", "add_row"}
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _consumer_call(node: ast.expr) -> Optional[str]:
+    """The name of the call directly consuming ``node`` as an argument
+    (``sorted`` for ``sorted(x)``), or ``None``."""
+    parent = getattr(node, "parent", None)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        return call_name(parent)
+    return None
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    return {
+        child.id for child in ast.walk(target) if isinstance(child, ast.Name)
+    }
+
+
+def _subscript_uses_names(node: ast.expr, names: set[str]) -> bool:
+    """True when ``node`` contains a subscript whose index mentions one
+    of ``names`` — the per-key-bucket pattern."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Subscript):
+            for inner in ast.walk(child.slice):
+                if isinstance(inner, ast.Name) and inner.id in names:
+                    return True
+    return False
+
+
+def _loop_sinks(loop: ast.For) -> Iterator[ast.Call]:
+    """Order-sensitive sink calls in a loop body (nested loops
+    included — their sinks still run once per outer iteration)."""
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ORDER_SENSITIVE_SINKS
+        ):
+            yield node
+
+
+def _comprehension_kind(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.GeneratorExp):
+        return "generator"
+    return None
+
+
+def _generator_is_reduced(node: ast.GeneratorExp) -> bool:
+    """A generator handed straight to an order-insensitive reducer
+    (``sorted(... for ...)``) cannot leak iteration order."""
+    name = _consumer_call(node)
+    return name in ORDER_INSENSITIVE_CONSUMERS
+
+
+def check(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    module_sets = frozenset()
+
+    def finding(node: ast.AST, message: str, severity: str = "error") -> None:
+        findings.append(
+            Finding(
+                path=source.display,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=RULE_ID,
+                severity=severity,
+                message=message,
+            )
+        )
+
+    def set_names_for(node: ast.AST) -> frozenset[str]:
+        for ancestor in parents(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return infer_set_locals(ancestor)
+        return module_sets
+
+    for node in ast.walk(source.tree):
+        # -- list()/tuple()/join() straight over a set ---------------------
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if (
+                name in ("list", "tuple")
+                and len(node.args) == 1
+                and is_set_expr(node.args[0], set_names_for(node))
+            ):
+                finding(
+                    node,
+                    f"{name}() over a set-typed expression materializes "
+                    "a hash-order-dependent sequence; wrap the set in "
+                    "sorted(...)",
+                )
+            elif (
+                name == "join"
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, (ast.Constant, ast.Name))
+                and len(node.args) == 1
+                and is_set_expr(node.args[0], set_names_for(node))
+            ):
+                finding(
+                    node,
+                    "str.join over a set-typed expression produces a "
+                    "hash-order-dependent string; wrap the set in "
+                    "sorted(...)",
+                )
+            elif name in FS_ENUMERATORS and _consumer_call(node) != "sorted":
+                described = FS_ENUMERATORS[name]
+                finding(
+                    node,
+                    f"{described}() yields entries in OS-dependent order; "
+                    "wrap the call in sorted(...)",
+                    severity="warning",
+                )
+
+        # -- for statements over sets with order-sensitive sinks -----------
+        elif isinstance(node, ast.For):
+            if not is_set_expr(node.iter, set_names_for(node)):
+                continue
+            loop_names = _target_names(node.target)
+            for sink in _loop_sinks(node):
+                receiver = sink.func.value  # type: ignore[union-attr]
+                if _subscript_uses_names(receiver, loop_names):
+                    continue  # per-key bucket: contents are order-free
+                if sink.func.attr in (  # type: ignore[union-attr]
+                    "add",
+                    "update",
+                ):
+                    continue
+                finding(
+                    node,
+                    "iteration over a set-typed expression feeds "
+                    f"an ordered sink (.{sink.func.attr} at line "  # type: ignore[union-attr]
+                    f"{sink.lineno}); iterate sorted(...) instead",
+                )
+                break
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Yield, ast.YieldFrom)):
+                    finding(
+                        node,
+                        "iteration over a set-typed expression yields "
+                        "values in hash order; iterate sorted(...) instead",
+                    )
+                    break
+
+        # -- comprehensions over sets --------------------------------------
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            kind = _comprehension_kind(node)
+            first = node.generators[0]
+            if not is_set_expr(first.iter, set_names_for(node)):
+                continue
+            if isinstance(node, ast.GeneratorExp) and _generator_is_reduced(
+                node
+            ):
+                continue
+            if (
+                isinstance(node, ast.ListComp)
+                and _consumer_call(node) in ORDER_INSENSITIVE_CONSUMERS
+            ):
+                continue
+            finding(
+                node,
+                f"{kind} over a set-typed expression produces a "
+                "hash-order-dependent sequence; iterate sorted(...) "
+                "instead",
+            )
+    return findings

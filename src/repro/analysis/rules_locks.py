@@ -1,0 +1,158 @@
+"""Lock-discipline lint: ``# guarded-by`` annotated fields stay locked.
+
+The serving layer's thread-safety rests on a handful of fields only
+ever being touched under a specific lock (``SchemeServer._sessions``
+under ``_sessions_lock``, the engine's lazily-built executor under its
+guard, every ``LRUCache``/``MetricsRegistry``/``Tracer`` internal dict
+under ``self._lock``).  Nothing enforced that — one new method reading
+such a field lock-free compiles, passes the single-threaded tests, and
+races in production.
+
+The convention: annotate the field's defining assignment (normally in
+``__init__``) with a trailing comment::
+
+    self._sessions: dict[str, Session] = {}  # guarded-by: _sessions_lock
+    self._state = store.state  # guarded-by: _write_lock (writes)
+
+Then, inside the class, every load or store of ``self.<field>`` must
+happen either
+
+* lexically inside a ``with self.<lock>:`` block (multi-item ``with``
+  statements count, so ``with self._write_lock, tracing(...):`` is
+  recognised), or
+* inside ``__init__`` (construction happens-before publication), or
+* inside a ``_``-prefixed helper method — assumed to be reached from a
+  locked public method; the helper boundary is where this lexical
+  analysis stops, exactly as the annotation convention documents.
+
+The ``(writes)`` mode checks stores only: the serving layer's
+snapshot-pointer fields are deliberately read lock-free (readers grab
+the immutable state object the pointer names), while every writer must
+still serialize through the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union
+
+from repro.analysis.astcheck import (
+    GuardAnnotation,
+    SourceFile,
+    parents,
+    self_attribute,
+    with_lock_attrs,
+)
+from repro.analysis.findings import Finding
+
+RULE_ID = "lock-discipline"
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _guarded_fields(
+    source: SourceFile, class_node: ast.ClassDef
+) -> dict[str, GuardAnnotation]:
+    """``field → annotation`` for every ``self.X = ...`` assignment in
+    the class carrying a ``guarded-by`` comment."""
+    guarded: dict[str, GuardAnnotation] = {}
+    for node in ast.walk(class_node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            field = self_attribute(target)
+            if field is None:
+                continue
+            annotation = source.guard_annotation(node.lineno)
+            if annotation is not None:
+                guarded.setdefault(field, annotation)
+    return guarded
+
+
+def _enclosing_method(node: ast.AST, class_node: ast.ClassDef) -> Optional[
+    FunctionNode
+]:
+    """The method of ``class_node`` whose body contains ``node`` —
+    the *outermost* function below the class, so code in nested
+    closures is attributed to the method that defines them."""
+    method: Optional[FunctionNode] = None
+    for ancestor in parents(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method = ancestor
+        elif isinstance(ancestor, ast.ClassDef):
+            return method if ancestor is class_node else None
+    return None
+
+
+def _locks_held(node: ast.AST, class_node: ast.ClassDef) -> set[str]:
+    """Lock attributes taken by ``with`` statements enclosing ``node``
+    within the current method."""
+    held: set[str] = set()
+    for ancestor in parents(node):
+        if isinstance(ancestor, ast.With):
+            held.update(with_lock_attrs(ancestor))
+        elif isinstance(ancestor, ast.ClassDef) and ancestor is class_node:
+            break
+    return held
+
+
+def _is_store(node: ast.Attribute) -> bool:
+    return isinstance(node.ctx, (ast.Store, ast.Del))
+
+
+def check(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for class_node in ast.walk(source.tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        guarded = _guarded_fields(source, class_node)
+        if not guarded:
+            continue
+        for node in ast.walk(class_node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            field = self_attribute(node)
+            if field is None or field not in guarded:
+                continue
+            annotation = guarded[field]
+            is_store = _is_store(node)
+            if annotation.mode == "writes" and not is_store:
+                continue
+            method = _enclosing_method(node, class_node)
+            if method is None:
+                continue  # class-body level: not runtime access
+            if method.name == "__init__":
+                continue  # construction happens-before publication
+            if method.name.startswith("_") and not (
+                method.name.startswith("__") and method.name.endswith("__")
+            ):
+                continue  # private helper: assumed reached under the lock
+            if annotation.lock in _locks_held(node, class_node):
+                continue
+            access = "write to" if is_store else "read of"
+            findings.append(
+                Finding(
+                    path=source.display,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule=RULE_ID,
+                    severity="error",
+                    message=(
+                        f"{access} {class_node.name}.{field} outside "
+                        f"`with self.{annotation.lock}:` "
+                        f"(field is guarded-by: {annotation.lock}"
+                        + (
+                            " (writes)"
+                            if annotation.mode == "writes"
+                            else ""
+                        )
+                        + f", declared at line {annotation.line})"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,210 @@
+"""Resource/exception-safety lint: handles are closed on every path.
+
+The durable layer holds real OS resources — WAL file handles, thread
+pools — and a handle acquired outside a ``with`` block leaks when the
+code between acquisition and ``close()`` raises.  The rule flags an
+``open(...)`` / ``ThreadPoolExecutor(...)`` / ``ProcessPoolExecutor``
+result that is
+
+* bound to a *local* name,
+* not acquired by a ``with`` statement,
+* not released by ``.close()`` / ``.shutdown()`` inside a ``finally``
+  block of the same function, and
+* not *escaping* the function — returned, yielded, stored on ``self``
+  or into a container, or passed to another call (whoever receives the
+  handle owns its lifetime; ``DurableStore.__init__`` stashing its WAL
+  on ``self`` with a paired ``close()`` is the legitimate pattern).
+
+Anonymous acquisition — ``parse(open(path))`` — is flagged too: nobody
+holds the handle, so nobody can close it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.astcheck import SourceFile, call_name, parents
+from repro.analysis.findings import Finding
+
+RULE_ID = "resource-safety"
+
+#: Acquisition calls → what they acquire (for messages).
+ACQUIRERS = {
+    "open": "file handle",
+    "ThreadPoolExecutor": "thread pool",
+    "ProcessPoolExecutor": "process pool",
+}
+
+#: Release method per acquisition.
+RELEASERS = {
+    "open": ("close",),
+    "ThreadPoolExecutor": ("shutdown", "close"),
+    "ProcessPoolExecutor": ("shutdown", "close"),
+}
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _owner_function(node: ast.AST) -> Optional[FunctionNode]:
+    for ancestor in parents(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def _is_with_item(call: ast.Call) -> bool:
+    """``with open(...) as f:`` — including ``with open(...)`` wrapped
+    in ``contextlib.closing`` style calls as a direct context item."""
+    parent = getattr(call, "parent", None)
+    return isinstance(parent, ast.withitem)
+
+
+def _assigned_local(call: ast.Call) -> Optional[str]:
+    """The local name a call's result is bound to by a simple
+    assignment (``handle = open(...)``), else ``None``."""
+    parent = getattr(call, "parent", None)
+    if isinstance(parent, ast.Assign) and parent.value is call:
+        if len(parent.targets) == 1 and isinstance(parent.targets[0], ast.Name):
+            return parent.targets[0].id
+    if (
+        isinstance(parent, ast.AnnAssign)
+        and parent.value is call
+        and isinstance(parent.target, ast.Name)
+    ):
+        return parent.target.id
+    return None
+
+
+def _finally_blocks(function: FunctionNode) -> Iterator[ast.stmt]:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Try):
+            yield from node.finalbody
+
+
+def _released_in_finally(
+    function: FunctionNode, name: str, releasers: tuple[str, ...]
+) -> bool:
+    for stmt in _finally_blocks(function):
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in releasers
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+    return False
+
+
+def _mentions(node: ast.expr, name: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == name
+        for child in ast.walk(node)
+    )
+
+
+def _self_call_receiver(call: ast.Call, name: str) -> bool:
+    """``name.close()`` — the call *on* the handle, which must not count
+    as the handle escaping via an argument."""
+    return (
+        isinstance(call.func, ast.Attribute)
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id == name
+    )
+
+
+def check(source: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        acquirer = call_name(node)
+        if acquirer not in ACQUIRERS:
+            continue
+        if _is_with_item(node):
+            continue
+        what = ACQUIRERS[acquirer]
+        local = _assigned_local(node)
+        function = _owner_function(node)
+
+        if local is None:
+            # Anonymous handle used inline: parse(open(path)) — the
+            # handle is unreachable after the call, so it cannot be
+            # closed.  A bare expression statement open(...) is equally
+            # lost.  Module-level `X = open(...)` bound to a global is
+            # ignored (process-lifetime handles are a deliberate
+            # pattern, e.g. log sinks).
+            parent = getattr(node, "parent", None)
+            if isinstance(parent, (ast.Call, ast.Expr)):
+                findings.append(
+                    Finding(
+                        path=source.display,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule=RULE_ID,
+                        severity="error",
+                        message=(
+                            f"anonymous {what} from {acquirer}(...) can "
+                            "never be closed; use `with` or bind it and "
+                            "close it in a finally block"
+                        ),
+                    )
+                )
+            continue
+
+        if function is None:
+            continue  # module-level binding: process-lifetime handle
+        if _released_in_finally(function, local, RELEASERS[acquirer]):
+            continue
+        if _escapes_excluding_release(function, local, RELEASERS[acquirer]):
+            continue
+        findings.append(
+            Finding(
+                path=source.display,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule=RULE_ID,
+                severity="error",
+                message=(
+                    f"{what} `{local}` from {acquirer}(...) is not "
+                    "managed: use `with`, or close it in a finally "
+                    "block (it leaks if the code between raises)"
+                ),
+            )
+        )
+    return findings
+
+
+def _escapes_excluding_release(
+    function: FunctionNode, name: str, releasers: tuple[str, ...]
+) -> bool:
+    """Like :func:`_escapes`, but a plain ``name.close()`` call (outside
+    finally) does not count as escaping — and does not count as safe
+    either, since an exception before it still leaks."""
+    for node in ast.walk(function):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None and _mentions(value, name):
+                return True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None or not _mentions(value, name):
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return True
+        elif isinstance(node, ast.Call):
+            if _self_call_receiver(node, name):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+    return False

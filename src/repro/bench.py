@@ -379,8 +379,10 @@ def run_serving_scenarios(
         }
 
         reopened = DurableStore.open(root / "store")
-        recovery = reopened.recovery
-        reopened.close()
+        try:
+            recovery = reopened.recovery
+        finally:
+            reopened.close()
         scenarios["serving_recovery"] = {
             "replayed_records": recovery.replayed,
             "rejects_in_log": recovery.rejects_in_log,
@@ -395,8 +397,10 @@ def run_serving_scenarios(
         with open(root / "store" / "wal.jsonl", "ab") as handle:
             handle.write(b'{"seq": 424242, "op": "ins')  # torn mid-append
         torn = DurableStore.open(root / "store")
-        torn_recovery = torn.recovery
-        torn.close()
+        try:
+            torn_recovery = torn.recovery
+        finally:
+            torn.close()
         scenarios["serving_recovery_torn_tail"] = {
             "replayed_records": torn_recovery.replayed,
             "discarded_bytes": torn_recovery.discarded_bytes,

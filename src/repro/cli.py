@@ -541,6 +541,64 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import baseline as baseline_mod
+    from repro.analysis import (
+        ALL_RULES,
+        default_config,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    root = Path(args.root)
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src"]
+    rules = (
+        tuple(rule.strip() for rule in args.rules.split(",") if rule.strip())
+        if args.rules
+        else ALL_RULES
+    )
+    try:
+        findings = lint_paths(
+            paths, root=root, rules=rules, span_config=default_config(root)
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.write_baseline:
+        baseline_path = Path(args.baseline or root / "lint-baseline.json")
+        baseline_mod.save(baseline_path, findings)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(findings)} finding(s) recorded)"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            allowed = baseline_mod.load(baseline_path)
+            findings, suppressed = baseline_mod.apply(findings, allowed)
+        else:
+            print(
+                f"warning: baseline {baseline_path} not found; "
+                "reporting all findings",
+                file=sys.stderr,
+            )
+
+    if args.json:
+        print(render_json(findings, suppressed=suppressed))
+    else:
+        print(render_text(findings))
+        if suppressed:
+            print(f"({suppressed} baselined finding(s) suppressed)")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -712,6 +770,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synthesize.add_argument("--out", help="write the scheme here")
     synthesize.set_defaults(func=_cmd_synthesize)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the invariant linter (lock discipline, determinism, "
+        "span hygiene, resource safety)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: <root>/src)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="repo root: findings are reported relative to it and the "
+        "span catalogue is read from <root>/docs/ARCHITECTURE.md",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "--baseline",
+        help="suppress findings recorded in this baseline file; only "
+        "new findings fail the run",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file "
+        "(--baseline, default <root>/lint-baseline.json) and exit 0",
+    )
+    lint.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run "
+        "(default: all four packs)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

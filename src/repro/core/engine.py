@@ -17,6 +17,7 @@ downstream application needs:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from itertools import count
 from typing import Hashable, Iterable, Mapping, Optional, Sequence
@@ -108,7 +109,8 @@ class WeakInstanceEngine:
         self.recognition = self.maintainer.recognition
         self.workers = max(1, int(workers))
         self.parallel_backend = parallel_backend
-        self._executor: Optional[ParallelExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._executor: Optional[ParallelExecutor] = None  # guarded-by: _executor_lock
         self._plans: LRUCache = LRUCache(plan_cache_size)
         self._chase: LRUCache = LRUCache(chase_cache_size)
         # Representative-instance fragments memoized per (block,
@@ -125,15 +127,17 @@ class WeakInstanceEngine:
         default), where every path stays strictly single-threaded."""
         if self.workers <= 1:
             return None
-        if self._executor is None:
-            self._executor = ParallelExecutor(
-                self.workers, backend=self.parallel_backend
-            )
-        return self._executor
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ParallelExecutor(
+                    self.workers, backend=self.parallel_backend
+                )
+            return self._executor
 
     def close(self) -> None:
         """Shut down the worker pool, if one was ever started."""
-        executor, self._executor = self._executor, None
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
         if executor is not None:
             executor.close()
 
@@ -289,7 +293,11 @@ class WeakInstanceEngine:
         values: Mapping[str, Hashable],
     ) -> DatabaseState:
         """Apply a deletion — always consistency-preserving."""
-        return state.delete(relation_name, values)
+        with span("engine.delete") as sp:
+            result = state.delete(relation_name, values)
+            if sp:
+                sp.add("deleted", 1)
+            return result
 
     def modify(
         self,
@@ -324,12 +332,17 @@ class WeakInstanceEngine:
         Batches that cannot be routed (an unknown operation or relation)
         take the serial path so errors surface with their original
         ordering semantics."""
-        executor = self.executor
-        if executor is not None and self.partition.parallelizable:
-            routed = self.partition.route_updates(updates)
-            if routed is not None:
-                return self._batch_blocks(state, updates, routed, executor)
-        return self._batch_serial(state, updates)
+        with span("engine.batch") as sp:
+            if sp:
+                sp.add("updates", len(updates))
+            executor = self.executor
+            if executor is not None and self.partition.parallelizable:
+                routed = self.partition.route_updates(updates)
+                if routed is not None:
+                    return self._batch_blocks(
+                        state, updates, routed, executor
+                    )
+            return self._batch_serial(state, updates)
 
     def apply_batch(
         self, state: DatabaseState, updates: Sequence[Update]

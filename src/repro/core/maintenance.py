@@ -33,7 +33,7 @@ from repro.core.key_equivalent import (
     total_projection_expression,
 )
 from repro.core.split import is_split_free
-from repro.foundations.attrs import attrs, fmt_attrs, sorted_attrs
+from repro.foundations.attrs import fmt_attrs, sorted_attrs
 from repro.foundations.errors import (
     InconsistentStateError,
     NotApplicableError,

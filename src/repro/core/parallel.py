@@ -47,7 +47,7 @@ class ParallelExecutor:
             )
         self.workers = max(1, int(workers))
         self.backend = backend
-        self._pool: Optional[Executor] = None
+        self._pool: Optional[Executor] = None  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _ensure_pool(self) -> Executor:

@@ -17,7 +17,7 @@ from typing import Iterator, Optional, Sequence
 from repro.core.independence import is_independent, uniqueness_violations
 from repro.core.key_equivalent import is_key_equivalent
 from repro.fd.fdset import FDSet
-from repro.foundations.attrs import fmt_attrs, union_all
+from repro.foundations.attrs import fmt_attrs, sorted_attrs, union_all
 from repro.schema.database_scheme import DatabaseScheme
 from repro.schema.relation_scheme import RelationScheme
 
@@ -62,9 +62,11 @@ def induced_scheme(blocks: Sequence[DatabaseScheme]) -> DatabaseScheme:
     for index, block in enumerate(blocks, start=1):
         attributes = union_all(m.attributes for m in block.relations)
         declared = {key for m in block.relations for key in m.keys}
+        # Iterate in canonical order: the key list below shapes the
+        # induced RelationScheme and must not depend on the hash seed.
         minimal = [
             key
-            for key in declared
+            for key in sorted(declared, key=sorted_attrs)
             if not any(other < key for other in declared)
         ]
         members.append(RelationScheme(f"D{index}", attributes, minimal))

@@ -17,7 +17,6 @@ transitivity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.fd.fd import FD
 from repro.fd.fdset import FDSet, FDsLike

@@ -64,10 +64,10 @@ class LRUCache:
         if maxsize < 1:
             raise ValueError("an LRU cache needs room for at least one entry")
         self.maxsize = maxsize
-        self._data: OrderedDict[Hashable, Any] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Optional[Any] = None) -> Any:

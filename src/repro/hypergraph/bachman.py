@@ -17,6 +17,11 @@ from typing import Iterable
 from repro.foundations.attrs import AttrsLike, attrs
 
 
+def _canonical(member: frozenset[str]) -> tuple[int, tuple[str, ...]]:
+    """Total order on attribute sets: size, then lexicographic."""
+    return (len(member), tuple(sorted(member)))
+
+
 def bachman_closure(edges: Iterable[AttrsLike]) -> list[frozenset[str]]:
     """Close a family of sets under non-empty pairwise intersections.
 
@@ -25,15 +30,15 @@ def bachman_closure(edges: Iterable[AttrsLike]) -> list[frozenset[str]]:
     """
     closure: set[frozenset[str]] = {attrs(edge) for edge in edges}
     closure.discard(frozenset())
-    frontier = list(closure)
+    frontier = sorted(closure, key=_canonical)
     while frontier:
         new_member = frontier.pop()
         additions = []
-        for member in closure:
+        for member in sorted(closure, key=_canonical):
             intersection = member & new_member
             if intersection and intersection not in closure:
                 additions.append(intersection)
         for addition in additions:
             closure.add(addition)
             frontier.append(addition)
-    return sorted(closure, key=lambda s: (len(s), tuple(sorted(s))))
+    return sorted(closure, key=_canonical)

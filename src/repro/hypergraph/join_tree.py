@@ -46,7 +46,7 @@ class JoinTree:
     def satisfies_running_intersection(self) -> bool:
         """Check the connected-subtree property for every attribute."""
         nodes = {node for edge in self.edges for node in edge}
-        for node in nodes:
+        for node in sorted(nodes):
             holders = [edge for edge in self.edges if node in edge]
             if len(holders) <= 1:
                 continue

@@ -54,9 +54,11 @@ def minimal_connected_covers(
         explore(frozenset({index}), member)
 
     minimal = [
-        chosen for chosen in found if not any(other < chosen for other in found)
+        chosen
+        for chosen in sorted(found, key=sorted)
+        if not any(other < chosen for other in found)
     ]
-    covers = [sorted(family[i] for i in chosen) for chosen in minimal]
+    covers = [sorted(family[i] for i in sorted(chosen)) for chosen in minimal]
     return sorted(covers, key=lambda cover: [tuple(sorted(m)) for m in cover])
 
 

@@ -107,10 +107,10 @@ class Tracer:
         slow_threshold: float = 0.0,
     ) -> None:
         self._lock = threading.Lock()
-        self._histograms: dict[str, LatencyHistogram] = {}
-        self._counters: dict[str, float] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}  # guarded-by: _lock
+        self._counters: dict[str, float] = {}  # guarded-by: _lock
         self.slow_threshold = slow_threshold
-        self._slow_handle: Optional[IO[str]] = None
+        self._slow_handle: Optional[IO[str]] = None  # guarded-by: _lock
         self._owns_handle = False
         if slow_log is not None:
             if hasattr(slow_log, "write"):

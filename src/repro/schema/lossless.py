@@ -161,7 +161,9 @@ def extension_join_subsets_covering(
         explore(frozenset({root.name}), root.attributes)
 
     minimal = [
-        chosen for chosen in found if not any(other < chosen for other in found)
+        chosen
+        for chosen in sorted(found, key=sorted)
+        if not any(other < chosen for other in found)
     ]
     subsets = [
         tuple(

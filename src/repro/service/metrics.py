@@ -32,12 +32,12 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: dict[str, Number] = {}
-        self._gauges: dict[str, Number] = {}
+        self._counters: dict[str, Number] = {}  # guarded-by: _lock
+        self._gauges: dict[str, Number] = {}  # guarded-by: _lock
         # name -> [seconds, calls]; timers no longer write into the
         # counter namespace, so metrics.timer("ops.insert") cannot
         # clobber (or be clobbered by) the counter of the same name.
-        self._timers: dict[str, list[Number]] = {}
+        self._timers: dict[str, list[Number]] = {}  # guarded-by: _lock
 
     # -- counters -------------------------------------------------------------
     def increment(self, name: str, amount: Number = 1) -> None:

@@ -100,7 +100,7 @@ class SchemeServer:
         self.tracer = tracer if tracer is not None else Tracer()
         self._write_lock = threading.Lock()
         self._sessions_lock = threading.Lock()
-        self._sessions: dict[str, Session] = {}
+        self._sessions: dict[str, Session] = {}  # guarded-by: _sessions_lock
         self._store = store
         if store is not None:
             if state is not None:
@@ -108,7 +108,7 @@ class SchemeServer:
             self.scheme = store.scheme
             self.engine = store.engine
             self.metrics = store.metrics
-            self._state = store.state
+            self._state = store.state  # guarded-by: _write_lock (writes)
         else:
             assert scheme is not None
             self.scheme = scheme
@@ -264,8 +264,12 @@ class SchemeServer:
         )
 
     def close(self) -> None:
-        if self._store is not None:
-            with self._write_lock:
+        # Take the write lock in *both* branches: an in-flight write on
+        # another thread must finish (and publish its state) before the
+        # engine's worker pool — which that write may be using — is
+        # torn down.
+        with self._write_lock:
+            if self._store is not None:
                 self._store.close()
-        else:
-            self.engine.close()
+            else:
+                self.engine.close()

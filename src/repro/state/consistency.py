@@ -20,7 +20,7 @@ from repro.fd.projection import project_fds
 from repro.foundations.attrs import AttrsLike, attrs
 from repro.foundations.errors import InconsistentStateError
 from repro.state.database_state import DatabaseState
-from repro.tableau.chase import ChaseResult, chase, chase_naive, chase_relations
+from repro.tableau.chase import ChaseResult, chase_naive, chase_relations
 from repro.tableau.tableau import Tableau
 
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import count
-from typing import Hashable, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Hashable, Iterable, Optional, Sequence, Tuple
 
 from repro.fd.fdset import FDSet, FDsLike
 from repro.foundations.attrs import AttrsLike, attrs, sorted_attrs

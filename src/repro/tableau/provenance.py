@@ -196,7 +196,7 @@ class ProvenanceChase:
 
     def _close_over(self, events: frozenset[int]) -> frozenset[int]:
         closed: set[int] = set()
-        frontier = list(events)
+        frontier = sorted(events)
         while frontier:
             event_id = frontier.pop()
             if event_id in closed or event_id < 0:

@@ -1,0 +1,56 @@
+"""Seeded determinism violations, with clean counterexamples.
+
+Loaded by path in the linter tests — never imported or executed.
+"""
+
+import os
+
+
+def ordered_from_set(universe: set) -> list:
+    return list(universe)  # VIOLATION: list() over a set
+
+
+def joined(names: set) -> str:
+    return ",".join(names)  # VIOLATION: str.join over a set
+
+
+def loop_append(items: set) -> list:
+    out: list = []
+    for item in items:  # VIOLATION: set iteration into .append
+        out.append(item)
+    return out
+
+
+def yields(items: set):
+    for item in items:  # VIOLATION: set iteration yields
+        yield item
+
+
+def comp(items: set) -> list:
+    return [item for item in items]  # VIOLATION: list comprehension
+
+
+def listdir_bad(path: str) -> list:
+    out = []
+    for name in os.listdir(path):  # VIOLATION: unsorted enumerator
+        out.append(name)
+    return out
+
+
+def listdir_ok(path: str) -> list:
+    return sorted(os.listdir(path))  # clean: sorted directly
+
+
+def reduced(items: set) -> int:
+    return sum(value for value in items)  # clean: order-insensitive
+
+
+def via_sorted(items: set) -> list:
+    return [item for item in sorted(items)]  # clean: sorted iteration
+
+
+def bucketed(pairs: set) -> dict:
+    index: dict = {}
+    for pair in pairs:  # clean: per-key bucket
+        index[pair].append(pair)
+    return index

@@ -1,0 +1,40 @@
+"""Seeded lock-discipline violations, with clean counterexamples.
+
+Loaded by path in the linter tests — never imported or executed.
+"""
+
+import threading
+
+
+class Account:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._balance = 0  # guarded-by: _lock
+        self._audit: list = []  # guarded-by: _lock
+        # guarded-by: _lock
+        self._pending = 0
+        self._snapshot = None  # guarded-by: _lock (writes)
+
+    def deposit(self, amount: int) -> None:
+        with self._lock:
+            self._balance += amount  # clean: lock held
+
+    def balance(self) -> int:
+        return self._balance  # VIOLATION: read outside the lock
+
+    def reset(self) -> None:
+        self._balance = 0  # VIOLATION: write outside the lock
+        self._pending = 0  # VIOLATION: annotated via standalone comment
+
+    def peek_snapshot(self):
+        return self._snapshot  # clean: (writes) mode, reads lock-free
+
+    def swap_snapshot(self, value) -> None:
+        self._snapshot = value  # VIOLATION: write of writes-guarded field
+
+    def multi_item(self, tracer) -> None:
+        with self._lock, tracer:
+            self._audit.append("entry")  # clean: multi-item with
+
+    def _rebalance(self) -> None:
+        self._balance -= 1  # clean: private helper, reached under lock

@@ -1,0 +1,53 @@
+"""Seeded resource-safety violations, with clean counterexamples.
+
+Loaded by path in the linter tests — never imported or executed.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def leaky(path: str) -> str:
+    handle = open(path)  # VIOLATION: no with, no finally
+    data = handle.read()
+    handle.close()
+    return data
+
+
+def parse(handle) -> list:
+    return handle.readlines()
+
+
+def anonymous(path: str) -> list:
+    return parse(open(path))  # VIOLATION: anonymous handle
+
+
+def leaky_pool() -> None:
+    pool = ThreadPoolExecutor(2)  # VIOLATION: never shut down safely
+    pool.submit(print, "x")
+
+
+def managed(path: str) -> str:
+    with open(path) as handle:  # clean: context manager
+        return handle.read()
+
+
+def closed_in_finally(path: str) -> str:
+    handle = open(path)  # clean: released in finally
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def escaping(path: str):
+    handle = open(path)  # clean: ownership transferred to the caller
+    return handle
+
+
+class Holder:
+    def __init__(self, path: str) -> None:
+        handle = open(path)  # clean: stored on self, closed by close()
+        self._handle = handle
+
+    def close(self) -> None:
+        self._handle.close()

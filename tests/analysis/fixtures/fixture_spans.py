@@ -1,0 +1,36 @@
+"""Seeded span-hygiene violations, paired with a test-local SpanConfig.
+
+Loaded by path in the linter tests — never imported or executed.
+"""
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def span(name):
+    yield None
+
+
+class Gadget:
+    def insert(self, row):
+        with span("gadget.insert"):  # clean: required span opened
+            return row
+
+    def query(self, key):  # VIOLATION: required span missing
+        return key
+
+    def batch(self, rows):  # clean: delegates to a required method
+        return [self.insert(row) for row in rows]
+
+    def stats(self):  # VIOLATION: unreviewed public entry point
+        return {}
+
+    def close(self):  # clean: exempted in the test config
+        return None
+
+    @property
+    def size(self):  # clean: property accessor
+        return 0
+
+    def _helper(self):  # clean: private
+        return None

@@ -1,0 +1,89 @@
+"""Baseline machinery: save/load round-trip, suppression semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.findings import Finding
+
+
+def finding(message: str, line: int = 1, path: str = "mod.py") -> Finding:
+    return Finding(path, line, 1, "determinism", "error", message)
+
+
+class TestRoundTrip:
+    def test_save_load_apply_suppresses_everything(self, tmp_path):
+        findings = [finding("a"), finding("b"), finding("c")]
+        path = tmp_path / "baseline.json"
+        baseline.save(path, findings)
+        allowed = baseline.load(path)
+        new, suppressed = baseline.apply(findings, allowed)
+        assert new == []
+        assert suppressed == 3
+
+    def test_line_drift_stays_suppressed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline.save(path, [finding("a", line=10)])
+        moved = [finding("a", line=42)]
+        new, suppressed = baseline.apply(moved, baseline.load(path))
+        assert new == []
+        assert suppressed == 1
+
+    def test_new_finding_surfaces(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline.save(path, [finding("a")])
+        new, suppressed = baseline.apply(
+            [finding("a"), finding("brand new")], baseline.load(path)
+        )
+        assert suppressed == 1
+        assert len(new) == 1
+        assert new[0].message == "brand new"
+
+    def test_excess_multiplicity_surfaces(self, tmp_path):
+        # Two identical findings baselined; a third instance of the
+        # same pattern must still fail the build.
+        path = tmp_path / "baseline.json"
+        baseline.save(path, [finding("dup"), finding("dup")])
+        current = [finding("dup"), finding("dup"), finding("dup")]
+        new, suppressed = baseline.apply(current, baseline.load(path))
+        assert suppressed == 2
+        assert len(new) == 1
+
+    def test_fixed_finding_never_breaks(self, tmp_path):
+        # The baseline is a ceiling: fixing a baselined finding leaves
+        # the remaining run clean.
+        path = tmp_path / "baseline.json"
+        baseline.save(path, [finding("a"), finding("b")])
+        new, suppressed = baseline.apply([finding("a")], baseline.load(path))
+        assert new == []
+        assert suppressed == 1
+
+
+class TestFormat:
+    def test_file_is_reviewable(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline.save(path, [finding("a msg")])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == baseline.FORMAT_VERSION
+        (entry,) = payload["findings"].values()
+        assert entry["count"] == 1
+        assert entry["rule"] == "determinism"
+        assert entry["path"] == "mod.py"
+        assert entry["message"] == "a msg"
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 99, "findings": {}}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            baseline.load(path)
+
+    def test_deterministic_output(self, tmp_path):
+        findings = [finding("b"), finding("a"), finding("c")]
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        baseline.save(first, findings)
+        baseline.save(second, list(reversed(findings)))
+        assert first.read_text() == second.read_text()

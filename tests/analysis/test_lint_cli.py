@@ -1,0 +1,153 @@
+"""The ``repro lint`` front door, including the repo self-check."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSelfCheck:
+    def test_repo_is_clean_against_committed_baseline(self, capsys):
+        """The gate CI runs: the linter over ``src/`` must be clean
+        modulo the committed baseline."""
+        code = main(
+            [
+                "lint",
+                str(REPO_ROOT / "src" / "repro"),
+                "--root",
+                str(REPO_ROOT),
+                "--baseline",
+                str(REPO_ROOT / "lint-baseline.json"),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0, f"repro lint found new violations:\n{output}"
+
+    def test_span_catalogue_and_code_agree(self, capsys):
+        # Run only the span rule: any drift between docs/ARCHITECTURE.md
+        # and the span() literals in src/ fails here with the offender
+        # named.
+        code = main(
+            [
+                "lint",
+                str(REPO_ROOT / "src" / "repro"),
+                "--root",
+                str(REPO_ROOT),
+                "--rules",
+                "span-hygiene",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0, f"span catalogue drift:\n{output}"
+
+
+class TestFixtureGate:
+    def test_seeded_violation_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "fixture_determinism.py"),
+                "--root",
+                str(REPO_ROOT),
+                "--rules",
+                "determinism",
+            ]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "error[determinism]" in output
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "fixture_resources.py"),
+                "--root",
+                str(REPO_ROOT),
+                "--rules",
+                "resource-safety",
+                "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 3
+        assert payload["suppressed"] == 0
+        assert all(
+            f["rule"] == "resource-safety" for f in payload["findings"]
+        )
+        assert all(f["fingerprint"] for f in payload["findings"])
+
+    def test_baseline_suppresses_and_new_finding_fails(
+        self, capsys, tmp_path
+    ):
+        # Baseline and later mutation share one path, so fingerprints
+        # (which embed the path) line up across the two runs.
+        target = tmp_path / "fixture_locks.py"
+        target.write_text(
+            (FIXTURES / "fixture_locks.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        baseline_path = tmp_path / "baseline.json"
+        args = ["lint", str(target), "--root", str(tmp_path), "--rules",
+                "lock-discipline"]
+
+        code = main(args + ["--write-baseline", "--baseline",
+                            str(baseline_path)])
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(args + ["--baseline", str(baseline_path)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "suppressed" in output
+
+        # A finding added after the baseline was written must fail.
+        target.write_text(
+            target.read_text(encoding="utf-8")
+            + "\n    def sneak(self) -> int:\n        return self._pending\n",
+            encoding="utf-8",
+        )
+        code = main(args + ["--baseline", str(baseline_path)])
+        output = capsys.readouterr().out
+        assert code == 1
+        # Exactly the new finding surfaces; the four baselined ones
+        # stay suppressed.
+        assert output.count("error[lock-discipline]") == 1
+        assert "sneak" not in output  # message names the field, not the method
+        assert "_pending" in output
+
+    def test_missing_baseline_warns_but_reports(self, capsys, tmp_path):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "fixture_locks.py"),
+                "--root",
+                str(REPO_ROOT),
+                "--rules",
+                "lock-discipline",
+                "--baseline",
+                str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "not found" in captured.err
+        assert "error[lock-discipline]" in captured.out
+
+    def test_unknown_rule_rejected(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(FIXTURES / "fixture_locks.py"),
+                "--root",
+                str(REPO_ROOT),
+                "--rules",
+                "no-such-rule",
+            ]
+        )
+        assert code == 1
+        assert "unknown rule" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""Golden tests: each rule pack against its seeded fixture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.astcheck import SourceFile
+from repro.analysis import rules_determinism, rules_locks, rules_resources
+from repro.analysis.rules_spans import SpanConfig, check_project, load_catalogue
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def load(name: str) -> SourceFile:
+    return SourceFile.load(FIXTURES / name, display=name)
+
+
+def by_line(findings):
+    return sorted((f.line, f.severity) for f in findings)
+
+
+class TestLockDiscipline:
+    def test_expected_findings(self):
+        source = load("fixture_locks.py")
+        findings = rules_locks.check(source)
+        assert len(findings) == 4
+        assert all(f.rule == "lock-discipline" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert "read of Account._balance" in messages
+        assert "write to Account._balance" in messages
+        assert "write to Account._pending" in messages
+        assert "write to Account._snapshot" in messages
+
+    def test_clean_accesses_not_flagged(self):
+        source = load("fixture_locks.py")
+        flagged_lines = {f.line for f in rules_locks.check(source)}
+        text = source.text.splitlines()
+        clean_lines = {
+            index + 1
+            for index, line in enumerate(text)
+            if "clean:" in line
+        }
+        assert not flagged_lines & clean_lines
+
+    def test_writes_mode_skips_reads(self):
+        source = load("fixture_locks.py")
+        findings = rules_locks.check(source)
+        snapshot = [f for f in findings if "_snapshot" in f.message]
+        assert len(snapshot) == 1
+        assert "write to" in snapshot[0].message
+
+
+class TestDeterminism:
+    def test_expected_findings(self):
+        source = load("fixture_determinism.py")
+        findings = rules_determinism.check(source)
+        errors = [f for f in findings if f.severity == "error"]
+        warnings = [f for f in findings if f.severity == "warning"]
+        assert len(errors) == 5
+        assert len(warnings) == 1
+        assert "os.listdir" in warnings[0].message
+
+    def test_clean_constructs_not_flagged(self):
+        source = load("fixture_determinism.py")
+        flagged_lines = {f.line for f in rules_determinism.check(source)}
+        text = source.text.splitlines()
+        clean_lines = {
+            index + 1
+            for index, line in enumerate(text)
+            if "clean:" in line
+        }
+        assert not flagged_lines & clean_lines
+
+    def test_messages_name_the_fix(self):
+        source = load("fixture_determinism.py")
+        for finding in rules_determinism.check(source):
+            assert "sorted" in finding.message
+
+
+class TestResourceSafety:
+    def test_expected_findings(self):
+        source = load("fixture_resources.py")
+        findings = rules_resources.check(source)
+        assert len(findings) == 3
+        messages = "\n".join(f.message for f in findings)
+        assert "`handle` from open(...)" in messages
+        assert "anonymous" in messages
+        assert "`pool` from ThreadPoolExecutor(...)" in messages
+
+    def test_clean_patterns_not_flagged(self):
+        source = load("fixture_resources.py")
+        flagged_lines = {f.line for f in rules_resources.check(source)}
+        text = source.text.splitlines()
+        clean_lines = {
+            index + 1
+            for index, line in enumerate(text)
+            if "clean:" in line
+        }
+        assert not flagged_lines & clean_lines
+
+
+SPAN_CONFIG = SpanConfig(
+    required={
+        "fixture_spans.py::Gadget.insert": ("gadget.insert",),
+        "fixture_spans.py::Gadget.query": ("gadget.query",),
+    },
+    surface=("fixture_spans.py::Gadget",),
+    exempt={"fixture_spans.py::Gadget.close": "teardown"},
+    catalogue=None,
+)
+
+
+class TestSpanHygiene:
+    def test_expected_findings(self):
+        findings = check_project([load("fixture_spans.py")], SPAN_CONFIG)
+        assert len(findings) == 2
+        messages = "\n".join(f.message for f in findings)
+        assert 'Gadget.query must open span("gadget.query")' in messages
+        assert "unreviewed public entry point Gadget.stats" in messages
+
+    def test_delegation_and_exemptions_hold(self):
+        findings = check_project([load("fixture_spans.py")], SPAN_CONFIG)
+        messages = "\n".join(f.message for f in findings)
+        assert "batch" not in messages  # delegates to insert
+        assert "close" not in messages  # exempt
+        assert "size" not in messages  # property accessor
+
+    def test_missing_entry_point_warns(self):
+        config = SpanConfig(
+            required={"fixture_spans.py::Gadget.vanish": ("gadget.vanish",)},
+        )
+        findings = check_project([load("fixture_spans.py")], config)
+        assert len(findings) == 1
+        assert "no longer exists" in findings[0].message
+
+    def test_catalogue_cross_check(self, tmp_path):
+        catalogue = tmp_path / "ARCH.md"
+        catalogue.write_text(
+            "### Span catalogue\n\n"
+            "| span | where | counters |\n"
+            "|---|---|---|\n"
+            "| `gadget.insert` | fixture | - |\n"
+            "| `gadget.retired` | nowhere | - |\n",
+            encoding="utf-8",
+        )
+        assert load_catalogue(catalogue) == {"gadget.insert", "gadget.retired"}
+        config = SpanConfig(catalogue=catalogue)
+        findings = check_project([load("fixture_spans.py")], config)
+        messages = "\n".join(f.message for f in findings)
+        assert 'catalogued span "gadget.retired" is never opened' in messages
+        assert "gadget.insert" not in messages
+
+    def test_undocumented_span_is_an_error(self, tmp_path):
+        catalogue = tmp_path / "ARCH.md"
+        catalogue.write_text(
+            "### Span catalogue\n\n| span | where |\n|---|---|\n",
+            encoding="utf-8",
+        )
+        config = SpanConfig(catalogue=catalogue)
+        findings = check_project([load("fixture_spans.py")], config)
+        errors = [f for f in findings if f.severity == "error"]
+        assert any(
+            'span "gadget.insert" is not documented' in f.message
+            for f in errors
+        )
+
+
+class TestFindings:
+    def test_fingerprint_is_line_independent(self):
+        from repro.analysis.findings import Finding
+
+        a = Finding("p.py", 10, 1, "determinism", "error", "msg")
+        b = Finding("p.py", 99, 7, "determinism", "error", "msg")
+        assert a.fingerprint == b.fingerprint
+        c = Finding("p.py", 10, 1, "determinism", "error", "other msg")
+        assert a.fingerprint != c.fingerprint
+
+    def test_unknown_severity_rejected(self):
+        from repro.analysis.findings import Finding
+
+        with pytest.raises(ValueError):
+            Finding("p.py", 1, 1, "rule", "fatal", "msg")

@@ -1,0 +1,76 @@
+"""Concurrency regression: the engine's lazily-built executor.
+
+The ``lock-discipline`` lint drove a fix here: ``_executor`` is now
+``guarded-by: _executor_lock``.  Before the fix, two threads hitting
+the ``executor`` property simultaneously could each observe ``None``
+and build their own pool — one of them leaking, its worker threads
+never shut down — and ``close()`` racing a builder could strand a
+just-built pool.  These tests hammer both paths.
+"""
+
+import threading
+
+from repro.core.engine import WeakInstanceEngine
+from repro.workloads.paper import example11_reducible
+
+
+def test_concurrent_lazy_init_builds_exactly_one_pool():
+    engine = WeakInstanceEngine(example11_reducible(), workers=2)
+    try:
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            seen.append(engine.executor)
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(seen) == 8
+        assert all(executor is seen[0] for executor in seen)
+        assert seen[0] is not None
+    finally:
+        engine.close()
+
+
+def test_close_races_lazy_init_without_stranding_a_pool():
+    # Whichever side wins, every pool ever built must end up closed:
+    # either the getter's pool is the one close() tears down, or
+    # close() ran first and the getter built a fresh pool that the
+    # final close() below reaps.  Repeat to give the race a chance.
+    for _ in range(20):
+        engine = WeakInstanceEngine(example11_reducible(), workers=2)
+        barrier = threading.Barrier(2)
+        grabbed = []
+
+        def grab():
+            barrier.wait()
+            grabbed.append(engine.executor)
+
+        def close():
+            barrier.wait()
+            engine.close()
+
+        threads = [
+            threading.Thread(target=grab),
+            threading.Thread(target=close),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        engine.close()
+        assert len(grabbed) == 1
+
+
+def test_workers_one_never_builds_a_pool():
+    engine = WeakInstanceEngine(example11_reducible(), workers=1)
+    try:
+        assert engine.executor is None
+    finally:
+        engine.close()

@@ -1,0 +1,96 @@
+"""Chase output and scheme fingerprints are hash-seed independent.
+
+Regression companion to the ``determinism`` lint rule: the sites it
+flagged (reducible-partition induced schemes, Bachman closure, u.m.c.
+covers, provenance closure) all feed outputs that must be
+byte-identical regardless of ``PYTHONHASHSEED``.  Run one canonical
+workload in subprocesses pinned to different seeds and require the
+serialized outputs to match exactly.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SCRIPT = r"""
+import json
+
+from repro.core.engine import WeakInstanceEngine
+from repro.core.partition import scheme_fingerprint
+from repro.core.reducible import recognize_independence_reducible
+from repro.hypergraph.bachman import bachman_closure
+from repro.io import scheme_to_dict
+from repro.workloads.paper import example11_reducible
+
+scheme = example11_reducible()
+engine = WeakInstanceEngine(scheme)
+state = engine.empty_state()
+rows = [
+    ("R1", {"A": "a", "B": "b"}),
+    ("R2", {"B": "b", "C": "c"}),
+    ("R3", {"A": "a", "C": "c"}),
+    ("R4", {"A": "a", "D": "d"}),
+    ("R5", {"D": "d", "E": "e", "F": "f"}),
+    ("R6", {"D": "d", "E": "e", "G": "g"}),
+]
+for relation, values in rows:
+    outcome = engine.insert(state, relation, values)
+    assert outcome.consistent, relation
+    state = outcome.state
+
+result = recognize_independence_reducible(scheme)
+doc = {
+    "fingerprint": scheme_fingerprint(scheme),
+    "scheme": scheme_to_dict(scheme),
+    "query_abc": sorted(engine.query(state, "ABC")),
+    "query_defg": sorted(engine.query(state, "DEFG")),
+    "recognition": {
+        "accepted": result.accepted,
+        "partition": [
+            sorted(member.name for member in block.relations)
+            for block in result.partition
+        ],
+        "induced": [
+            {
+                "name": member.name,
+                "attributes": sorted(member.attributes),
+                "keys": [sorted(key) for key in member.keys],
+            }
+            for member in result.induced.relations
+        ],
+        "induced_fingerprint": scheme_fingerprint(result.induced),
+    },
+    "bachman": [
+        sorted(member)
+        for member in bachman_closure(
+            [{"A", "B"}, {"B", "C"}, {"A", "B", "C"}, {"A", "C", "D"}]
+        )
+    ],
+}
+
+print(json.dumps(doc, sort_keys=True))
+"""
+
+
+def run_with_seed(seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr.decode()
+    return result.stdout
+
+
+def test_outputs_byte_identical_across_hash_seeds():
+    outputs = {seed: run_with_seed(seed) for seed in ("0", "1", "12345")}
+    assert outputs["0"] == outputs["1"] == outputs["12345"]
+    assert outputs["0"].strip(), "workload produced no output"
