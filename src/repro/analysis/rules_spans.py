@@ -37,7 +37,7 @@ RULE_ID = "span-hygiene"
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 #: Backticked span-like tokens (``chase.relations``) in a markdown row.
-_CATALOGUE_TOKEN = re.compile(r"`([a-z_]+\.[a-z_]+)`")
+_CATALOGUE_TOKEN = re.compile(r"`([a-z_]+(?:\.[a-z_]+)+)`")
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,10 @@ def default_config(repo_root: Path) -> SpanConfig:
             "core/engine.py::WeakInstanceEngine.query": ("engine.query",),
             "core/engine.py::WeakInstanceEngine.plan": ("engine.plan",),
             "core/engine.py::WeakInstanceEngine.batch": ("engine.batch",),
+            "core/engine.py::WeakInstanceEngine._query_compiled": (
+                "engine.query.compiled",
+            ),
+            "compile/program.py::compile_expression": ("compile.kernel",),
             "service/store.py::DurableStore.open": ("store.recovery",),
             "service/store.py::DurableStore.insert": ("store.insert",),
             "service/store.py::DurableStore.delete": ("store.delete",),

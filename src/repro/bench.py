@@ -153,6 +153,60 @@ def run_scenarios(repeats: int = 30) -> dict[str, dict]:
         max(3, repeats // 4),
         lambda fast, slow: fast == slow,
     )
+
+    # The compiled maintenance hot path (repro.compile): the same [AE]
+    # plan through the engine's columnar kernel program versus the
+    # interpreted expression walk it replaced — single-worker, so the
+    # ratio is pure kernel-vs-interpreter, no pool effects.
+    from repro.core.ctm import InsertMaintainer
+    from repro.core.engine import WeakInstanceEngine
+
+    engine = WeakInstanceEngine(state.scheme)
+    plan = engine.plan(target)
+    scenarios["compiled_total_projection_n256"] = _scenario(
+        "e04 [AE] compiled kernels",
+        state,
+        lambda: engine.query(state, target),
+        lambda: set(plan.expression.evaluate(state).row_vectors),
+        repeats,
+        lambda fast, slow: fast == slow,
+    )
+
+    # Insert validation on the same family: a mixed accept/reject slate
+    # re-validated against one base state, through the compiled RI
+    # lookup versus the interpreted one.  Outcomes (decision and
+    # tuples-examined diagnostics) are asserted identical.
+    compiled_maintainer = InsertMaintainer(state.scheme)
+    interpreted_maintainer = InsertMaintainer(state.scheme, compiled=False)
+    inserts = [
+        ("R1", {"A": "a_fresh0", "B": "b_fresh0"}),
+        ("R4", {"E": "e", "B": "b7"}),  # key conflict: rejected
+        ("R2", {"A": "a_fresh1", "C": "c_fresh1"}),
+        ("R4", {"E": "e_fresh", "B": "b_fresh2"}),
+        ("R1", {"A": "a3", "B": "b_clash"}),  # key conflict: rejected
+        ("R5", {"E": "e_fresh", "C": "c_fresh3"}),
+    ]
+
+    def validate_slate(maintainer: InsertMaintainer) -> list:
+        return [
+            (
+                outcome.consistent,
+                outcome.tuples_examined,
+            )
+            for name, values in inserts
+            for outcome in (maintainer.insert(state, name, values),)
+        ]
+
+    record = _scenario(
+        "e04 compiled insert validation",
+        state,
+        lambda: validate_slate(compiled_maintainer),
+        lambda: validate_slate(interpreted_maintainer),
+        repeats,
+        lambda fast, slow: fast == slow,
+    )
+    record["inserts"] = len(inserts)
+    scenarios["compiled_insert_validate"] = record
     return scenarios
 
 
@@ -413,10 +467,18 @@ def run_serving_scenarios(
 
 def run_metadata(workers: int) -> dict:
     """The run's provenance: pool size, host shape, interpreter, and
-    the seed every randomized workload derives from."""
+    the seed every randomized workload derives from.
+
+    ``effective_workers`` is what the host can actually run at once:
+    asking for more workers than CPUs records honest metadata
+    (``workers_capped=True``) instead of implying parallelism the
+    machine never delivered."""
+    cpu_count = os.cpu_count() or 1
     return {
         "workers": workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "effective_workers": min(workers, cpu_count),
+        "workers_capped": workers > cpu_count,
         "python": platform.python_version(),
         "seed": BENCH_SEED,
     }
@@ -536,9 +598,16 @@ def main(argv: list[str] | None = None) -> int:
             scenarios.update(run_serving_scenarios(ops=args.serving_ops))
     spans = tracer.span_summaries()
     path = root / BENCH_PATH_NAME
-    write_report(
-        scenarios, path, spans=spans, metadata=run_metadata(args.workers)
-    )
+    metadata = run_metadata(args.workers)
+    if metadata["workers_capped"]:
+        print(
+            f"warning: --workers {metadata['workers']} exceeds the "
+            f"{metadata['cpu_count']} available CPU(s); effective "
+            f"parallelism is {metadata['effective_workers']} "
+            "(recorded as workers_capped in the report metadata)",
+            file=sys.stderr,
+        )
+    write_report(scenarios, path, spans=spans, metadata=metadata)
     _print_scenarios(scenarios)
     if spans:
         print(

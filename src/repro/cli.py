@@ -156,13 +156,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if globally else 2
 
 
+def _compiled(args: argparse.Namespace) -> bool:
+    """Whether the engine runs the columnar kernels (default) or the
+    ``--no-compile`` escape hatch forced the interpreted walk."""
+    return not getattr(args, "no_compile", False)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     tracer = _tracer_from_args(args)
     try:
         with tracing(tracer):
             scheme = load_scheme(args.scheme)
             state = load_state(scheme, args.state)
-            engine = WeakInstanceEngine(scheme)
+            engine = WeakInstanceEngine(scheme, compiled=_compiled(args))
             target = attrs(args.target)
             rows = engine.query(state, target)
         ordered = sorted(target)
@@ -196,9 +202,13 @@ def _open_or_create_store(args: argparse.Namespace):
     store_dir = Path(args.store)
     fsync_every = getattr(args, "fsync_every", 1)
     workers = getattr(args, "workers", 1)
+    compiled = _compiled(args)
     if (store_dir / SCHEME_FILE).exists():
         return DurableStore.open(
-            store_dir, fsync_every=fsync_every, workers=workers
+            store_dir,
+            fsync_every=fsync_every,
+            workers=workers,
+            compiled=compiled,
         )
     scheme_path = getattr(args, "scheme", None)
     if not scheme_path:
@@ -211,6 +221,7 @@ def _open_or_create_store(args: argparse.Namespace):
         load_scheme(scheme_path),
         fsync_every=fsync_every,
         workers=workers,
+        compiled=compiled,
     )
 
 
@@ -255,7 +266,7 @@ def _run_insert(args: argparse.Namespace) -> int:
         return 1
     scheme = load_scheme(args.scheme)
     state = load_state(scheme, args.state)
-    engine = WeakInstanceEngine(scheme)
+    engine = WeakInstanceEngine(scheme, compiled=_compiled(args))
     outcome = engine.insert(state, args.relation, args.values)
     if not outcome.consistent:
         _print_rejection(args.relation, outcome)
@@ -377,6 +388,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scheme=load_scheme(args.scheme),
             tracer=tracer,
             workers=getattr(args, "workers", 1),
+            compiled=_compiled(args),
         )
         print("serving in-memory (no --store: nothing will be persisted)")
     try:
@@ -460,7 +472,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                     return 1
                 scheme = load_scheme(args.scheme)
                 state = load_state(scheme, args.state)
-                engine = WeakInstanceEngine(scheme)
+                engine = WeakInstanceEngine(
+                    scheme, compiled=_compiled(args)
+                )
                 if args.target:
                     for _ in range(args.repeat):
                         engine.query(state, args.target)
@@ -632,6 +646,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("scheme", help="scheme JSON file")
     query.add_argument("state", help="state JSON file")
     query.add_argument("--target", required=True, help="attributes, e.g. ACG")
+    query.add_argument(
+        "--no-compile",
+        action="store_true",
+        dest="no_compile",
+        help="disable the compiled columnar kernels (interpreted "
+        "expression evaluation only)",
+    )
     _add_trace_flags(query)
     query.set_defaults(func=_cmd_query)
 
@@ -658,6 +679,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="engine worker pool size for block-parallel batches "
         "(default 1 = serial)",
+    )
+    insert.add_argument(
+        "--no-compile",
+        action="store_true",
+        dest="no_compile",
+        help="disable the compiled columnar kernels (interpreted "
+        "expression evaluation only)",
     )
     _add_trace_flags(insert)
     insert.set_defaults(func=_cmd_insert)
@@ -689,6 +717,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="engine worker pool size for block-parallel batches "
         "(default 1 = serial)",
+    )
+    serve.add_argument(
+        "--no-compile",
+        action="store_true",
+        dest="no_compile",
+        help="disable the compiled columnar kernels (interpreted "
+        "expression evaluation only)",
     )
     _add_trace_flags(serve)
     serve.set_defaults(func=_cmd_serve)
@@ -723,6 +758,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         action="store_true",
         help="Prometheus text exposition instead of the table",
+    )
+    stats.add_argument(
+        "--no-compile",
+        action="store_true",
+        dest="no_compile",
+        help="disable the compiled columnar kernels (interpreted "
+        "expression evaluation only)",
     )
     _add_trace_flags(stats)
     stats.set_defaults(func=_cmd_stats)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Hashable, Mapping, Optional, Sequence
+from typing import Hashable, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.maintenance import (
     ExpressionRILookup,
@@ -38,6 +38,9 @@ from repro.schema.database_scheme import DatabaseScheme
 from repro.state.consistency import MaintenanceOutcome, maintain_by_chase
 from repro.state.database_state import DatabaseState
 from repro.tableau.chase import DeltaChase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compile import KernelSpace
 
 
 def is_ctm(
@@ -107,11 +110,22 @@ class InsertMaintainer:
         self,
         scheme: DatabaseScheme,
         partition: Optional[SchemePartition] = None,
+        kernels: Optional["KernelSpace"] = None,
+        compiled: bool = True,
     ) -> None:
         self.scheme = scheme
         self.partition = (
             partition if partition is not None else partition_scheme(scheme)
         )
+        # Algorithm-2 validations run their bounded selections through
+        # compiled columnar kernels unless opted out; a maintainer built
+        # by an engine shares that engine's KernelSpace (program memo +
+        # column store), a standalone maintainer owns one.
+        if kernels is None and compiled:
+            from repro.compile import KernelSpace
+
+            kernels = KernelSpace()
+        self.kernels = kernels if compiled else None
         self.recognition = self.partition.recognition
         self._strategy: dict[str, str] = {}
         self._block_of: dict[str, DatabaseScheme] = {}
@@ -144,6 +158,17 @@ class InsertMaintainer:
             ctm=ctm,
             strategy_by_relation=dict(self._strategy),
         )
+
+    def _lookup(self, substate: DatabaseState):
+        """The RI lookup for one Algorithm-2 validation: compiled
+        kernels when enabled, the interpreted expression walk otherwise.
+        The Corollary 3.1(b) branches are always scans, joins and
+        projections, all inside the kernel set."""
+        if self.kernels is not None:
+            from repro.compile import CompiledRILookup
+
+            return CompiledRILookup(substate, self.kernels)
+        return ExpressionRILookup(substate)
 
     def _substate(
         self, state: DatabaseState, block: DatabaseScheme
@@ -257,7 +282,7 @@ class InsertMaintainer:
                             current,
                             relation_name,
                             values,
-                            lookup=ExpressionRILookup(current),
+                            lookup=self._lookup(current),
                             check_scheme=False,
                         )
                     if not outcome.consistent:
@@ -330,7 +355,7 @@ class InsertMaintainer:
                 substate,
                 relation_name,
                 values,
-                lookup=ExpressionRILookup(substate),
+                lookup=self._lookup(substate),
                 check_scheme=False,
             )
         # Lift the block-level decision to the full state, preserving the

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from itertools import count
 from typing import Hashable, Iterable, Mapping, Optional, Sequence
 
+from repro.compile import KernelSpace
 from repro.core.ctm import BlockOutcome, InsertMaintainer
 from repro.core.parallel import BACKENDS, ParallelExecutor
 from repro.core.partition import SchemePartition, partition_scheme
@@ -32,7 +33,12 @@ from repro.core.query import (
 )
 from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs, sorted_attrs
 from repro.foundations.cache import MISSING, CacheInfo, LRUCache
-from repro.foundations.errors import InconsistentStateError, StateError
+from repro.foundations.errors import (
+    CompileError,
+    InconsistentStateError,
+    SchemaError,
+    StateError,
+)
 from repro.io import scheme_from_dict, scheme_to_dict
 from repro.obs.spans import current_tracer, span
 from repro.schema.database_scheme import DatabaseScheme
@@ -80,14 +86,22 @@ class BatchOutcome:
 class WeakInstanceEngine:
     """Scheme-bound query/update engine with plan and chase caching.
 
-    Both memo layers are bounded LRU caches (see
+    The memo layers are bounded LRU caches (see
     :class:`repro.foundations.cache.LRUCache`): ``plan_cache_size``
-    bounds the predetermined-plan cache per target attribute set, and
+    bounds the predetermined-plan cache per target attribute set *and*
+    the compiled-kernel program cache (keyed by
+    ``(scheme fingerprint, plan fingerprint)``), and
     ``chase_cache_size`` bounds the representative-instance cache per
     state.  Chase results are keyed by state *identity* — a
     :class:`DatabaseState` is immutable, so the chase of one particular
     object never changes; the cache entry keeps a strong reference to
     the state so the ``id`` cannot be recycled while the entry lives.
+
+    ``compiled=True`` (the default) routes reducible queries and the
+    Algorithm-2 insert validations through the columnar kernels of
+    :mod:`repro.compile`; ``compiled=False`` (the CLI's
+    ``--no-compile``) keeps every evaluation on the interpreted
+    expression walk.
     """
 
     def __init__(
@@ -97,6 +111,7 @@ class WeakInstanceEngine:
         chase_cache_size: int = 64,
         workers: int = 1,
         parallel_backend: str = "thread",
+        compiled: bool = True,
     ) -> None:
         if parallel_backend not in BACKENDS:
             raise StateError(
@@ -105,7 +120,16 @@ class WeakInstanceEngine:
             )
         self.scheme = scheme
         self.partition: SchemePartition = partition_scheme(scheme)
-        self.maintainer = InsertMaintainer(scheme, partition=self.partition)
+        self._compiled: LRUCache = LRUCache(plan_cache_size)
+        self.kernels: Optional[KernelSpace] = (
+            KernelSpace(programs=self._compiled) if compiled else None
+        )
+        self.maintainer = InsertMaintainer(
+            scheme,
+            partition=self.partition,
+            kernels=self.kernels,
+            compiled=compiled,
+        )
         self.recognition = self.maintainer.recognition
         self.workers = max(1, int(workers))
         self.parallel_backend = parallel_backend
@@ -265,6 +289,7 @@ class WeakInstanceEngine:
         """Hit/miss/eviction accounting for the engine's memo layers."""
         return {
             "plans": self._plans.info(),
+            "compiled": self._compiled.info(),
             "chase": self._chase.info(),
             "block_chase": self._block_chase.info(),
         }
@@ -528,16 +553,43 @@ class WeakInstanceEngine:
             "no predetermined expression is available)"
         )
 
+    def _query_compiled(
+        self, state: DatabaseState, target: frozenset[str]
+    ) -> Optional[set[tuple[Hashable, ...]]]:
+        """``[X]`` through the compiled kernel program for the cached
+        plan, or ``None`` when the target has no predetermined plan (a
+        ``SchemaError`` target falls back to the block route, which
+        answers uncoverable targets with the empty set) or the plan
+        cannot be flattened into kernels."""
+        kernels = self.kernels
+        assert kernels is not None
+        try:
+            plan = self.plan(target)
+            program = kernels.expression_program(
+                self.partition.fingerprint, plan.expression
+            )
+        except (SchemaError, CompileError):
+            return None
+        with span("engine.query.compiled") as sp:
+            rows = program.run_decoded(kernels.store, state)
+            if sp:
+                sp.add("rows_out", len(rows))
+        return rows
+
     def query(
         self, state: DatabaseState, attributes: AttrsLike
     ) -> set[tuple[Hashable, ...]]:
         """``[X]`` evaluated by the cheapest correct route."""
         target = attrs(attributes)
         with span("engine.query") as sp:
+            rows = None
             if self.reducible:
-                rows = total_projection_reducible(
-                    state, target, self.recognition
-                )
+                if self.kernels is not None:
+                    rows = self._query_compiled(state, target)
+                if rows is None:
+                    rows = total_projection_reducible(
+                        state, target, self.recognition
+                    )
             else:
                 rows = self.representative(state).total_projection(target)
             if sp:

@@ -380,8 +380,12 @@ class GreatestExpressionRILookup:
         scheme = state.scheme
         if len(scheme.relations) > max_relations:
             raise NotApplicableError(
-                "the exhaustive lossless-subset enumeration is capped at "
-                f"{max_relations} relations"
+                "GreatestExpressionRILookup enumerates every lossless "
+                "subset of the scheme (exponential in the relation "
+                f"count) and is capped at {max_relations} relation "
+                f"schemes; this scheme has {len(scheme.relations)}. "
+                "Use ExpressionRILookup, the practical backend with "
+                "identical answers, or raise max_relations explicitly."
             )
         self.state = state
         self.scheme = scheme

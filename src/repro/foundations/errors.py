@@ -37,6 +37,12 @@ class NotApplicableError(ReproError):
     (e.g. Algorithm 5 on a scheme that is not split-free)."""
 
 
+class CompileError(ReproError):
+    """An expression cannot be flattened into columnar kernels (e.g. it
+    embeds a literal relation); callers fall back to the interpreted
+    ``Expression.evaluate`` walk."""
+
+
 class ServiceError(ReproError):
     """A failure in the durable serving layer (``repro.service``)."""
 

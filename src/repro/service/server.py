@@ -87,6 +87,7 @@ class SchemeServer:
         tracer: Optional[Tracer] = None,
         workers: int = 1,
         parallel_backend: str = "thread",
+        compiled: bool = True,
     ) -> None:
         if (store is None) == (scheme is None):
             raise ServiceError(
@@ -113,7 +114,10 @@ class SchemeServer:
             assert scheme is not None
             self.scheme = scheme
             self.engine = WeakInstanceEngine(
-                scheme, workers=workers, parallel_backend=parallel_backend
+                scheme,
+                workers=workers,
+                parallel_backend=parallel_backend,
+                compiled=compiled,
             )
             self.metrics = MetricsRegistry()
             self._state = (
@@ -127,8 +131,11 @@ class SchemeServer:
         scheme: DatabaseScheme,
         state: Optional[DatabaseState] = None,
         workers: int = 1,
+        compiled: bool = True,
     ) -> "SchemeServer":
-        return cls(scheme=scheme, state=state, workers=workers)
+        return cls(
+            scheme=scheme, state=state, workers=workers, compiled=compiled
+        )
 
     @classmethod
     def serving(cls, store: DurableStore) -> "SchemeServer":

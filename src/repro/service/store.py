@@ -151,6 +151,7 @@ class DurableStore:
         metrics: Optional[MetricsRegistry] = None,
         workers: int = 1,
         parallel_backend: str = "thread",
+        compiled: bool = True,
     ) -> "DurableStore":
         """Initialise a fresh store directory (must not already hold
         one) and return it opened."""
@@ -171,6 +172,7 @@ class DurableStore:
             metrics=metrics,
             workers=workers,
             parallel_backend=parallel_backend,
+            compiled=compiled,
         )
 
     @classmethod
@@ -184,6 +186,7 @@ class DurableStore:
         metrics: Optional[MetricsRegistry] = None,
         workers: int = 1,
         parallel_backend: str = "thread",
+        compiled: bool = True,
     ) -> "DurableStore":
         """Recover the store at ``directory``: snapshot + WAL replay.
 
@@ -201,7 +204,10 @@ class DurableStore:
                 raise StoreError(f"{directory} does not contain a store")
             scheme = load_scheme(scheme_path)
             engine = WeakInstanceEngine(
-                scheme, workers=workers, parallel_backend=parallel_backend
+                scheme,
+                workers=workers,
+                parallel_backend=parallel_backend,
+                compiled=compiled,
             )
 
             snapshot_path = directory / SNAPSHOT_FILE

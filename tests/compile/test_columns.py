@@ -1,0 +1,134 @@
+"""Unit tests for the columnar storage layer behind the compiled
+kernels: value interning, the identity-keyed derived caches, and the
+run-bracketed compaction rules."""
+
+from repro.compile import ColumnStore
+from repro.state.database_state import DatabaseState, tuples_from_rows
+from repro.workloads.paper import example4_split_scheme
+
+
+def small_state() -> DatabaseState:
+    return DatabaseState(
+        example4_split_scheme(),
+        {
+            "R1": tuples_from_rows("AB", [("a1", "b1"), ("a2", "b1")]),
+            "R4": tuples_from_rows("EB", [("e1", "b1"), ("e2", "b2")]),
+        },
+    )
+
+
+class TestInterning:
+    def test_columnar_round_trips_the_relation(self):
+        store = ColumnStore()
+        relation = small_state()["R1"]
+        columnar = store.columnar(relation)
+        decode = store.decoder()
+        rows = {
+            tuple(decode[col[row]] for col in columnar.cols)
+            for row in range(columnar.nrows)
+        }
+        assert columnar.columns == relation.columns
+        assert columnar.nrows == len(relation.row_vectors)
+        assert rows == set(relation.row_vectors)
+
+    def test_codes_shared_across_relations(self):
+        store = ColumnStore()
+        state = small_state()
+        r1 = store.columnar(state["R1"])
+        r4 = store.columnar(state["R4"])
+        b_in_r1 = r1.cols[r1.columns.index("B")]
+        b_in_r4 = r4.cols[r4.columns.index("B")]
+        # "b1" occurs in both relations and must intern to one code.
+        assert set(b_in_r1) & set(b_in_r4)
+
+    def test_columnar_cached_by_identity(self):
+        store = ColumnStore()
+        relation = small_state()["R1"]
+        assert store.columnar(relation) is store.columnar(relation)
+
+    def test_encode_existing_never_creates_codes(self):
+        store = ColumnStore()
+        assert store.encode_existing("a1") is None
+        store.columnar(small_state()["R1"])
+        code = store.encode_existing("a1")
+        assert code is not None
+        assert store.decoder()[code] == "a1"
+        assert store.encode_existing("never-stored") is None
+
+
+class TestIndex:
+    def test_single_position_index(self):
+        store = ColumnStore()
+        relation = small_state()["R1"]
+        columnar = store.columnar(relation)
+        position = columnar.columns.index("B")
+        index = store.index(relation, (position,))
+        code = store.encode_existing("b1")
+        assert sorted(index) == sorted(set(columnar.cols[position]))
+        assert len(index[code]) == 2  # both rows share B=b1
+
+    def test_multi_position_index(self):
+        store = ColumnStore()
+        relation = small_state()["R4"]
+        index = store.index(relation, (0, 1))
+        assert all(isinstance(key, tuple) for key in index)
+        assert sum(len(rows) for rows in index.values()) == 2
+
+    def test_index_cached_by_identity(self):
+        store = ColumnStore()
+        relation = small_state()["R1"]
+        assert store.index(relation, (0,)) is store.index(relation, (0,))
+
+
+class TestTrim:
+    def test_trim_deduplicates(self):
+        store = ColumnStore()
+        relation = small_state()["R1"]
+        position = relation.columns.index("B")
+        cols, nrows = store.trim(relation, (position,))
+        assert nrows == 1  # both rows carry B=b1
+        assert len(cols) == 1 and len(cols[0]) == 1
+
+    def test_trim_without_duplicates_reuses_columns(self):
+        store = ColumnStore()
+        relation = small_state()["R4"]
+        columnar = store.columnar(relation)
+        cols, nrows = store.trim(relation, (0, 1))
+        assert nrows == columnar.nrows
+        assert cols[0] is columnar.cols[0]
+
+    def test_trim_cached_by_identity(self):
+        store = ColumnStore()
+        relation = small_state()["R1"]
+        first = store.trim(relation, (0,))
+        second = store.trim(relation, (0,))
+        assert first[0] is second[0]
+
+
+class TestCompaction:
+    def test_begin_compacts_an_overgrown_interner(self):
+        store = ColumnStore(max_values=2)
+        store.columnar(small_state()["R1"])  # interns 3 distinct values
+        assert store.distinct_values > store.max_values
+        assert store.generation == 0
+        store.begin()
+        try:
+            assert store.generation == 1
+            assert store.distinct_values == 0
+        finally:
+            store.end()
+
+    def test_compaction_deferred_while_a_run_is_active(self):
+        store = ColumnStore(max_values=2)
+        store.begin()
+        try:
+            store.columnar(small_state()["R1"])
+            store.begin()  # nested run: must NOT compact mid-flight
+            store.end()
+            assert store.generation == 0
+            assert store.distinct_values > store.max_values
+        finally:
+            store.end()
+        store.begin()  # no run active any more: compacts now
+        store.end()
+        assert store.generation == 1

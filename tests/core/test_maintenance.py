@@ -192,6 +192,32 @@ class TestAlgorithm2:
         )
         assert greatest.find(frozenset("A"), {"A": "zzz"}) is None
 
+    def test_greatest_expression_lookup_ceiling(self):
+        """The exhaustive enumeration is exponential in the relation
+        count, so construction refuses schemes beyond its explicit
+        ceiling with a diagnosis naming both bounds — before any
+        subset is enumerated."""
+        import random
+
+        from repro.workloads.random_schemes import random_independent_scheme
+
+        scheme = random_independent_scheme(
+            random.Random(7), n_relations=13
+        )
+        state = DatabaseState(scheme)
+        with pytest.raises(NotApplicableError) as excinfo:
+            GreatestExpressionRILookup(state)
+        message = str(excinfo.value)
+        assert "capped at 12 relation schemes" in message
+        assert "this scheme has 13" in message
+        assert "ExpressionRILookup" in message
+        # The ceiling is a parameter, not a constant: raising it
+        # explicitly admits the same scheme.
+        assert GreatestExpressionRILookup(state, max_relations=13)
+        # At the ceiling itself construction succeeds.
+        at_limit = random_independent_scheme(random.Random(7), n_relations=12)
+        assert GreatestExpressionRILookup(DatabaseState(at_limit))
+
     @given(seeded_rng(), st.integers(min_value=1, max_value=5))
     def test_greatest_lookup_matches_chase_lookup(self, rng, n):
         scheme = random_key_equivalent_scheme(rng, n_relations=3)
