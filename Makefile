@@ -3,7 +3,12 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench serve-bench bench-suite bench-compare trace-smoke
+.PHONY: test lint bench serve-bench shard-bench bench-suite bench-compare trace-smoke
+
+# Shard counts / rounds for the sharded serving benchmark; override for
+# a quick smoke: make shard-bench SHARD_COUNTS=1,2 SHARD_ROUNDS=2
+SHARD_COUNTS ?= 1,4,8
+SHARD_ROUNDS ?= 4
 
 test:
 	$(PY) -m pytest -x -q
@@ -28,6 +33,11 @@ bench:
 # BENCH_perf.json.
 serve-bench:
 	$(PY) -m repro.bench --serving
+
+# Sharded serving tier at several shard counts (mixed workload through
+# the router + worker processes); merges into BENCH_perf.json.
+shard-bench:
+	$(PY) -m repro shard-bench --shards $(SHARD_COUNTS) --rounds $(SHARD_ROUNDS)
 
 # Re-run the tracked scenarios and fail when any speedup ratio falls
 # more than 25% below the committed BENCH_perf.json baseline.

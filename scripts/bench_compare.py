@@ -49,10 +49,17 @@ def load_baseline(path: Path) -> dict[str, float]:
 
 
 def fresh_speedups(repeats: int, workers: int) -> dict[str, float]:
-    from repro.bench import run_parallel_scenarios, run_scenarios
+    from repro.bench import (
+        run_parallel_scenarios,
+        run_scenarios,
+        run_shard_scenarios,
+    )
 
     scenarios = dict(run_scenarios(repeats=repeats))
     scenarios.update(run_parallel_scenarios(repeats=repeats, workers=workers))
+    # The sharded tier's 4-shard-vs-inline ratio (its own best-of is
+    # baked into run_shard_scenarios; the s8 point is informational).
+    scenarios.update(run_shard_scenarios(shard_counts=(1, 4)))
     return {
         name: record["speedup"]
         for name, record in scenarios.items()

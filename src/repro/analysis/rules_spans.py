@@ -84,8 +84,22 @@ def default_config(repo_root: Path) -> SpanConfig:
             "service/server.py::SchemeServer.apply_batch": ("tracing",),
             "service/server.py::SchemeServer.query": ("tracing",),
             "service/server.py::SchemeServer.snapshot": ("tracing",),
+            "service/store.py::DurableStore.commit_batch": ("store.batch",),
+            "service/store.py::DurableStore.log_reject": ("store.batch",),
             "service/wal.py::WriteAheadLog.append": ("wal.append",),
             "service/wal.py::WriteAheadLog.sync": ("wal.fsync",),
+            "shard/router.py::ShardRouter.insert": ("shard.route",),
+            "shard/router.py::ShardRouter.delete": ("shard.route",),
+            "shard/router.py::ShardRouter.query": ("shard.route",),
+            # apply_batch activates the tracer; the shard.route span
+            # opens in _apply_batch_sharded (inline mode delegates to
+            # the SchemeServer, which traces itself).
+            "shard/router.py::ShardRouter.apply_batch": ("tracing",),
+            "shard/router.py::ShardRouter._rpc": ("shard.rpc",),
+            "shard/router.py::ShardRouter.snapshot": ("tracing",),
+            "shard/frontend.py::ShardFrontend._execute": (
+                "front.request",
+            ),
             "tableau/chase.py::chase": ("chase.tableau",),
             "tableau/chase.py::chase_relations": ("chase.relations",),
             "tableau/chase.py::DeltaChase.extend": ("chase.delta",),
@@ -98,6 +112,8 @@ def default_config(repo_root: Path) -> SpanConfig:
             "core/engine.py::WeakInstanceEngine",
             "service/store.py::DurableStore",
             "service/server.py::SchemeServer",
+            "shard/router.py::ShardRouter",
+            "shard/frontend.py::ShardFrontend",
         ),
         exempt={
             # Engine: accessors and memo plumbing; the chase spans fire
@@ -130,6 +146,24 @@ def default_config(repo_root: Path) -> SpanConfig:
             "service/server.py::SchemeServer.stats": "reporting",
             "service/server.py::SchemeServer.prometheus": "reporting",
             "service/server.py::SchemeServer.close": "resource teardown",
+            # Router: constructors and reporting mirror SchemeServer's
+            # surface; the routed hot paths all open shard.* spans.
+            "shard/router.py::ShardRouter.in_memory": "constructor",
+            "shard/router.py::ShardRouter.create": "constructor",
+            "shard/router.py::ShardRouter.open": "constructor",
+            "shard/router.py::ShardRouter.session": "session bookkeeping",
+            "shard/router.py::ShardRouter.session_names": "accessor",
+            "shard/router.py::ShardRouter.metrics_snapshot": "reporting",
+            "shard/router.py::ShardRouter.stats": "reporting",
+            "shard/router.py::ShardRouter.prometheus": "reporting",
+            "shard/router.py::ShardRouter.close": "resource teardown",
+            # Frontend: lifecycle only; every request runs through
+            # _execute, which opens front.request.
+            "shard/frontend.py::ShardFrontend.start": "socket bind",
+            "shard/frontend.py::ShardFrontend.serve_forever": (
+                "accept loop; front.request spans fire per request"
+            ),
+            "shard/frontend.py::ShardFrontend.close": "resource teardown",
         },
         catalogue=catalogue if catalogue.exists() else None,
     )

@@ -363,10 +363,162 @@ def _serve_loop(server, lines, echo: bool = False) -> int:
     return 0
 
 
+def _install_shutdown_handlers() -> dict:
+    """Route SIGTERM/SIGINT into :class:`KeyboardInterrupt` so ``serve``
+    tears down stores (and shard worker processes) cleanly under a
+    supervisor, not just on a keyboard ^C.  Returns the previous
+    handlers — restore them in a ``finally``, because the tests drive
+    ``_cmd_serve`` in-process and must not leak handlers.  A no-op off
+    the main thread, where handlers cannot be installed."""
+    import signal as signal_mod
+
+    def _handle(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous: dict = {}
+    for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
+        try:
+            previous[signum] = signal_mod.signal(signum, _handle)
+        except ValueError:  # not the main thread
+            pass
+    return previous
+
+
+def _restore_shutdown_handlers(previous: dict) -> None:
+    import signal as signal_mod
+
+    for signum, handler in previous.items():
+        signal_mod.signal(signum, handler)
+
+
+def _serve_lines(server: object, args: argparse.Namespace) -> int:
+    """Run the line protocol with supervised-shutdown semantics."""
+    previous = _install_shutdown_handlers()
+    try:
+        if args.script:
+            with open(args.script) as handle:
+                return _serve_loop(server, handle, echo=True)
+        return _serve_loop(server, sys.stdin)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+    finally:
+        _restore_shutdown_handlers(previous)
+
+
+def _serve_frontend_blocking(router: object, args: argparse.Namespace) -> int:
+    """Run the asyncio front door until SIGTERM/SIGINT."""
+    import asyncio
+    import signal as signal_mod
+
+    from repro.shard.frontend import serve_frontend
+
+    async def _run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # platform or non-main-thread limitation
+        await serve_frontend(
+            router,
+            host=args.host,
+            port=args.port,
+            stop=stop,
+            announce=True,
+        )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print("shutting down")
+    return 0
+
+
+def _cmd_serve_sharded(
+    args: argparse.Namespace, tracer: Optional[Tracer]
+) -> int:
+    from pathlib import Path
+
+    from repro.shard.router import SHARD_FILE, ShardRouter
+
+    shards = args.shards if args.shards is not None else 1
+    if args.store:
+        directory = Path(args.store)
+        if (directory / SHARD_FILE).exists():
+            router = ShardRouter.open(
+                directory,
+                args.shards,
+                fsync_every=args.fsync_every,
+                compiled=_compiled(args),
+                tracer=tracer,
+            )
+            print(
+                f"serving sharded store {directory} "
+                f"({router.shards} shard(s))"
+            )
+        else:
+            if not args.scheme:
+                print(
+                    "error: creating a sharded store needs a scheme file",
+                    file=sys.stderr,
+                )
+                return 1
+            router = ShardRouter.create(
+                directory,
+                load_scheme(args.scheme),
+                shards,
+                fsync_every=args.fsync_every,
+                compiled=_compiled(args),
+                tracer=tracer,
+            )
+            print(
+                f"created sharded store {directory} "
+                f"({router.shards} shard(s))"
+            )
+    else:
+        if not args.scheme:
+            print(
+                "error: serve needs a scheme file or --store DIR",
+                file=sys.stderr,
+            )
+            return 1
+        router = ShardRouter.in_memory(
+            load_scheme(args.scheme),
+            shards,
+            tracer=tracer,
+            compiled=_compiled(args),
+        )
+        print(
+            f"serving in-memory, {router.shards} shard(s) "
+            "(no --store: nothing will be persisted)"
+        )
+    try:
+        if args.port is not None:
+            return _serve_frontend_blocking(router, args)
+        return _serve_lines(router, args)
+    finally:
+        router.close()
+        if tracer is not None:
+            tracer.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.service.server import SchemeServer
 
     tracer = _tracer_from_args(args)
+    # --shards / --port, or a directory already laid out as a sharded
+    # store, select the sharded serving tier.
+    if (
+        getattr(args, "shards", None) is not None
+        or getattr(args, "port", None) is not None
+        or (args.store and (Path(args.store) / "shard.json").exists())
+    ):
+        return _cmd_serve_sharded(args, tracer)
     store = None
     if args.store:
         store = _open_or_create_store(args)
@@ -392,10 +544,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print("serving in-memory (no --store: nothing will be persisted)")
     try:
-        if args.script:
-            with open(args.script) as handle:
-                return _serve_loop(server, handle, echo=True)
-        return _serve_loop(server, sys.stdin)
+        return _serve_lines(server, args)
     finally:
         server.close()
         if tracer is not None:
@@ -454,14 +603,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     try:
         with tracing(tracer):
             if args.store:
-                store = _open_or_create_store(args)
-                try:
-                    if args.target:
-                        for _ in range(args.repeat):
-                            store.query(args.target)
-                    metrics = store.metrics.snapshot()
-                finally:
-                    store.close()
+                from pathlib import Path
+
+                if (Path(args.store) / "shard.json").exists():
+                    # Sharded store: aggregate over the per-shard
+                    # registries (worker series carry a shard label).
+                    from repro.shard.router import ShardRouter
+
+                    router = ShardRouter.open(
+                        args.store,
+                        compiled=_compiled(args),
+                        tracer=tracer,
+                    )
+                    try:
+                        if args.target:
+                            for _ in range(args.repeat):
+                                router.query(args.target)
+                        if args.prometheus:
+                            print(router.prometheus(), end="")
+                            return 0
+                        metrics = router.metrics_snapshot()
+                    finally:
+                        router.close()
+                else:
+                    store = _open_or_create_store(args)
+                    try:
+                        if args.target:
+                            for _ in range(args.repeat):
+                                store.query(args.target)
+                        metrics = store.metrics.snapshot()
+                    finally:
+                        store.close()
             else:
                 if not args.scheme or not args.state:
                     print(
@@ -613,6 +785,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    """Bench the sharded tier and merge into ``BENCH_perf.json``."""
+    from pathlib import Path
+
+    from repro import bench as bench_mod
+
+    counts = tuple(
+        int(part) for part in str(args.shards).split(",") if part.strip()
+    )
+    if not counts:
+        print("error: --shards needs at least one count", file=sys.stderr)
+        return 1
+    scenarios = bench_mod.run_shard_scenarios(
+        shard_counts=counts,
+        rounds=args.rounds,
+        fsync_every=args.fsync_every,
+        seed_rows=args.seed_rows,
+        repeats=args.repeats,
+    )
+    path = (
+        Path(args.out)
+        if args.out
+        else bench_mod._repo_root() / bench_mod.BENCH_PATH_NAME
+    )
+    bench_mod.write_report(scenarios, path)
+    bench_mod._print_scenarios(scenarios)
+    print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -725,8 +927,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the compiled columnar kernels (interpreted "
         "expression evaluation only)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through the sharded tier with this many worker "
+        "processes (clamped to the scheme's block count; omit to "
+        "reuse a sharded store's stored count)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve the asyncio frame protocol on this TCP port "
+        "(0 picks a free one) instead of the stdin line protocol",
+    )
     _add_trace_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    shard_bench = commands.add_parser(
+        "shard-bench",
+        help="bench the sharded serving tier at several shard counts",
+    )
+    shard_bench.add_argument(
+        "--shards",
+        default="1,4,8",
+        help="comma-separated shard counts to bench (default 1,4,8)",
+    )
+    shard_bench.add_argument(
+        "--rounds",
+        type=int,
+        default=4,
+        help="mixed-workload rounds per shard count (default 4)",
+    )
+    shard_bench.add_argument(
+        "--seed-rows",
+        type=int,
+        default=240,
+        dest="seed_rows",
+        help="untimed rows seeded per tile before timing (default 240)",
+    )
+    shard_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed cycles per shard count; best is reported (default 3)",
+    )
+    shard_bench.add_argument(
+        "--fsync-every",
+        type=int,
+        default=32,
+        dest="fsync_every",
+        help="WAL fsync batching during the bench (default 32)",
+    )
+    shard_bench.add_argument(
+        "--out",
+        help="report path (default: BENCH_perf.json at the repo root)",
+    )
+    shard_bench.set_defaults(func=_cmd_shard_bench)
 
     stats = commands.add_parser(
         "stats",

@@ -28,6 +28,8 @@ Number = Union[int, float]
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
+_LABELED = re.compile(r"^(?P<base>[^{}]+)\{(?P<labels>[^{}]*)\}$")
+
 
 def sanitize_metric_name(name: str) -> str:
     """``name`` mapped into the Prometheus metric-name alphabet."""
@@ -35,6 +37,20 @@ def sanitize_metric_name(name: str) -> str:
     if not cleaned or cleaned[0].isdigit():
         cleaned = "_" + cleaned
     return cleaned
+
+
+def split_labels(name: str) -> tuple[str, Optional[str]]:
+    """Split ``name{key="value",...}`` into ``(name, labels)``.
+
+    The sharding tier stores per-shard series under labeled names (see
+    :func:`repro.service.metrics.labeled`); only the base name is
+    sanitized, the label block passes through verbatim.  A name with no
+    label block returns ``(name, None)``.
+    """
+    match = _LABELED.match(name)
+    if match is None:
+        return name, None
+    return match.group("base"), match.group("labels")
 
 
 def _format_value(value: Number) -> str:
@@ -48,28 +64,46 @@ def _format_value(value: Number) -> str:
 class _Emitter:
     def __init__(self) -> None:
         self.lines: list[str] = []
-        self._seen: set[str] = set()
+        # Series identity is (family, labels): the same family may
+        # carry one unlabeled series plus one per shard, but an exact
+        # repeat is still a collision.
+        self._seen: set[tuple[str, Optional[str]]] = set()
+        self._typed: set[str] = set()
 
-    def claim(self, name: str, source: str) -> None:
-        if name in self._seen:
+    def claim(self, name: str, labels: Optional[str], source: str) -> None:
+        key = (name, labels)
+        if key in self._seen:
             raise ValueError(
                 f"metric {source!r} collides with an already-emitted "
                 f"series named {name!r}"
             )
-        self._seen.add(name)
+        self._seen.add(key)
+
+    def _type_line(self, name: str, kind: str) -> None:
+        # Prometheus wants the TYPE comment once per family, however
+        # many labeled series the family carries.
+        if name not in self._typed:
+            self._typed.add(name)
+            self.lines.append(f"# TYPE {name} {kind}")
 
     def simple(
-        self, name: str, kind: str, value: Number, source: str
+        self,
+        name: str,
+        labels: Optional[str],
+        kind: str,
+        value: Number,
+        source: str,
     ) -> None:
-        self.claim(name, source)
-        self.lines.append(f"# TYPE {name} {kind}")
-        self.lines.append(f"{name} {_format_value(value)}")
+        self.claim(name, labels, source)
+        self._type_line(name, kind)
+        rendered = name if labels is None else f"{name}{{{labels}}}"
+        self.lines.append(f"{rendered} {_format_value(value)}")
 
     def histogram(
         self, name: str, histogram: LatencyHistogram, source: str
     ) -> None:
-        self.claim(name, source)
-        self.lines.append(f"# TYPE {name} histogram")
+        self.claim(name, None, source)
+        self._type_line(name, "histogram")
         for bound, cumulative in histogram.cumulative_buckets():
             self.lines.append(
                 f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
@@ -92,15 +126,22 @@ def prometheus_text(
     """
     emitter = _Emitter()
     for name, value in sorted((counters or {}).items()):
+        base, labels = split_labels(name)
         emitter.simple(
-            f"{prefix}_{sanitize_metric_name(name)}_total",
+            f"{prefix}_{sanitize_metric_name(base)}_total",
+            labels,
             "counter",
             value,
             name,
         )
     for name, value in sorted((gauges or {}).items()):
+        base, labels = split_labels(name)
         emitter.simple(
-            f"{prefix}_{sanitize_metric_name(name)}", "gauge", value, name
+            f"{prefix}_{sanitize_metric_name(base)}",
+            labels,
+            "gauge",
+            value,
+            name,
         )
     for name, histogram in sorted((histograms or {}).items()):
         emitter.histogram(

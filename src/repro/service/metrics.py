@@ -20,11 +20,26 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from repro.foundations.errors import ServiceError
 
 Number = Union[int, float]
+
+
+def labeled(name: str, **labels: object) -> str:
+    """Render ``name`` with Prometheus-style labels appended.
+
+    ``labeled("ops.insert", shard=2)`` → ``ops.insert{shard="2"}``.
+    Keeping labels inside the metric *name* lets per-shard series share
+    one flat registry namespace without colliding; the exposition layer
+    (:func:`repro.obs.exposition.prometheus_text`) splits them back out
+    when emitting the text format.
+    """
+    rendered = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{rendered}}}"
 
 
 class MetricsRegistry:
@@ -115,21 +130,37 @@ class MetricsRegistry:
 
     def snapshot_by_kind(
         self,
+        shard: Optional[int] = None,
     ) -> dict[str, dict[str, Number]]:
         """The three namespaces separately (for exposition formats that
         distinguish metric kinds): ``{"counters": ..., "gauges": ...,
         "timers": ...}`` with timers flattened to ``<name>.seconds`` /
-        ``<name>.calls``."""
+        ``<name>.calls``.
+
+        With ``shard`` given, every name is rendered through
+        :func:`labeled` as ``name{shard="K"}`` so registries from
+        several shard workers can be merged into one namespace without
+        collisions — the sharded ``repro stats --prometheus`` path.
+        """
         with self._lock:
             timers: dict[str, Number] = {}
             for name, (seconds, calls) in self._timers.items():
                 timers[f"{name}.seconds"] = seconds
                 timers[f"{name}.calls"] = calls
-            return {
+            kinds = {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "timers": timers,
             }
+        if shard is None:
+            return kinds
+        return {
+            kind: {
+                labeled(name, shard=shard): value
+                for name, value in series.items()
+            }
+            for kind, series in kinds.items()
+        }
 
     def describe(self) -> str:
         """One ``name = value`` line per metric, sorted by name."""

@@ -102,6 +102,7 @@ class SchemeServer:
         self._write_lock = threading.Lock()
         self._sessions_lock = threading.Lock()
         self._sessions: dict[str, Session] = {}  # guarded-by: _sessions_lock
+        self._closed = False  # guarded-by: _write_lock
         self._store = store
         if store is not None:
             if state is not None:
@@ -274,8 +275,13 @@ class SchemeServer:
         # Take the write lock in *both* branches: an in-flight write on
         # another thread must finish (and publish its state) before the
         # engine's worker pool — which that write may be using — is
-        # torn down.
+        # torn down.  Idempotent: a supervised shutdown (signal handler
+        # plus ``finally`` block plus supervisor) may close the same
+        # server from several paths.
         with self._write_lock:
+            if self._closed:
+                return
+            self._closed = True
             if self._store is not None:
                 self._store.close()
             else:

@@ -374,6 +374,54 @@ class DurableStore:
                 sp.add("applied", outcome.applied)
             return outcome
 
+    def commit_batch(
+        self, updates: Sequence[Update], state: DatabaseState
+    ) -> None:
+        """Log an already-validated batch and publish its result state.
+
+        The sharded two-phase commit path: the worker validated the
+        slice during *prepare* (through the same block kernels the
+        engine uses), so by commit time there is nothing left to check
+        — only the WAL append and the state swap remain.  Counter and
+        span accounting match :meth:`apply_batch`'s committed branch.
+        """
+        with span("store.batch") as sp:
+            for operation, relation_name, values in updates:
+                self._wal.append(operation, relation_name, values)
+            self._state = state
+            self.metrics.increment("ops.batch")
+            self.metrics.increment("ops.batch_updates", len(updates))
+            self._after_write()
+            if sp:
+                sp.add("updates", len(updates))
+                sp.add("applied", len(updates))
+
+    def log_reject(
+        self,
+        relation_name: str,
+        values: Mapping[str, Hashable],
+        outcome: Mapping[str, object],
+    ) -> None:
+        """Durably record a batch rejection without applying anything.
+
+        The sharded abort path for the shard that owns the refused
+        tuple: the record is byte-compatible with the ``reject`` entry
+        :meth:`apply_batch` writes, so WAL auditing tools see the same
+        diagnostic whether the batch ran sharded or single-process."""
+        with span("store.batch") as sp:
+            self._wal.append(
+                "reject",
+                relation_name,
+                values,
+                extra={"outcome": dict(outcome)},
+            )
+            self.metrics.increment("ops.batch")
+            self.metrics.increment("store.rejects")
+            self._after_write()
+            if sp:
+                sp.add("updates", 0)
+                sp.add("applied", 0)
+
     # -- queries --------------------------------------------------------------
     def query(self, attributes: AttrsLike) -> set[tuple[Hashable, ...]]:
         """``[X]`` over the current state via the engine's cheapest

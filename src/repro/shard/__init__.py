@@ -1,0 +1,52 @@
+"""Sharded multi-process serving (PR 7).
+
+The independence decomposition is a *sharding* certificate: no chase
+rule fires across partition blocks, so each block group can own its own
+process, engine, WAL and snapshots.  This package provides the three
+tiers that exploit it:
+
+* :mod:`repro.shard.protocol` — length-prefixed JSON framing shared by
+  the router↔worker pipes and the asyncio front door;
+* :mod:`repro.shard.worker` — the per-shard process: a full
+  :class:`~repro.service.store.DurableStore` (or in-memory engine)
+  over its block subset, driven by a blocking RPC loop;
+* :mod:`repro.shard.router` — :class:`ShardRouter`, the block→shard
+  map plus serial-equivalent fan-out (min-global-event-index batches,
+  plan-aware query routing);
+* :mod:`repro.shard.frontend` — an asyncio server multiplexing many
+  concurrent sessions onto one router.
+"""
+
+from repro.shard.frontend import (
+    FrontendClient,
+    ShardFrontend,
+    serve_frontend,
+)
+from repro.shard.protocol import (
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+from repro.shard.router import (
+    RouterBatchOutcome,
+    RouterInsertOutcome,
+    RouterSession,
+    ShardMap,
+    ShardRouter,
+)
+
+__all__ = [
+    "FrontendClient",
+    "RouterBatchOutcome",
+    "RouterInsertOutcome",
+    "RouterSession",
+    "ShardFrontend",
+    "ShardMap",
+    "ShardRouter",
+    "read_frame",
+    "serve_frontend",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]

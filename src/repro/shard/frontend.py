@@ -1,0 +1,284 @@
+"""The asyncio front door: many concurrent sessions, one router.
+
+The single-process CLI drives a :class:`~repro.service.server
+.SchemeServer` over a blocking line loop — one client at a time.  This
+module replaces that accept model for sharded deployments: an
+:class:`asyncio` server speaks the same length-prefixed JSON frames as
+the router↔worker pipes (:mod:`repro.shard.protocol`), so thousands of
+concurrent connections multiplex onto one :class:`~repro.shard.router
+.ShardRouter`.
+
+Each request runs under ``span("front.request")`` inside the router's
+tracer, off the event loop in a worker thread (router calls block on
+worker RPCs); the event loop itself only ever frames and unframes
+bytes.  Writes stay serial through the router's write lock — the
+fan-out tier, not the front door, owns ordering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping, Optional
+
+from repro.foundations.attrs import attrs
+from repro.foundations.errors import ReproError, ServiceError
+from repro.io import state_to_dict
+from repro.obs.spans import span, tracing
+from repro.shard.protocol import read_frame, write_frame
+
+#: Operations a frontend client may request.
+FRONT_OPS = (
+    "ping",
+    "insert",
+    "delete",
+    "batch",
+    "query",
+    "state",
+    "metrics",
+    "stats",
+    "prometheus",
+    "snapshot",
+    "sessions",
+)
+
+
+class ShardFrontend:
+    """Serve a :class:`~repro.shard.router.ShardRouter` over asyncio."""
+
+    def __init__(
+        self,
+        router: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.router = router
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (``port=0`` picks a free port)."""
+        if self._server is not None:
+            raise ServiceError("frontend already started")
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServiceError("frontend not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting and wait for in-flight connections to drain.
+        Safe to call more than once; the router is left open (its owner
+        closes it)."""
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.close()
+        await server.wait_closed()
+
+    # -- per-connection loop --------------------------------------------------
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ServiceError:
+                    break  # torn frame: drop the connection
+                if request is None:
+                    break  # clean EOF
+                response = await self._handle(request)
+                write_frame(writer, response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                # Shutdown cancels connection tasks; the writer is
+                # already closing, so ending quietly is the right move.
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _handle(self, request: Any) -> dict[str, Any]:
+        """One request → one response, off the event loop.
+
+        Requests from *different* connections overlap freely; the
+        router's own locks serialize what must be serial."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._execute, request)
+
+    # -- dispatch (worker thread) ---------------------------------------------
+    def _execute(self, request: Any) -> dict[str, Any]:
+        with tracing(self.router.tracer):
+            with span("front.request") as sp:
+                try:
+                    if not isinstance(request, Mapping):
+                        raise ServiceError("request frame must be an object")
+                    response = self._dispatch(request)
+                except ReproError as error:
+                    response = {
+                        "ok": False,
+                        "error": {
+                            "type": type(error).__name__,
+                            "message": str(error),
+                        },
+                    }
+                except Exception as error:  # noqa: BLE001 - boundary
+                    response = {
+                        "ok": False,
+                        "error": {
+                            "type": type(error).__name__,
+                            "message": str(error),
+                        },
+                    }
+                if sp:
+                    sp.add("errors", 0 if response.get("ok") else 1)
+        return response
+
+    def _dispatch(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        if op not in FRONT_OPS:
+            raise ServiceError(f"unknown frontend operation {op!r}")
+        router = self.router
+        if op == "ping":
+            return {"ok": True, "shards": router.shards}
+        if op == "sessions":
+            return {"ok": True, "sessions": router.session_names()}
+        if op == "metrics":
+            return {"ok": True, "metrics": router.metrics_snapshot()}
+        if op == "stats":
+            return {"ok": True, "stats": router.stats()}
+        if op == "prometheus":
+            return {"ok": True, "text": router.prometheus()}
+        if op == "snapshot":
+            router.snapshot()
+            return {"ok": True}
+        session = router.session(str(request.get("session", "default")))
+        if op == "insert":
+            outcome = session.insert(
+                str(request["relation"]), dict(request["values"])
+            )
+            return {"ok": True, "outcome": outcome.to_dict()}
+        if op == "delete":
+            session.delete(str(request["relation"]), dict(request["values"]))
+            return {"ok": True}
+        if op == "batch":
+            updates = [
+                (str(operation), str(relation_name), dict(values))
+                for operation, relation_name, values in request["updates"]
+            ]
+            outcome = session.apply_batch(updates)
+            return {"ok": True, "outcome": outcome.to_dict()}
+        if op == "query":
+            rows = session.query(attrs(request["target"]))
+            return {"ok": True, "rows": sorted(list(row) for row in rows)}
+        assert op == "state"
+        return {"ok": True, "state": state_to_dict(session.state())}
+
+
+class FrontendClient:
+    """A minimal async client for the frame protocol (tests, tools)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "FrontendClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def request(self, payload: Mapping[str, Any]) -> Any:
+        """One round trip; raises the server-reported error type when
+        the response is not ok (mirroring the router's local surface)."""
+        if self._reader is None or self._writer is None:
+            raise ServiceError("client not connected")
+        write_frame(self._writer, dict(payload))
+        await self._writer.drain()
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ServiceError("frontend closed the connection")
+        if not response.get("ok", False):
+            from repro.shard.router import _rebuild_error
+
+            raise _rebuild_error(response.get("error") or {})
+        return response
+
+    async def close(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is None:
+            return
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "FrontendClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_: object) -> None:
+        await self.close()
+
+
+async def serve_frontend(
+    router: Any,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready: Optional[asyncio.Event] = None,
+    stop: Optional[asyncio.Event] = None,
+    announce: bool = False,
+) -> None:
+    """Run a frontend until ``stop`` is set (or forever).
+
+    The CLI's ``serve --shards N --port P`` entry point: ``ready`` is
+    set once the socket is bound (so callers can read the chosen
+    port), and signal handlers set ``stop`` for a clean drain."""
+    frontend = ShardFrontend(router, host=host, port=port)
+    await frontend.start()
+    if announce:
+        print(
+            json.dumps(
+                {
+                    "listening": list(frontend.address),
+                    "shards": router.shards,
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        if stop is None:
+            await frontend.serve_forever()
+        else:
+            await stop.wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await frontend.close()

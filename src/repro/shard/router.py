@@ -1,0 +1,933 @@
+"""The block→shard map and the serial-equivalent fan-out tier.
+
+:class:`ShardRouter` derives a :class:`ShardMap` from the scheme's
+independence decomposition (:class:`~repro.core.partition
+.SchemePartition`), memoized by scheme fingerprint: block ``i`` lives on
+shard ``i % shards`` (round-robin packing, so schemes with more blocks
+than shards spread evenly).  Each shard is a forked worker process
+running a full :class:`~repro.service.store.DurableStore` (or in-memory
+engine) over its block subset, reached over a length-prefixed JSON
+socketpair (:mod:`repro.shard.protocol`).
+
+Serial equivalence is the contract:
+
+* **Inserts/deletes** route to the single shard owning the target
+  relation — the paper's Section 4.2 guarantee that block-local
+  validation lifts to global consistency.
+* **Batches** reuse the min-global-event-index rule of
+  :meth:`~repro.core.engine.WeakInstanceEngine.batch`: the router
+  assigns global indices before fan-out, workers apply their slice
+  through the same :meth:`~repro.core.ctm.InsertMaintainer.block_batch`
+  kernel, and the earliest failure across shards is reported
+  byte-identically to the single-process path.  Cross-shard atomicity
+  is two-phase (prepare everywhere, then commit everywhere); a crash
+  between the phases can leave a partial batch across shard WALs — the
+  documented gap a future replication tier closes.
+* **Queries** route to one shard when the full-scheme plan's base
+  relations all live there (block-local totals are exact); otherwise
+  the referenced relations are gathered and the plan is evaluated
+  router-side by a full-scheme engine, so cross-shard extension joins
+  (Theorem 4.1) return exactly the single-process answer.
+
+When the effective shard count is one — a single-block scheme, a
+non-decomposable scheme, or ``shards=1`` — the router degrades to an
+inline :class:`~repro.service.server.SchemeServer` with no worker
+processes and no IPC on any path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+from pathlib import Path
+from typing import Any, Hashable, Mapping, Optional, Sequence, Union
+
+from repro.core.engine import Update, WeakInstanceEngine
+from repro.core.partition import (
+    SchemePartition,
+    partition_scheme,
+    scheme_fingerprint,
+)
+from repro.foundations.attrs import AttrsLike, attrs
+from repro.foundations.cache import MISSING, LRUCache
+from repro.foundations.errors import (
+    NotApplicableError,
+    ReproError,
+    ServiceError,
+    StateError,
+)
+from repro.io import (
+    dump_json_atomic,
+    dump_scheme,
+    load_json,
+    load_scheme,
+    scheme_to_dict,
+)
+from repro.obs.exposition import prometheus_text
+from repro.obs.spans import Tracer, span, tracing
+from repro.schema.database_scheme import DatabaseScheme
+from repro.service.metrics import MetricsRegistry, labeled
+from repro.service.server import SchemeServer, Session
+from repro.service.store import DurableStore
+from repro.shard.protocol import recv_frame, send_frame
+from repro.shard.worker import worker_main
+from repro.state.database_state import DatabaseState
+
+PathLike = Union[str, Path]
+
+SHARD_FILE = "shard.json"
+SHARD_DIR_PREFIX = "shard-"
+
+
+class ShardMap:
+    """The block→shard assignment for one (scheme, shard count) pair."""
+
+    def __init__(
+        self,
+        fingerprint: str,
+        requested: int,
+        shards: int,
+        assignment: tuple[int, ...],
+        partition: SchemePartition,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.requested = requested
+        self.shards = shards
+        self.assignment = assignment
+        self.shard_blocks: tuple[tuple[int, ...], ...] = tuple(
+            tuple(
+                block
+                for block, shard in enumerate(assignment)
+                if shard == index
+            )
+            for index in range(shards)
+        )
+        self.shard_relations: tuple[tuple[str, ...], ...] = tuple(
+            tuple(
+                name
+                for block in blocks
+                for name in partition.block_names[block]
+            )
+            for blocks in self.shard_blocks
+        )
+        self.relation_shard: dict[str, int] = {}
+        for index, names in enumerate(self.shard_relations):
+            for name in names:
+                self.relation_shard[name] = index
+
+    @classmethod
+    def derive(cls, partition: SchemePartition, shards: int) -> "ShardMap":
+        """Round-robin block packing: block ``i`` → shard ``i % N``,
+        with the effective count clamped to the block count (and to one
+        when the scheme is not decomposable)."""
+        requested = max(1, int(shards))
+        if partition.parallelizable:
+            effective = min(requested, len(partition.blocks))
+        else:
+            effective = 1
+        if effective <= 1:
+            assignment = tuple(0 for _ in partition.blocks) or (0,)
+            return cls(
+                partition.fingerprint, requested, 1, assignment, partition
+            )
+        assignment = tuple(
+            index % effective for index in range(len(partition.blocks))
+        )
+        return cls(
+            partition.fingerprint, requested, effective, assignment, partition
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "fingerprint": self.fingerprint,
+            "requested": self.requested,
+            "shards": self.shards,
+            "assignment": list(self.assignment),
+        }
+
+
+#: (fingerprint, requested shards) → ShardMap; maps are pure functions
+#: of scheme content, so every router over an equal scheme shares one.
+_SHARD_MAPS: LRUCache = LRUCache(64)
+
+
+def shard_map_for(scheme: DatabaseScheme, shards: int) -> ShardMap:
+    """The memoized :class:`ShardMap` for a scheme and shard count."""
+    partition = partition_scheme(scheme)
+    key = (partition.fingerprint, max(1, int(shards)))
+    cached = _SHARD_MAPS.get(key, MISSING)
+    if cached is MISSING:
+        cached = ShardMap.derive(partition, shards)
+        _SHARD_MAPS.put(key, cached)
+    return cached
+
+
+def _rebuild_error(info: Mapping[str, Any]) -> Exception:
+    """An exception equivalent to the one a worker serialized."""
+    import builtins
+
+    from repro.foundations import errors as errors_mod
+
+    name = str(info.get("type") or "ServiceError")
+    message = str(info.get("message") or "")
+    candidate = getattr(errors_mod, name, None)
+    if not (
+        isinstance(candidate, type) and issubclass(candidate, Exception)
+    ):
+        candidate = getattr(builtins, name, None)
+    if isinstance(candidate, type) and issubclass(candidate, Exception):
+        return candidate(message)
+    return ServiceError(f"{name}: {message}")
+
+
+class RouterInsertOutcome:
+    """A worker's insert verdict, rehydrated router-side.
+
+    Quacks like :class:`~repro.state.consistency.MaintenanceOutcome`
+    for every consumer that matters (CLI rendering, rejection
+    diagnostics): ``to_dict()`` is byte-identical JSON to the
+    single-process outcome.  The updated state stays on the shard."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, Any]) -> None:
+        self._data = dict(data)
+
+    @property
+    def consistent(self) -> bool:
+        return bool(self._data.get("consistent"))
+
+    @property
+    def tuples_examined(self) -> int:
+        return int(self._data.get("tuples_examined", 0))
+
+    @property
+    def chase_steps(self) -> int:
+        return int(self._data.get("chase_steps", 0))
+
+    @property
+    def witness(self) -> Optional[Mapping[str, Any]]:
+        return self._data.get("witness")
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(self._data)
+
+
+class RouterBatchOutcome:
+    """The router's batch verdict, shaped exactly like
+    :class:`~repro.core.engine.BatchOutcome` minus the merged state
+    (which lives sharded)."""
+
+    __slots__ = ("committed", "applied", "failed_index", "failure")
+
+    def __init__(
+        self,
+        committed: bool,
+        applied: int,
+        failed_index: Optional[int] = None,
+        failure: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.committed = committed
+        self.applied = applied
+        self.failed_index = failed_index
+        self.failure = dict(failure) if failure is not None else None
+
+    def __bool__(self) -> bool:
+        return self.committed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "committed": self.committed,
+            "applied": self.applied,
+            "failed_index": self.failed_index,
+            "failure": self.failure,
+        }
+
+
+class RouterSession(Session):
+    """A named session handle over a :class:`ShardRouter` — the same
+    bound API and per-session accounting as the single-process
+    :class:`~repro.service.server.Session`."""
+
+
+class ShardRouter:
+    """Fan inserts, batches and queries out over per-block workers."""
+
+    def __init__(
+        self,
+        scheme: DatabaseScheme,
+        shards: int = 1,
+        *,
+        directory: Optional[PathLike] = None,
+        create_dirs: bool = False,
+        tracer: Optional[Tracer] = None,
+        fsync_every: int = 1,
+        compiled: bool = True,
+    ) -> None:
+        self.scheme = scheme
+        self.partition = partition_scheme(scheme)
+        self.map = shard_map_for(scheme, shards)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = MetricsRegistry()
+        self.directory = Path(directory) if directory is not None else None
+        self._fsync_every = fsync_every
+        self._compiled = compiled
+        self._write_lock = threading.Lock()
+        self._sessions_lock = threading.Lock()
+        self._sessions: dict[str, RouterSession] = {}  # guarded-by: _sessions_lock
+        self._closed = False
+        self._local: Optional[SchemeServer] = None
+        self._socks: list[socket.socket] = []
+        self._locks: list[threading.Lock] = []
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        # A full-scheme engine for plan computation and the scatter-
+        # gather query path; it never validates writes (shards do).
+        self._engine = WeakInstanceEngine(scheme, compiled=compiled)
+        if self.map.shards <= 1:
+            self._start_inline()
+        else:
+            self._start_workers()
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def in_memory(
+        cls,
+        scheme: DatabaseScheme,
+        shards: int = 1,
+        tracer: Optional[Tracer] = None,
+        compiled: bool = True,
+    ) -> "ShardRouter":
+        """A sharded deployment with nothing on disk."""
+        return cls(scheme, shards, tracer=tracer, compiled=compiled)
+
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        scheme: DatabaseScheme,
+        shards: int = 1,
+        *,
+        fsync_every: int = 1,
+        compiled: bool = True,
+        tracer: Optional[Tracer] = None,
+    ) -> "ShardRouter":
+        """Initialise a fresh sharded store directory and serve it."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / SHARD_FILE).exists():
+            raise ServiceError(
+                f"{directory} already contains a sharded store"
+            )
+        shard_map = shard_map_for(scheme, shards)
+        dump_scheme(scheme, directory / "scheme.json")
+        dump_json_atomic(shard_map.to_dict(), directory / SHARD_FILE)
+        return cls(
+            scheme,
+            shards,
+            directory=directory,
+            create_dirs=True,
+            tracer=tracer,
+            fsync_every=fsync_every,
+            compiled=compiled,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: PathLike,
+        shards: Optional[int] = None,
+        *,
+        fsync_every: int = 1,
+        compiled: bool = True,
+        tracer: Optional[Tracer] = None,
+    ) -> "ShardRouter":
+        """Recover a sharded store: every worker replays its own WAL.
+
+        The block→shard assignment is fixed at create time; passing a
+        different ``shards`` here is an error (re-sharding would need a
+        data migration this PR does not ship)."""
+        directory = Path(directory)
+        meta_path = directory / SHARD_FILE
+        if not meta_path.exists():
+            raise ServiceError(
+                f"{directory} does not contain a sharded store"
+            )
+        meta = load_json(meta_path)
+        scheme = load_scheme(directory / "scheme.json")
+        if meta.get("fingerprint") != scheme_fingerprint(scheme):
+            raise ServiceError(
+                f"{meta_path} does not match the scheme in {directory}"
+            )
+        stored = int(meta["requested"])
+        if shards is not None and shard_map_for(
+            scheme, shards
+        ).shards != int(meta["shards"]):
+            raise ServiceError(
+                f"store was sharded {meta['shards']} way(s); opening "
+                f"with --shards {shards} would re-shard it, which is "
+                "not supported"
+            )
+        return cls(
+            scheme,
+            stored,
+            directory=directory,
+            tracer=tracer,
+            fsync_every=fsync_every,
+            compiled=compiled,
+        )
+
+    # -- startup --------------------------------------------------------------
+    def _shard_dir(self, index: int) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return str(self.directory / f"{SHARD_DIR_PREFIX}{index}")
+
+    def _shard_scheme(self, index: int) -> DatabaseScheme:
+        members = []
+        for block in self.map.shard_blocks[index]:
+            members.extend(self.partition.blocks[block].relations)
+        return DatabaseScheme(members)
+
+    def _start_inline(self) -> None:
+        """The one-shard fast path: a plain in-process server, no
+        worker processes, no IPC on any operation."""
+        if self.directory is not None:
+            shard_dir = Path(self._shard_dir(0))
+            from repro.service.store import SCHEME_FILE
+
+            if (shard_dir / SCHEME_FILE).exists():
+                store = DurableStore.open(
+                    shard_dir,
+                    fsync_every=self._fsync_every,
+                    compiled=self._compiled,
+                )
+            else:
+                store = DurableStore.create(
+                    shard_dir,
+                    self.scheme,
+                    fsync_every=self._fsync_every,
+                    compiled=self._compiled,
+                )
+            self._local = SchemeServer(store=store, tracer=self.tracer)
+        else:
+            self._local = SchemeServer(
+                scheme=self.scheme,
+                tracer=self.tracer,
+                compiled=self._compiled,
+            )
+
+    def _start_workers(self) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ServiceError(
+                "sharded serving needs the fork start method (POSIX); "
+                "use shards=1 on this platform"
+            )
+        context = multiprocessing.get_context("fork")
+        for index in range(self.map.shards):
+            parent_sock, child_sock = socket.socketpair()
+            config = {
+                "shard": index,
+                "scheme": scheme_to_dict(self._shard_scheme(index)),
+                "store_dir": self._shard_dir(index),
+                "fsync_every": self._fsync_every,
+                "compiled": self._compiled,
+            }
+            process = context.Process(
+                target=worker_main,
+                args=(child_sock, config),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_sock.close()
+            self._socks.append(parent_sock)
+            self._locks.append(threading.Lock())
+            self._procs.append(process)
+        # One ping per worker: surfaces a worker that died during
+        # store recovery as an error here, not on the first write.
+        for index in range(self.map.shards):
+            self._rpc(index, {"op": "ping"})
+
+    # -- worker RPC -----------------------------------------------------------
+    def _rpc(self, shard: int, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """One request/response round trip with one worker."""
+        with span("shard.rpc") as sp:
+            if sp:
+                sp.add("rpcs", 1)
+            with self._locks[shard]:
+                send_frame(self._socks[shard], payload)
+                response = recv_frame(self._socks[shard])
+        self.metrics.increment("shard.rpcs")
+        self.metrics.increment(labeled("shard.rpcs", shard=shard))
+        if response is None:
+            raise ServiceError(
+                f"shard {shard} closed its pipe mid-request"
+            )
+        if not response.get("ok", False):
+            raise _rebuild_error(response.get("error") or {})
+        return response
+
+    def _fanout(
+        self, payloads: Mapping[int, Mapping[str, Any]]
+    ) -> dict[int, Optional[dict[str, Any]]]:
+        """Send to every target shard first, then collect responses —
+        workers overlap their work while the router drains in order.
+        Transport failures surface as ``None`` entries; application
+        errors stay in the response for the caller to merge by rank."""
+        shards = sorted(payloads)
+        responses: dict[int, Optional[dict[str, Any]]] = {}
+        acquired: list[int] = []
+        try:
+            with span("shard.rpc") as sp:
+                if sp:
+                    sp.add("rpcs", len(shards))
+                for index in shards:
+                    self._locks[index].acquire()
+                    acquired.append(index)
+                    try:
+                        send_frame(self._socks[index], payloads[index])
+                    except OSError:
+                        responses[index] = None
+                for index in shards:
+                    if index in responses:  # send already failed
+                        continue
+                    try:
+                        responses[index] = recv_frame(self._socks[index])
+                    except (ServiceError, OSError):
+                        responses[index] = None
+        finally:
+            for index in acquired:
+                self._locks[index].release()
+        for index in shards:
+            self.metrics.increment("shard.rpcs")
+            self.metrics.increment(labeled("shard.rpcs", shard=index))
+        return responses
+
+    # -- sessions -------------------------------------------------------------
+    def session(self, name: str) -> RouterSession:
+        """The session named ``name`` (created on first use)."""
+        with self._sessions_lock:
+            existing = self._sessions.get(name)
+            if existing is None:
+                existing = RouterSession(self, name)
+                self._sessions[name] = existing
+                self.metrics.increment("server.sessions_opened")
+            return existing
+
+    def session_names(self) -> list[str]:
+        with self._sessions_lock:
+            return sorted(self._sessions)
+
+    # -- reads ----------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """The effective shard count (1 = inline fast path)."""
+        return self.map.shards
+
+    @property
+    def durable(self) -> bool:
+        return self.directory is not None
+
+    @property
+    def state(self) -> DatabaseState:
+        """The full committed state, assembled from every shard.
+
+        On the inline path this is the server's state pointer (free);
+        sharded it is a scatter-gather — meant for inspection and the
+        line protocol's ``state`` command, not for hot paths."""
+        if self._local is not None:
+            return self._local.state
+        merged: dict[str, Any] = {}
+        for index in range(self.map.shards):
+            response = self._rpc(index, {"op": "fetch"})
+            merged.update(response["relations"])
+        return DatabaseState(self.scheme, merged)
+
+    def query(self, attributes: AttrsLike) -> set[tuple[Hashable, ...]]:
+        """``[X]`` with plan-aware routing.
+
+        The full-scheme plan decides: when its base relations all live
+        on one shard, that worker answers (block-local totals are
+        globally exact); otherwise the referenced relations are
+        gathered and the same engine code evaluates router-side, so
+        cross-shard extension joins match the single-process answer."""
+        if self._local is not None:
+            return self._local.query(attributes)
+        target = attrs(attributes)
+        with tracing(self.tracer):
+            with span("shard.route") as sp:
+                self.metrics.increment("ops.query")
+                names: Optional[Sequence[str]] = None
+                try:
+                    plan = self._engine.plan(target)
+                    names = sorted(plan.expression.relation_names())
+                except ReproError:
+                    names = None
+                targets: Optional[set[int]] = None
+                if names is not None:
+                    targets = {
+                        self.map.relation_shard[name] for name in names
+                    }
+                if sp:
+                    sp.add("queries", 1)
+                    sp.add(
+                        "single_shard",
+                        1 if targets is not None and len(targets) == 1 else 0,
+                    )
+            if targets is not None and len(targets) == 1:
+                response = self._rpc(
+                    next(iter(targets)),
+                    {
+                        "op": "query",
+                        "target": sorted(target),
+                    },
+                )
+                return {tuple(row) for row in response["rows"]}
+            # Scatter-gather: fetch what the plan touches (everything
+            # when no plan exists) and evaluate with full-scheme code.
+            self.metrics.increment("router.gather_queries")
+            if names is None:
+                fetch: dict[int, list[str]] = {
+                    index: list(self.map.shard_relations[index])
+                    for index in range(self.map.shards)
+                }
+            else:
+                fetch = {}
+                for name in names:
+                    fetch.setdefault(
+                        self.map.relation_shard[name], []
+                    ).append(name)
+            merged: dict[str, Any] = {}
+            responses = self._fanout(
+                {
+                    index: {"op": "fetch", "relations": sorted(rels)}
+                    for index, rels in fetch.items()
+                }
+            )
+            for index in sorted(responses):
+                response = responses[index]
+                if response is None:
+                    raise ServiceError(
+                        f"shard {index} closed its pipe mid-request"
+                    )
+                if not response.get("ok", False):
+                    raise _rebuild_error(response.get("error") or {})
+                merged.update(response["relations"])
+            gathered = DatabaseState(self.scheme, merged)
+            return self._engine.query(gathered, target)
+
+    # -- writes (serialized) --------------------------------------------------
+    def insert(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> Any:
+        """Route one insert to the shard owning its block."""
+        if self._local is not None:
+            return self._local.insert(relation_name, values)
+        with self._write_lock, tracing(self.tracer):
+            with span("shard.route"):
+                self.metrics.increment("ops.insert")
+                shard = self.map.relation_shard.get(relation_name)
+                if shard is None:
+                    # The single-process maintainer's exact complaint.
+                    raise NotApplicableError(
+                        f"unknown relation {relation_name!r}"
+                    )
+            response = self._rpc(
+                shard,
+                {
+                    "op": "insert",
+                    "relation": relation_name,
+                    "values": dict(values),
+                },
+            )
+            outcome = RouterInsertOutcome(response["outcome"])
+            if not outcome.consistent:
+                self.metrics.increment("store.rejects")
+            return outcome
+
+    def delete(
+        self, relation_name: str, values: Mapping[str, Hashable]
+    ) -> None:
+        """Route one deletion (always consistency-preserving).
+
+        Unlike the single-process server this returns nothing: the
+        updated state lives on the shard, and assembling the full state
+        per delete would defeat the fan-out.  Use :attr:`state` when
+        the merged snapshot is actually needed."""
+        if self._local is not None:
+            self._local.delete(relation_name, values)
+            return
+        with self._write_lock, tracing(self.tracer):
+            with span("shard.route"):
+                self.metrics.increment("ops.delete")
+                shard = self.map.relation_shard.get(relation_name)
+                if shard is None:
+                    # The single-process state's exact complaint.
+                    raise StateError(
+                        f"no relation named {relation_name!r}"
+                    )
+            self._rpc(
+                shard,
+                {
+                    "op": "delete",
+                    "relation": relation_name,
+                    "values": dict(values),
+                },
+            )
+
+    def apply_batch(self, updates: Sequence[Update]) -> Any:
+        """Atomic cross-shard batch with serial-equivalent semantics.
+
+        Global event indices are assigned before fan-out; every shard
+        prepares its slice; the earliest event across shards (plus any
+        unroutable update, which the serial loop would have raised or
+        rejected at its own index) decides the batch exactly as
+        :meth:`WeakInstanceEngine.batch` would.  Rejections are logged
+        durably on the shard owning the refused tuple."""
+        if self._local is not None:
+            return self._local.apply_batch(updates)
+        updates = list(updates)
+        with self._write_lock, tracing(self.tracer):
+            return self._apply_batch_sharded(updates)
+
+    def _apply_batch_sharded(self, updates: list[Update]) -> Any:
+        pre_events: list[tuple[int, Exception]] = []
+        grouped: dict[int, list] = {}
+        with span("shard.route") as sp:
+            self.metrics.increment("ops.batch")
+            for index, (operation, relation_name, values) in enumerate(
+                updates
+            ):
+                if operation not in ("insert", "delete"):
+                    pre_events.append(
+                        (
+                            index,
+                            StateError(
+                                f"unknown batch operation {operation!r}"
+                            ),
+                        )
+                    )
+                    continue
+                shard = self.map.relation_shard.get(relation_name)
+                if shard is None:
+                    if operation == "insert":
+                        error: Exception = NotApplicableError(
+                            f"unknown relation {relation_name!r}"
+                        )
+                    else:
+                        error = StateError(
+                            f"no relation named {relation_name!r}"
+                        )
+                    pre_events.append((index, error))
+                    continue
+                grouped.setdefault(shard, []).append(
+                    (index, operation, relation_name, values)
+                )
+            if sp:
+                sp.add("updates", len(updates))
+                sp.add("shards", len(grouped))
+        payloads = {
+            shard: {
+                "op": "prepare",
+                "operations": [
+                    [index, operation, relation_name, dict(values)]
+                    for index, operation, relation_name, values in ops
+                ],
+            }
+            for shard, ops in grouped.items()
+        }
+        responses = self._fanout(payloads)
+        prepared: list[int] = []
+        events: list[tuple[int, str, Any]] = [
+            (index, "error", error) for index, error in pre_events
+        ]
+        broken: Optional[Exception] = None
+        for shard in sorted(responses):
+            response = responses[shard]
+            if response is None:
+                broken = ServiceError(
+                    f"shard {shard} closed its pipe mid-request"
+                )
+                continue
+            if not response.get("ok", False):
+                broken = _rebuild_error(response.get("error") or {})
+                prepared.append(shard)  # safe: abort is a no-op there
+                continue
+            event = response.get("event")
+            if event is None:
+                prepared.append(shard)
+            elif event["kind"] == "reject":
+                events.append((event["index"], "reject", event["outcome"]))
+            else:
+                events.append((event["index"], "error", _rebuild_error(event)))
+        if broken is not None:
+            self._abort(prepared)
+            raise broken
+        if events:
+            index, kind, data = min(events, key=lambda event: event[0])
+            if kind == "error":
+                self._abort(prepared)
+                raise data
+            _, relation_name, values = updates[index]
+            outcome = RouterBatchOutcome(
+                committed=False,
+                applied=index,
+                failed_index=index,
+                failure=data,
+            )
+            owner = self.map.relation_shard[relation_name]
+            self._abort(
+                prepared + [owner],
+                reject_shard=owner,
+                reject={
+                    "relation": relation_name,
+                    "values": dict(values),
+                    "outcome": outcome.to_dict(),
+                },
+            )
+            self.metrics.increment("store.rejects")
+            return outcome
+        commit_responses = self._fanout(
+            {shard: {"op": "commit"} for shard in prepared}
+        )
+        for shard in sorted(commit_responses):
+            response = commit_responses[shard]
+            if response is None or not response.get("ok", False):
+                raise ServiceError(
+                    f"shard {shard} failed to commit a prepared batch; "
+                    "the sharded store may hold a partial batch"
+                )
+        self.metrics.increment("ops.batch_updates", len(updates))
+        return RouterBatchOutcome(committed=True, applied=len(updates))
+
+    def _abort(
+        self,
+        shards: Sequence[int],
+        reject_shard: Optional[int] = None,
+        reject: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        payloads: dict[int, dict[str, Any]] = {}
+        for shard in sorted(set(shards)):
+            payload: dict[str, Any] = {"op": "abort"}
+            if reject is not None and shard == reject_shard:
+                payload["reject"] = dict(reject)
+            payloads[shard] = payload
+        self._fanout(payloads)
+
+    # -- maintenance ----------------------------------------------------------
+    def snapshot(self) -> None:
+        """Force a snapshot + WAL reset on every shard (durable only)."""
+        if self._local is not None:
+            self._local.snapshot()
+            return
+        if self.directory is None:
+            raise ServiceError(
+                "an in-memory server has nothing to snapshot"
+            )
+        with self._write_lock, tracing(self.tracer):
+            for index in range(self.map.shards):
+                self._rpc(index, {"op": "snapshot"})
+
+    # -- reporting ------------------------------------------------------------
+    def _shard_metric_kinds(self) -> list[tuple[int, dict[str, Any]]]:
+        """Each live worker's metric namespaces, by shard index."""
+        reports = []
+        for index in range(self.map.shards):
+            response = self._rpc(index, {"op": "metrics"})
+            reports.append((index, response))
+        return reports
+
+    def metrics_snapshot(self) -> dict[str, Union[int, float]]:
+        """Router counters plus every worker's, the latter labeled
+        ``name{shard="K"}`` so shards never collide in one namespace."""
+        if self._local is not None:
+            return self._local.metrics_snapshot()
+        merged = self.metrics.snapshot()
+        for index, report in self._shard_metric_kinds():
+            for kind in ("counters", "gauges", "timers"):
+                for name, value in report[kind].items():
+                    merged[labeled(name, shard=index)] = value
+        return merged
+
+    def stats(self) -> dict[str, object]:
+        """The full observability report across the deployment."""
+        if self._local is not None:
+            return self._local.stats()
+        shard_reports = {}
+        for index in range(self.map.shards):
+            response = self._rpc(index, {"op": "stats"})
+            shard_reports[str(index)] = {
+                "spans": response["spans"],
+                "span_counters": response["span_counters"],
+            }
+        return {
+            "metrics": self.metrics_snapshot(),
+            "spans": self.tracer.span_summaries(),
+            "span_counters": self.tracer.counter_snapshot(),
+            "shards": shard_reports,
+        }
+
+    def prometheus(self) -> str:
+        """One exposition document for the whole deployment: router
+        series unlabeled, per-shard series labeled ``{shard="K"}``."""
+        if self._local is not None:
+            return self._local.prometheus()
+        kinds = self.metrics.snapshot_by_kind()
+        counters = dict(kinds["counters"])
+        counters.update(kinds["timers"])
+        counters.update(self.tracer.counter_snapshot())
+        gauges = dict(kinds["gauges"])
+        for index, report in self._shard_metric_kinds():
+            for name, value in report["counters"].items():
+                counters[labeled(name, shard=index)] = value
+            for name, value in report["timers"].items():
+                counters[labeled(name, shard=index)] = value
+            for name, value in report["gauges"].items():
+                gauges[labeled(name, shard=index)] = value
+        return prometheus_text(
+            counters=counters,
+            gauges=gauges,
+            histograms=self.tracer.histograms(),
+        )
+
+    # -- teardown -------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the deployment down; safe to call more than once."""
+        with self._write_lock:
+            if self._closed:
+                return
+            self._closed = True
+            local, self._local = self._local, None
+            socks, self._socks = self._socks, []
+            procs, self._procs = self._procs, []
+        if local is not None:
+            local.close()
+        for index, sock in enumerate(socks):
+            try:
+                send_frame(sock, {"op": "shutdown"})
+                recv_frame(sock)
+            except (ServiceError, OSError):
+                pass
+        for process in procs:
+            process.join(timeout=5.0)
+        for process in procs:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for sock in socks:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._engine.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()

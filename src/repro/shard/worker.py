@@ -1,0 +1,452 @@
+"""The per-shard worker process.
+
+Each worker owns the relations of one shard — a union of partition
+blocks — behind either a full :class:`~repro.service.store.DurableStore`
+(own WAL, snapshots, delta basis, KernelSpace) or an in-memory engine.
+It speaks the length-prefixed JSON protocol over the socketpair the
+router handed it at fork time and applies batch slices with the same
+per-block :meth:`~repro.core.ctm.InsertMaintainer.block_batch` kernel
+the single-process engine uses, so the events it reports carry the
+*global* batch indices the router's min-event merge needs.
+
+Batches are two-phase: ``prepare`` validates the slice against the
+current state and stashes the would-be next state; ``commit`` logs and
+publishes it; ``abort`` discards it (optionally logging the batch's
+reject diagnostic on the shard that owns the refused tuple).  A worker
+holds at most one pending batch — the router serializes writes.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.core.engine import WeakInstanceEngine
+from repro.io import scheme_from_dict, state_to_dict
+from repro.obs.spans import Tracer, tracing
+from repro.service.metrics import MetricsRegistry
+from repro.service.store import DurableStore
+from repro.shard.protocol import recv_frame, send_frame
+from repro.state.database_state import DatabaseState
+
+#: RPC ops a worker understands (documented for the protocol tests).
+WORKER_OPS = (
+    "ping",
+    "insert",
+    "delete",
+    "query",
+    "prepare",
+    "commit",
+    "abort",
+    "fetch",
+    "state",
+    "metrics",
+    "stats",
+    "snapshot",
+    "sync",
+    "shutdown",
+)
+
+
+class SliceEvent:
+    """One shard's earliest batch event, at its global index."""
+
+    __slots__ = ("index", "outcome_dict", "error_type", "error_message")
+
+    def __init__(
+        self,
+        index: int,
+        outcome_dict: Optional[dict] = None,
+        error_type: Optional[str] = None,
+        error_message: Optional[str] = None,
+    ) -> None:
+        self.index = index
+        self.outcome_dict = outcome_dict
+        self.error_type = error_type
+        self.error_message = error_message
+
+    def to_wire(self) -> dict[str, Any]:
+        if self.outcome_dict is not None:
+            return {
+                "kind": "reject",
+                "index": self.index,
+                "outcome": self.outcome_dict,
+            }
+        return {
+            "kind": "error",
+            "index": self.index,
+            "type": self.error_type,
+            "message": self.error_message,
+        }
+
+
+def apply_slice(
+    engine: WeakInstanceEngine,
+    state: DatabaseState,
+    operations: Sequence[tuple[int, str, str, Mapping[str, Any]]],
+) -> tuple[Optional[DatabaseState], Optional[SliceEvent], int]:
+    """Apply one shard's slice of a batch to its state.
+
+    ``operations`` carry global batch indices.  Returns ``(next_state,
+    event, applied)``: on success the slice's resulting state; on the
+    first failure the event at its global index — exactly what the
+    serial single-process batch would decide at that position, because
+    the per-block work runs through the same
+    :meth:`~repro.core.ctm.InsertMaintainer.block_batch` kernel."""
+    partition = engine.partition
+    if partition.accepted:
+        grouped: dict[int, list] = {}
+        for operation in operations:
+            block = partition.block_index_of(operation[2])
+            grouped.setdefault(block, []).append(operation)
+        outcomes = [
+            engine.maintainer.block_batch(
+                partition.substate(state, block_index), block_index, ops
+            )
+            for block_index, ops in sorted(grouped.items())
+        ]
+        events = [
+            outcome
+            for outcome in outcomes
+            if outcome.event_index is not None
+        ]
+        if events:
+            first = min(events, key=lambda outcome: outcome.event_index)
+            if first.error is not None:
+                event = SliceEvent(
+                    first.error_index,
+                    error_type=type(first.error).__name__,
+                    error_message=str(first.error),
+                )
+            else:
+                assert first.failure is not None
+                event = SliceEvent(
+                    first.failed_index,
+                    outcome_dict=first.failure.to_dict(),
+                )
+            return None, event, 0
+        merged: dict[str, object] = {}
+        for outcome in outcomes:
+            assert outcome.substate is not None
+            for name in partition.block_names[outcome.block_index]:
+                merged[name] = outcome.substate[name]
+        relations = {
+            name: merged.get(name, state[name])
+            for name in engine.scheme.names
+        }
+        return (
+            DatabaseState(engine.scheme, relations),
+            None,
+            len(operations),
+        )
+    # Non-decomposable shard scheme: the serial loop, still at global
+    # indices.  Correct for any scheme; only the amortization is lost.
+    current = state
+    applied = 0
+    for global_index, operation, relation_name, values in operations:
+        try:
+            if operation == "insert":
+                outcome = engine.insert(current, relation_name, values)
+                if not outcome.consistent:
+                    return (
+                        None,
+                        SliceEvent(
+                            global_index, outcome_dict=outcome.to_dict()
+                        ),
+                        applied,
+                    )
+                assert outcome.state is not None
+                current = outcome.state
+            else:
+                current = engine.delete(current, relation_name, values)
+        except Exception as error:  # noqa: BLE001 — replayed by rank
+            return (
+                None,
+                SliceEvent(
+                    global_index,
+                    error_type=type(error).__name__,
+                    error_message=str(error),
+                ),
+                applied,
+            )
+        applied += 1
+    return current, None, applied
+
+
+class ShardWorker:
+    """The request-dispatch state machine of one worker process.
+
+    Kept separate from the process loop so tests can drive it in-process
+    (no fork) against either a store-backed or in-memory shard."""
+
+    def __init__(
+        self,
+        shard: int,
+        engine: WeakInstanceEngine,
+        state: DatabaseState,
+        store: Optional[DurableStore],
+        tracer: Tracer,
+    ) -> None:
+        self.shard = shard
+        self.engine = engine
+        self.store = store
+        self.tracer = tracer
+        # Durable workers count ops in the store's registry; in-memory
+        # workers keep their own so per-shard series exist either way.
+        self.metrics = (
+            store.metrics if store is not None else MetricsRegistry()
+        )
+        self._state = state
+        self._pending: Optional[
+            tuple[list[tuple[str, str, Mapping[str, Any]]], DatabaseState]
+        ] = None
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "ShardWorker":
+        """Build a worker from the router's fork-time config dict."""
+        tracer = Tracer()
+        scheme = scheme_from_dict(config["scheme"])
+        store_dir = config.get("store_dir")
+        compiled = bool(config.get("compiled", True))
+        if store_dir is not None:
+            from pathlib import Path
+
+            from repro.service.store import SCHEME_FILE
+
+            with tracing(tracer):
+                if (Path(store_dir) / SCHEME_FILE).exists():
+                    store = DurableStore.open(
+                        store_dir,
+                        fsync_every=int(config.get("fsync_every", 1)),
+                        compiled=compiled,
+                    )
+                else:
+                    store = DurableStore.create(
+                        store_dir,
+                        scheme,
+                        fsync_every=int(config.get("fsync_every", 1)),
+                        compiled=compiled,
+                    )
+            return cls(
+                shard=int(config["shard"]),
+                engine=store.engine,
+                state=store.state,
+                store=store,
+                tracer=tracer,
+            )
+        engine = WeakInstanceEngine(scheme, compiled=compiled)
+        return cls(
+            shard=int(config["shard"]),
+            engine=engine,
+            state=engine.empty_state(),
+            store=None,
+            tracer=tracer,
+        )
+
+    @property
+    def state(self) -> DatabaseState:
+        return self._state
+
+    def close(self) -> None:
+        self._pending = None
+        if self.store is not None:
+            self.store.close()
+        else:
+            self.engine.close()
+
+    # -- dispatch -------------------------------------------------------------
+    def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """One RPC in, one JSON-ready response out.  Errors become
+        ``{"ok": false, "error": {...}}`` so the router can rebuild and
+        re-raise them with serial semantics."""
+        op = request.get("op")
+        try:
+            with tracing(self.tracer):
+                return self._dispatch(op, request)
+        except Exception as error:  # noqa: BLE001 — shipped to router
+            return {
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+            }
+
+    def _dispatch(
+        self, op: Optional[str], request: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        if op == "ping":
+            payload: dict[str, Any] = {
+                "ok": True,
+                "shard": self.shard,
+                "relations": list(self.engine.scheme.names),
+            }
+            if self.store is not None:
+                payload["recovery"] = self.store.recovery.to_dict()
+            return payload
+        if op == "insert":
+            if self.store is not None:
+                outcome = self.store.insert(
+                    request["relation"], request["values"]
+                )
+                self._state = self.store.state
+            else:
+                outcome = self.engine.insert(
+                    self._state, request["relation"], request["values"]
+                )
+                self.metrics.increment("ops.insert")
+                if outcome.consistent:
+                    assert outcome.state is not None
+                    self._state = outcome.state
+                else:
+                    self.metrics.increment("store.rejects")
+            return {"ok": True, "outcome": outcome.to_dict()}
+        if op == "delete":
+            if self.store is not None:
+                self._state = self.store.delete(
+                    request["relation"], request["values"]
+                )
+            else:
+                self._state = self.engine.delete(
+                    self._state, request["relation"], request["values"]
+                )
+                self.metrics.increment("ops.delete")
+            return {"ok": True}
+        if op == "query":
+            if self.store is not None:
+                rows = self.store.query(request["target"])
+            else:
+                rows = self.engine.query(self._state, request["target"])
+                self.metrics.increment("ops.query")
+            return {"ok": True, "rows": sorted(rows)}
+        if op == "prepare":
+            return self._prepare(request)
+        if op == "commit":
+            return self._commit()
+        if op == "abort":
+            return self._abort(request)
+        if op == "fetch":
+            names = request.get("relations")
+            if names is None:
+                names = list(self.engine.scheme.names)
+            relations = {
+                name: [dict(values) for values in self._state[name]]
+                for name in names
+            }
+            return {"ok": True, "relations": relations}
+        if op == "state":
+            return {"ok": True, "state": state_to_dict(self._state)}
+        if op == "metrics":
+            kinds = self.metrics.snapshot_by_kind()
+            counters = dict(kinds["counters"])
+            for cache_name, info in self.engine.cache_info().items():
+                counters[f"cache.{cache_name}.hits"] = info.hits
+                counters[f"cache.{cache_name}.misses"] = info.misses
+                counters[f"cache.{cache_name}.evictions"] = info.evictions
+            counters.update(self.tracer.counter_snapshot())
+            return {
+                "ok": True,
+                "counters": counters,
+                "gauges": dict(kinds["gauges"]),
+                "timers": dict(kinds["timers"]),
+            }
+        if op == "stats":
+            return {
+                "ok": True,
+                "spans": self.tracer.span_summaries(),
+                "span_counters": self.tracer.counter_snapshot(),
+            }
+        if op == "snapshot":
+            if self.store is None:
+                return {"ok": True, "snapshot": False}
+            self.store.snapshot()
+            return {"ok": True, "snapshot": True}
+        if op == "sync":
+            if self.store is not None:
+                self.store.sync()
+            return {"ok": True}
+        raise ValueError(f"unknown worker op {op!r}")
+
+    # -- two-phase batches ----------------------------------------------------
+    def _prepare(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        operations = [
+            (int(index), operation, relation_name, values)
+            for index, operation, relation_name, values in request[
+                "operations"
+            ]
+        ]
+        self._pending = None
+        next_state, event, applied = apply_slice(
+            self.engine, self._state, operations
+        )
+        if event is not None:
+            return {"ok": True, "applied": applied, "event": event.to_wire()}
+        assert next_state is not None
+        self._pending = (
+            [
+                (operation, relation_name, values)
+                for _, operation, relation_name, values in operations
+            ],
+            next_state,
+        )
+        return {"ok": True, "applied": applied, "event": None}
+
+    def _commit(self) -> dict[str, Any]:
+        if self._pending is None:
+            raise ValueError("commit without a prepared batch")
+        updates, next_state = self._pending
+        self._pending = None
+        if self.store is not None:
+            self.store.commit_batch(updates, next_state)
+            self._state = self.store.state
+        else:
+            self._state = next_state
+            self.metrics.increment("ops.batch")
+            self.metrics.increment("ops.batch_updates", len(updates))
+        return {"ok": True, "applied": len(updates)}
+
+    def _abort(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        self._pending = None
+        reject = request.get("reject")
+        if reject is not None:
+            if self.store is not None:
+                self.store.log_reject(
+                    reject["relation"], reject["values"], reject["outcome"]
+                )
+            else:
+                self.metrics.increment("store.rejects")
+        return {"ok": True}
+
+
+def worker_main(conn: socket.socket, config: Mapping[str, Any]) -> None:
+    """The forked child's entire life: build the shard, serve RPCs
+    until EOF/shutdown, tear down cleanly.
+
+    SIGTERM exits the loop cleanly (the supervision contract from the
+    satellite task); SIGINT is ignored so a Ctrl-C aimed at the router
+    process group cannot kill workers before the router coordinates
+    shutdown."""
+
+    def _terminate(signum: int, frame: object) -> None:  # pragma: no cover
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    worker = ShardWorker.from_config(config)
+    try:
+        while True:
+            request = recv_frame(conn)
+            if request is None or request.get("op") == "shutdown":
+                if request is not None:
+                    send_frame(conn, {"ok": True})
+                break
+            send_frame(conn, worker.handle(request))
+    except (SystemExit, BrokenPipeError, ConnectionResetError):
+        pass
+    finally:
+        worker.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

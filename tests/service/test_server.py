@@ -257,3 +257,20 @@ class TestObservability:
         server.query("CS")
         assert server.tracer is tracer
         assert tracer.span_summaries()["engine.query"]["count"] == 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_in_memory(self, scheme):
+        server = SchemeServer(scheme=scheme)
+        server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        server.close()
+        server.close()  # second close must be a no-op, not an error
+
+    def test_close_is_idempotent_durable(self, tmp_path, scheme):
+        store = DurableStore.create(tmp_path / "store", scheme)
+        server = SchemeServer(store=store)
+        server.insert("R4", {"C": "c", "S": "s", "G": "A"})
+        server.close()
+        server.close()
+        with DurableStore.open(tmp_path / "store") as reopened:
+            assert len(reopened.state["R4"]) == 1

@@ -1,0 +1,221 @@
+"""The asyncio front door: concurrency, sessions, errors, shutdown."""
+
+import asyncio
+
+import pytest
+
+from repro.foundations.errors import (
+    NotApplicableError,
+    ServiceError,
+)
+from repro.obs.exposition import parse_exposition
+from repro.shard.frontend import (
+    FrontendClient,
+    ShardFrontend,
+    serve_frontend,
+)
+from repro.shard.router import ShardRouter
+from repro.workloads.paper import example1_university
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def router():
+    router = ShardRouter.in_memory(example1_university(), 2)
+    yield router
+    router.close()
+
+
+async def _started(router):
+    frontend = ShardFrontend(router)
+    await frontend.start()
+    return frontend
+
+
+class TestRequests:
+    def test_ping_and_crud_round_trip(self, router):
+        async def scenario():
+            frontend = await _started(router)
+            try:
+                host, port = frontend.address
+                async with FrontendClient(host, port) as client:
+                    pong = await client.request({"op": "ping"})
+                    assert pong["shards"] == 2
+                    outcome = await client.request(
+                        {
+                            "op": "insert",
+                            "relation": "R4",
+                            "values": {"C": "c1", "S": "s1", "G": "A"},
+                        }
+                    )
+                    assert outcome["outcome"]["consistent"]
+                    rows = await client.request(
+                        {"op": "query", "target": "CSG"}
+                    )
+                    # Row values follow sorted target order (C, G, S).
+                    assert rows["rows"] == [["c1", "A", "s1"]]
+                    batch = await client.request(
+                        {
+                            "op": "batch",
+                            "updates": [
+                                [
+                                    "insert",
+                                    "R5",
+                                    {"H": "h", "S": "s1", "R": "r"},
+                                ]
+                            ],
+                        }
+                    )
+                    assert batch["outcome"]["committed"]
+            finally:
+                await frontend.close()
+
+        run(scenario())
+
+    def test_errors_rebuild_client_side(self, router):
+        async def scenario():
+            frontend = await _started(router)
+            try:
+                host, port = frontend.address
+                async with FrontendClient(host, port) as client:
+                    with pytest.raises(
+                        NotApplicableError, match="unknown relation"
+                    ):
+                        await client.request(
+                            {
+                                "op": "insert",
+                                "relation": "Nope",
+                                "values": {"A": "x"},
+                            }
+                        )
+                    with pytest.raises(
+                        ServiceError, match="unknown frontend operation"
+                    ):
+                        await client.request({"op": "drop-tables"})
+                    # The connection survives surfaced errors.
+                    pong = await client.request({"op": "ping"})
+                    assert pong["ok"]
+            finally:
+                await frontend.close()
+
+        run(scenario())
+
+    def test_sessions_are_tracked(self, router):
+        async def scenario():
+            frontend = await _started(router)
+            try:
+                host, port = frontend.address
+                async with FrontendClient(host, port) as client:
+                    await client.request(
+                        {
+                            "op": "insert",
+                            "session": "alice",
+                            "relation": "R4",
+                            "values": {"C": "c9", "S": "s9", "G": "A"},
+                        }
+                    )
+                    names = await client.request({"op": "sessions"})
+                    assert "alice" in names["sessions"]
+            finally:
+                await frontend.close()
+
+        run(scenario())
+
+    def test_prometheus_over_the_wire_parses(self, router):
+        async def scenario():
+            frontend = await _started(router)
+            try:
+                host, port = frontend.address
+                async with FrontendClient(host, port) as client:
+                    await client.request(
+                        {
+                            "op": "insert",
+                            "relation": "R4",
+                            "values": {"C": "c1", "S": "s1", "G": "A"},
+                        }
+                    )
+                    text = (await client.request({"op": "prometheus"}))[
+                        "text"
+                    ]
+            finally:
+                await frontend.close()
+            parsed = parse_exposition(text)
+            assert any("shard=" in name for name in parsed)
+
+        run(scenario())
+
+
+class TestConcurrency:
+    def test_many_concurrent_clients(self, router):
+        clients = 16
+
+        async def one(host, port, index):
+            async with FrontendClient(host, port) as client:
+                outcome = await client.request(
+                    {
+                        "op": "insert",
+                        "session": f"client-{index}",
+                        "relation": "R4",
+                        "values": {
+                            "C": f"c{index}",
+                            "S": f"s{index}",
+                            "G": "A",
+                        },
+                    }
+                )
+                assert outcome["outcome"]["consistent"]
+                rows = await client.request(
+                    {"op": "query", "target": "CS"}
+                )
+                return len(rows["rows"])
+
+        async def scenario():
+            frontend = await _started(router)
+            try:
+                host, port = frontend.address
+                results = await asyncio.gather(
+                    *(one(host, port, i) for i in range(clients))
+                )
+            finally:
+                await frontend.close()
+            return results
+
+        results = run(scenario())
+        assert len(results) == clients
+        # Every insert committed: the final reader sees all rows.
+        assert max(results) == clients
+        assert sorted(router.session_names()) == sorted(
+            ["default"] + [f"client-{i}" for i in range(clients)]
+        )
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_leaves_router_open(self, router):
+        async def scenario():
+            frontend = await _started(router)
+            await frontend.close()
+            await frontend.close()
+
+        run(scenario())
+        assert router.insert("R4", {"C": "c1", "S": "s1", "G": "A"})
+
+    def test_serve_frontend_ready_and_stop(self, router, capsys):
+        async def scenario():
+            ready = asyncio.Event()
+            stop = asyncio.Event()
+            task = asyncio.create_task(
+                serve_frontend(
+                    router, ready=ready, stop=stop, announce=True
+                )
+            )
+            await asyncio.wait_for(ready.wait(), timeout=5)
+            stop.set()
+            await asyncio.wait_for(task, timeout=5)
+
+        run(scenario())
+        announced = capsys.readouterr().out
+        assert '"shards": 2' in announced
+        assert '"listening"' in announced

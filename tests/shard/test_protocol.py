@@ -1,0 +1,101 @@
+"""Framing: both transports, clean EOF, torn frames, size limits."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.foundations.errors import ServiceError
+from repro.shard.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestBlockingTransport:
+    def test_round_trip(self, pair):
+        left, right = pair
+        payload = {"op": "ping", "values": {"B": 2, "A": [1, None]}}
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+
+    def test_frames_are_deterministic(self):
+        one = encode_frame({"b": 1, "a": 2})
+        two = encode_frame({"a": 2, "b": 1})
+        assert one == two  # sorted keys: bytes are content-determined
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_torn_header_raises(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")  # half a header, then EOF
+        left.close()
+        with pytest.raises(ServiceError):
+            recv_frame(right)
+
+    def test_torn_body_raises(self, pair):
+        left, right = pair
+        left.sendall(HEADER.pack(100) + b'{"truncated"')
+        left.close()
+        with pytest.raises(ServiceError):
+            recv_frame(right)
+
+    def test_oversized_header_refused(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ServiceError):
+            recv_frame(right)
+
+    def test_garbage_body_raises(self, pair):
+        left, right = pair
+        left.sendall(HEADER.pack(3) + b"not")
+        with pytest.raises(ServiceError):
+            recv_frame(right)
+
+
+class TestAsyncTransport:
+    def _reader(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_read_frame(self):
+        async def run():
+            reader = self._reader(encode_frame({"op": "ping"}))
+            assert await read_frame(reader) == {"op": "ping"}
+            assert await read_frame(reader) is None  # clean EOF
+
+        asyncio.run(run())
+
+    def test_read_torn_frame(self):
+        async def run():
+            reader = self._reader(HEADER.pack(50) + b"short")
+            with pytest.raises(ServiceError):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_read_oversized_frame(self):
+        async def run():
+            reader = self._reader(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ServiceError):
+                await read_frame(reader)
+
+        asyncio.run(run())

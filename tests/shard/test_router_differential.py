@@ -1,0 +1,190 @@
+"""Differential suite: the sharded path must be **byte-identical** to
+the single-process engine on every paper scheme.
+
+One deterministic workload — accepted inserts, rejected inserts,
+batches whose first failure sits mid-batch, malformed batches, deletes
+and queries (single-shard, cross-block, out-of-universe) — runs
+through a plain :class:`SchemeServer` and through a
+:class:`ShardRouter`; every outcome is compared as sorted-key JSON, so
+a divergence in a rejection diagnostic, a first-failure index or an
+error message text fails loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.io import state_to_dict
+from repro.service.server import SchemeServer
+from repro.shard.router import ShardRouter
+from repro.workloads.paper import (
+    example1_university,
+    example3_triangle,
+    example4_split_scheme,
+    example6_scheme,
+    example8_split,
+    example9_chain,
+    example10_scheme,
+    example12_reducible,
+)
+
+PAPER_SCHEMES = {
+    "example1_university": example1_university,
+    "example3_triangle": example3_triangle,
+    "example4_split_scheme": example4_split_scheme,
+    "example6_scheme": example6_scheme,
+    "example8_split": example8_split,
+    "example9_chain": example9_chain,
+    "example10_scheme": example10_scheme,
+    "example12_reducible": example12_reducible,
+}
+
+
+def canonical(outcome) -> str:
+    return json.dumps(outcome.to_dict(), sort_keys=True)
+
+
+def build_workload(scheme):
+    """A deterministic op list derived only from the relation schemes.
+
+    Values are keyed by attribute name and row index, so rows sharing
+    an attribute join across relations; "mutant" rows reuse row 0's
+    key values with one attribute changed, which (depending on the
+    scheme's FDs) either extends or conflicts — both sides must agree
+    either way.
+    """
+
+    def row(rel, i):
+        return {a: f"v{a}{i}" for a in sorted(rel.attributes)}
+
+    def mutant(rel):
+        values = row(rel, 0)
+        last = sorted(rel.attributes)[-1]
+        values[last] = f"v{last}:mutant"
+        return values
+
+    relations = list(scheme.relations)
+    ops = []
+    for i in range(3):
+        for rel in relations:
+            ops.append(("insert", rel.name, row(rel, i)))
+    for rel in relations:
+        ops.append(("insert", rel.name, mutant(rel)))
+    # A batch whose slices interleave across every relation.
+    ops.append(
+        (
+            "batch",
+            [("insert", rel.name, row(rel, 3)) for rel in relations]
+            + [("insert", rel.name, row(rel, 4)) for rel in relations],
+        )
+    )
+    # Failures mid-batch: the first failing global index must win.
+    first = relations[0]
+    ops.append(
+        (
+            "batch",
+            [("insert", rel.name, row(rel, 5)) for rel in relations]
+            + [("insert", first.name, mutant(first))]
+            + [("insert", rel.name, row(rel, 6)) for rel in relations],
+        )
+    )
+    ops.append(
+        (
+            "batch",
+            [
+                ("insert", first.name, row(first, 7)),
+                ("insert", "NoSuchRelation", {"A": "x"}),
+                ("insert", first.name, row(first, 8)),
+            ],
+        )
+    )
+    ops.append(
+        (
+            "batch",
+            [
+                ("insert", first.name, row(first, 7)),
+                ("upsert", first.name, row(first, 7)),
+            ],
+        )
+    )
+    ops.append(("batch", []))
+    ops.append(("delete", first.name, row(first, 1)))
+    ops.append(("delete", first.name, {a: "ghost" for a in sorted(first.attributes)}))
+    # Direct (non-batch) error surfaces.
+    ops.append(("insert", "NoSuchRelation", {"A": "x"}))
+    ops.append(("delete", "NoSuchRelation", {"A": "x"}))
+    return ops
+
+
+def query_targets(scheme):
+    universe = sorted(scheme.universe)
+    targets = [(a,) for a in universe]
+    targets.append(tuple(universe))
+    targets.append(tuple(sorted(scheme.relations[0].attributes)))
+    targets.append(("Ω",))  # out of universe on every paper scheme
+    return targets
+
+
+def apply_op(target, op):
+    """Run one op; returns ("outcome", json) / ("error", type, msg)."""
+    kind = op[0]
+    try:
+        if kind == "insert":
+            return ("outcome", canonical(target.insert(op[1], op[2])))
+        if kind == "delete":
+            target.delete(op[1], op[2])
+            return ("ok",)
+        assert kind == "batch"
+        return ("outcome", canonical(target.apply_batch(op[1])))
+    except Exception as error:  # noqa: BLE001 - compared, not hidden
+        return ("error", type(error).__name__, str(error))
+
+
+def run_query(target, attributes):
+    try:
+        return ("rows", sorted(target.query(attributes)))
+    except Exception as error:  # noqa: BLE001 - compared, not hidden
+        return ("error", type(error).__name__, str(error))
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_SCHEMES))
+@pytest.mark.parametrize("shards", [2, 3])
+def test_sharded_equals_single_process(name, shards):
+    scheme = PAPER_SCHEMES[name]()
+    server = SchemeServer(scheme=scheme)
+    router = ShardRouter.in_memory(scheme, shards)
+    try:
+        for op in build_workload(scheme):
+            expected = apply_op(server, op)
+            actual = apply_op(router, op)
+            assert actual == expected, f"{name} diverged on {op[:2]}"
+        for attributes in query_targets(scheme):
+            assert run_query(router, attributes) == run_query(
+                server, attributes
+            ), f"{name} diverged on query {attributes}"
+        assert state_to_dict(router.state) == state_to_dict(server.state)
+    finally:
+        router.close()
+        server.close()
+
+
+def test_rejection_diagnostics_identical_at_every_count():
+    """The full rejection diagnostic (witness and counters included)
+    must not depend on the shard count."""
+    scheme = example1_university()
+    documents = {}
+    for shards in (1, 2, 3, 8):
+        router = ShardRouter.in_memory(scheme, shards)
+        try:
+            ok = router.insert(
+                "R4", {"C": "CS445", "S": "s1", "G": "A"}
+            )
+            assert ok.consistent
+            bad = router.insert(
+                "R4", {"C": "CS445", "S": "s1", "G": "F"}
+            )
+            assert not bad.consistent
+            documents[shards] = (canonical(ok), canonical(bad))
+        finally:
+            router.close()
+    assert len(set(documents.values())) == 1

@@ -1,0 +1,124 @@
+"""Routing edge cases: inline collapse, round-robin packing, and
+batches that leave some shards untouched."""
+
+import multiprocessing
+
+import pytest
+
+from repro.foundations.errors import StateError
+from repro.shard.router import ShardMap, ShardRouter, shard_map_for
+from repro.workloads.paper import (
+    example1_university,
+    example3_triangle,
+)
+
+
+class TestShardMap:
+    def test_round_robin_assignment(self):
+        # example1 partitions into 3 blocks; two shards pack 0,1,0.
+        shard_map = shard_map_for(example1_university(), 2)
+        assert shard_map.shards == 2
+        assert shard_map.assignment == (0, 1, 0)
+        covered = sorted(
+            name
+            for names in shard_map.shard_relations
+            for name in names
+        )
+        assert covered == ["R1", "R2", "R3", "R4", "R5"]
+
+    def test_more_shards_than_blocks_clamps(self):
+        shard_map = shard_map_for(example1_university(), 8)
+        assert shard_map.requested == 8
+        assert shard_map.shards == 3  # one block per shard, no idlers
+        assert shard_map.assignment == (0, 1, 2)
+
+    def test_single_block_scheme_collapses_to_one(self):
+        shard_map = shard_map_for(example3_triangle(), 4)
+        assert shard_map.shards == 1
+        assert set(shard_map.assignment) == {0}
+
+    def test_memoized_by_fingerprint(self):
+        # Two structurally equal schemes share one map object.
+        first = shard_map_for(example1_university(), 2)
+        second = shard_map_for(example1_university(), 2)
+        assert first is second
+
+    def test_derive_matches_memoized(self):
+        from repro.core.partition import partition_scheme
+
+        partition = partition_scheme(example1_university())
+        derived = ShardMap.derive(partition, 2)
+        assert derived.assignment == shard_map_for(
+            example1_university(), 2
+        ).assignment
+
+
+class TestInlineFastPath:
+    def test_single_block_scheme_spawns_no_workers(self):
+        before = len(multiprocessing.active_children())
+        router = ShardRouter.in_memory(example3_triangle(), 4)
+        try:
+            assert router.shards == 1
+            assert len(multiprocessing.active_children()) == before
+            outcome = router.insert("R1", {"A": "a1", "B": "b1"})
+            assert outcome.consistent
+            # No IPC happened: the RPC counter never appears.
+            assert "shard.rpcs" not in router.metrics_snapshot()
+        finally:
+            router.close()
+
+    def test_one_shard_requested_is_inline_even_when_decomposable(self):
+        before = len(multiprocessing.active_children())
+        router = ShardRouter.in_memory(example1_university(), 1)
+        try:
+            assert router.shards == 1
+            assert len(multiprocessing.active_children()) == before
+        finally:
+            router.close()
+
+
+class TestPartialFanout:
+    def test_batch_touching_one_shard_leaves_others_idle(self):
+        # With two shards over example1, R4 lives alone on shard 1.
+        router = ShardRouter.in_memory(example1_university(), 2)
+        try:
+            outcome = router.apply_batch(
+                [
+                    ("insert", "R4", {"C": "c1", "S": "s1", "G": "A"}),
+                    ("insert", "R4", {"C": "c2", "S": "s2", "G": "B"}),
+                ]
+            )
+            assert outcome.committed
+            snapshot = router.metrics_snapshot()
+            assert snapshot['ops.batch{shard="1"}'] == 1
+            assert snapshot.get('ops.batch{shard="0"}', 0) == 0
+        finally:
+            router.close()
+
+    def test_empty_batch_commits_without_rpcs(self):
+        router = ShardRouter.in_memory(example1_university(), 2)
+        try:
+            rpcs_before = router.metrics.snapshot().get("shard.rpcs", 0)
+            outcome = router.apply_batch([])
+            assert outcome.committed and outcome.applied == 0
+            assert (
+                router.metrics.snapshot().get("shard.rpcs", 0)
+                == rpcs_before
+            )
+        finally:
+            router.close()
+
+    def test_unroutable_update_fails_before_any_shard_prepares(self):
+        router = ShardRouter.in_memory(example1_university(), 2)
+        try:
+            with pytest.raises(StateError, match="unknown batch operation"):
+                router.apply_batch(
+                    [
+                        ("upsert", "R4", {"C": "c", "S": "s", "G": "A"}),
+                        ("insert", "R4", {"C": "c", "S": "s", "G": "A"}),
+                    ]
+                )
+            snapshot = router.metrics_snapshot()
+            assert snapshot.get('ops.batch_updates{shard="1"}', 0) == 0
+        finally:
+            router.close()
