@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench serve-bench shard-bench bench-suite bench-compare trace-smoke
+.PHONY: test lint bench serve-bench shard-bench replica-bench bench-suite bench-compare trace-smoke
 
 # Shard counts / rounds for the sharded serving benchmark; override for
 # a quick smoke: make shard-bench SHARD_COUNTS=1,2 SHARD_ROUNDS=2
@@ -38,6 +38,11 @@ serve-bench:
 # the router + worker processes); merges into BENCH_perf.json.
 shard-bench:
 	$(PY) -m repro shard-bench --shards $(SHARD_COUNTS) --rounds $(SHARD_ROUNDS)
+
+# Replication tier: follower catch-up lag and promote-vs-cold-open
+# failover time; merges into BENCH_perf.json.
+replica-bench:
+	$(PY) -m repro.bench --replica
 
 # Re-run the tracked scenarios and fail when any speedup ratio falls
 # more than 25% below the committed BENCH_perf.json baseline.

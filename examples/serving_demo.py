@@ -14,7 +14,7 @@ import tempfile
 import threading
 from pathlib import Path
 
-from repro.service import DurableStore, SchemeServer, scan_wal
+from repro.service import DurableStore, SchemeServer, scan_wal, segment_paths
 from repro.workloads.paper import example1_university
 
 
@@ -68,7 +68,7 @@ def main():
               f"(examined {conflict.tuples_examined} stored tuples)")
         rejects = [
             record
-            for record in scan_wal(store_dir / "wal.jsonl").records
+            for record in scan_wal(store_dir / "wal").records
             if record.op == "reject"
         ]
         print(f"reject records in the WAL: {len(rejects)}")
@@ -104,10 +104,10 @@ def main():
         server.close()
 
         banner("simulate a crash mid-append")
-        wal_path = store_dir / "wal.jsonl"
-        with open(wal_path, "ab") as handle:
+        active = segment_paths(store_dir / "wal")[-1]
+        with open(active, "ab") as handle:
             handle.write(b'{"seq": 999, "op": "insert", "relation"')
-        print("appended a torn half-record to the WAL")
+        print("appended a torn half-record to the active WAL segment")
 
         banner("recover")
         recovered = DurableStore.open(store_dir)

@@ -51,6 +51,7 @@ def load_baseline(path: Path) -> dict[str, float]:
 def fresh_speedups(repeats: int, workers: int) -> dict[str, float]:
     from repro.bench import (
         run_parallel_scenarios,
+        run_replica_scenarios,
         run_scenarios,
         run_shard_scenarios,
     )
@@ -60,6 +61,9 @@ def fresh_speedups(repeats: int, workers: int) -> dict[str, float]:
     # The sharded tier's 4-shard-vs-inline ratio (its own best-of is
     # baked into run_shard_scenarios; the s8 point is informational).
     scenarios.update(run_shard_scenarios(shard_counts=(1, 4)))
+    # Failover: promote-a-follower vs cold recovery (the lag scenario
+    # it also returns carries no speedup and is informational).
+    scenarios.update(run_replica_scenarios())
     return {
         name: record["speedup"]
         for name, record in scenarios.items()

@@ -88,6 +88,9 @@ def default_config(repo_root: Path) -> SpanConfig:
             "service/store.py::DurableStore.log_reject": ("store.batch",),
             "service/wal.py::WriteAheadLog.append": ("wal.append",),
             "service/wal.py::WriteAheadLog.sync": ("wal.fsync",),
+            "service/wal.py::WriteAheadLog.roll": ("wal.roll",),
+            "service/replica.py::FollowerStore.replay": ("replica.replay",),
+            "service/replica.py::WalShipper.ship": ("replica.ship",),
             "shard/router.py::ShardRouter.insert": ("shard.route",),
             "shard/router.py::ShardRouter.delete": ("shard.route",),
             "shard/router.py::ShardRouter.query": ("shard.route",),
@@ -112,6 +115,8 @@ def default_config(repo_root: Path) -> SpanConfig:
             "core/engine.py::WeakInstanceEngine",
             "service/store.py::DurableStore",
             "service/server.py::SchemeServer",
+            "service/replica.py::FollowerStore",
+            "service/replica.py::WalShipper",
             "shard/router.py::ShardRouter",
             "shard/frontend.py::ShardFrontend",
         ),
@@ -157,6 +162,27 @@ def default_config(repo_root: Path) -> SpanConfig:
             "shard/router.py::ShardRouter.stats": "reporting",
             "shard/router.py::ShardRouter.prometheus": "reporting",
             "shard/router.py::ShardRouter.close": "resource teardown",
+            # Replica: the hot paths are replay (replica.replay span)
+            # and the shipper's ship (replica.ship span); the rest is
+            # bootstrap/teardown bookkeeping or lock-free reads.
+            "service/replica.py::FollowerStore.status": "accessor",
+            "service/replica.py::FollowerStore.bootstrap": (
+                "one-time (re)initialisation from a snapshot; the "
+                "steady-state path is replay (replica.replay span)"
+            ),
+            "service/replica.py::FollowerStore.seal": (
+                "fsync+close bookkeeping at a segment boundary"
+            ),
+            "service/replica.py::FollowerStore.query": (
+                "lock-free read of an immutable snapshot; served "
+                "through handle(), which activates the tracer"
+            ),
+            "service/replica.py::FollowerStore.promote": (
+                "one-shot failover; the promoted DurableStore's own "
+                "spans take over"
+            ),
+            "service/replica.py::FollowerStore.close": "resource teardown",
+            "service/replica.py::WalShipper.lag": "reporting",
             # Frontend: lifecycle only; every request runs through
             # _execute, which opens front.request.
             "shard/frontend.py::ShardFrontend.start": "socket bind",

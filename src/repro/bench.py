@@ -384,6 +384,7 @@ def run_serving_scenarios(
       repair on top of replay.
     """
     from repro.service.store import DurableStore
+    from repro.service.wal import segment_paths
     from repro.workloads.paper import example1_university
 
     scheme = example1_university()
@@ -448,7 +449,8 @@ def run_serving_scenarios(
             else 0.0,
         }
 
-        with open(root / "store" / "wal.jsonl", "ab") as handle:
+        active = segment_paths(root / "store" / "wal")[-1]
+        with open(active, "ab") as handle:
             handle.write(b'{"seq": 424242, "op": "ins')  # torn mid-append
         torn = DurableStore.open(root / "store")
         try:
@@ -461,6 +463,102 @@ def run_serving_scenarios(
             "seconds": round(torn_recovery.seconds, 6),
         }
         return scenarios
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_replica_scenarios(
+    ops: int = 400, repeats: int = 3, fsync_every: int = 32
+) -> dict[str, dict]:
+    """The replication tier: follower catch-up lag and failover time.
+
+    * ``replica_follower_lag``: a follower bootstraps and a
+      :class:`WalShipper` drains the primary's whole backlog into it —
+      segment shipping plus follower-side replay (each insert
+      re-validated through the follower's engine).  ``seconds`` is the
+      catch-up lag for ``ops`` records; after the drain the sequence
+      lag is asserted back to zero.
+    * ``replica_failover``: ``promote()`` on a caught-up follower (its
+      live engine and state carry over; the cost is one CRC-auditing
+      scan of its segment files) versus the alternative the operator
+      has without a follower — a cold :func:`DurableStore.open` that
+      replays every record through the engine.  The ratio is the
+      tracked ``speedup``: how much faster failover is than cold
+      recovery.
+    """
+    from repro.service.replica import (
+        FollowerStore,
+        LocalTransport,
+        WalShipper,
+    )
+    from repro.service.store import DurableStore
+    from repro.workloads.paper import example1_university
+
+    scheme = example1_university()
+    root = Path(tempfile.mkdtemp(prefix="repro-replica-bench-"))
+    try:
+        primary = DurableStore.create(
+            root / "primary",
+            scheme,
+            fsync_every=fsync_every,
+            auto_compact=False,
+            segment_bytes=8 * 1024,  # several sealed segments
+        )
+        try:
+            for index in range(ops):
+                if index % 25 == 24:
+                    primary.insert("R4", {"C": "C0", "S": "S0", "G": "F"})
+                else:
+                    primary.insert(
+                        "R4", {"C": f"C{index}", "S": f"S{index}", "G": "A"}
+                    )
+            primary.sync()
+            segments = len(primary.wal.segments())
+            best_ship = best_promote = best_cold = float("inf")
+            residual_lag = 0
+            for attempt in range(repeats):
+                follower_dir = root / f"follower-{attempt}"
+                follower = FollowerStore(
+                    follower_dir, fsync_every=fsync_every
+                )
+                shipper = WalShipper(primary, [LocalTransport(follower)])
+                start = time.perf_counter()
+                shipper.sync()
+                best_ship = min(best_ship, time.perf_counter() - start)
+                residual_lag = shipper.lag()[0]
+                start = time.perf_counter()
+                promoted = follower.promote()
+                best_promote = min(
+                    best_promote, time.perf_counter() - start
+                )
+                assert promoted.last_seq == primary.last_seq
+                follower.close()
+                start = time.perf_counter()
+                cold = DurableStore.open(follower_dir)
+                try:
+                    best_cold = min(best_cold, time.perf_counter() - start)
+                finally:
+                    cold.close()
+            return {
+                "replica_follower_lag": {
+                    "records": primary.last_seq,
+                    "segments": segments,
+                    "seconds": round(best_ship, 6),
+                    "records_per_second": round(
+                        primary.last_seq / best_ship, 1
+                    ),
+                    "lag_records_after_sync": residual_lag,
+                },
+                "replica_failover": {
+                    "records": primary.last_seq,
+                    "promote_seconds": round(best_promote, 6),
+                    "cold_open_seconds": round(best_cold, 6),
+                    "seconds": round(best_promote, 6),
+                    "speedup": round(best_cold / best_promote, 3),
+                },
+            }
+        finally:
+            primary.close()
     finally:
         shutil.rmtree(root, ignore_errors=True)
 
@@ -723,7 +821,14 @@ def write_report(
 def _print_scenarios(scenarios: dict[str, dict]) -> None:
     width = max(len(name) for name in scenarios)
     for name, record in sorted(scenarios.items()):
-        if "speedup" in record:
+        if "promote_seconds" in record:
+            print(
+                f"{name:{width}}  promote {record['promote_seconds']*1e3:8.3f} ms"
+                f"  cold open {record['cold_open_seconds']*1e3:8.3f} ms"
+                f"  speedup {record['speedup']:6.2f}x"
+                f"  ({record['records']} records)"
+            )
+        elif "speedup" in record:
             print(
                 f"{name:{width}}  optimized {record['optimized_seconds']*1e3:8.3f} ms"
                 f"  naive {record['naive_seconds']*1e3:8.3f} ms"
@@ -775,6 +880,19 @@ def main(argv: list[str] | None = None) -> int:
         help="operations in the sustained serving mix (default 600)",
     )
     parser.add_argument(
+        "--replica",
+        action="store_true",
+        help="run the replication scenarios (follower catch-up lag and "
+        "promote-vs-cold-open failover)",
+    )
+    parser.add_argument(
+        "--replica-ops",
+        type=int,
+        default=400,
+        help="records shipped to each follower in the replication "
+        "scenarios (default 400)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -793,7 +911,7 @@ def main(argv: list[str] | None = None) -> int:
     # tracing-regression budget measures, so tracing stays on here.
     tracer = Tracer()
     with tracing(tracer):
-        if args.all or not args.serving:
+        if args.all or not (args.serving or args.replica):
             scenarios.update(run_scenarios(repeats=args.repeats))
             scenarios.update(
                 run_parallel_scenarios(
@@ -802,6 +920,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.all or args.serving:
             scenarios.update(run_serving_scenarios(ops=args.serving_ops))
+        if args.all or args.replica:
+            scenarios.update(run_replica_scenarios(ops=args.replica_ops))
     spans = tracer.span_summaries()
     path = root / BENCH_PATH_NAME
     metadata = run_metadata(args.workers)

@@ -244,7 +244,7 @@ def _run_insert(args: argparse.Namespace) -> int:
                 _print_rejection(args.relation, outcome)
                 print(
                     "(rejection logged durably in "
-                    f"{store.directory / 'wal.jsonl'})"
+                    f"{store.directory / 'wal'})"
                 )
                 return 2
             print(
@@ -518,7 +518,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         or getattr(args, "port", None) is not None
         or (args.store and (Path(args.store) / "shard.json").exists())
     ):
+        if getattr(args, "replicas", None):
+            print(
+                "error: --replicas follows the durable (non-sharded) "
+                "serving path; drop --shards/--port to use it",
+                file=sys.stderr,
+            )
+            return 1
         return _cmd_serve_sharded(args, tracer)
+    replicas = getattr(args, "replicas", None)
+    if replicas is not None and not args.store:
+        print(
+            "error: --replicas needs --store DIR (followers replay the "
+            "store's WAL segments)",
+            file=sys.stderr,
+        )
+        return 1
     store = None
     if args.store:
         store = _open_or_create_store(args)
@@ -543,9 +558,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             compiled=_compiled(args),
         )
         print("serving in-memory (no --store: nothing will be persisted)")
+    replica_set = None
     try:
+        if replicas:
+            from repro.service.replica import ReplicaSet
+
+            replica_set = ReplicaSet(
+                store, replicas, compiled=_compiled(args)
+            )
+            print(
+                f"shipping WAL segments to {replicas} follower "
+                f"process(es) under {store.directory / 'replicas'}"
+            )
         return _serve_lines(server, args)
     finally:
+        if replica_set is not None:
+            replica_set.close()
         server.close()
         if tracer is not None:
             tracer.close()
@@ -571,6 +599,35 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if args.out:
             dump_state(store.state, args.out)
             print(f"recovered state written to {args.out}")
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Point-in-time recovery: open the store as of a sequence number
+    and report (or export) exactly the state the first N records built."""
+    from repro.service.store import DurableStore
+
+    store = DurableStore.open(args.store, as_of_seq=args.as_of)
+    try:
+        report = store.recovery
+        if args.json:
+            payload = report.to_dict()
+            payload["last_seq"] = store.last_seq
+            payload["tuples"] = store.state.total_tuples()
+            payload["read_only"] = store.read_only
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(report.describe())
+            print(
+                f"state as of seq {store.last_seq}: "
+                f"{store.state.total_tuples()} stored tuple(s) "
+                "(read-only — the live log continues past this point)"
+            )
+        if args.out:
+            dump_state(store.state, args.out)
+            print(f"point-in-time state written to {args.out}")
         return 0
     finally:
         store.close()
@@ -936,6 +993,13 @@ def build_parser() -> argparse.ArgumentParser:
         "reuse a sharded store's stored count)",
     )
     serve.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="ship WAL segments to this many follower processes "
+        "(durable non-sharded serving only; needs --store)",
+    )
+    serve.add_argument(
         "--host",
         default="127.0.0.1",
         help="bind address for --port (default 127.0.0.1)",
@@ -1041,6 +1105,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--out", help="write the recovered state here")
     replay.set_defaults(func=_cmd_replay)
+
+    recover = commands.add_parser(
+        "recover",
+        help="point-in-time recovery: rebuild the state as of a "
+        "sequence number",
+    )
+    recover.add_argument("--store", required=True, help="store directory")
+    recover.add_argument(
+        "--as-of",
+        type=int,
+        required=True,
+        dest="as_of",
+        help="stop the replay after this sequence number",
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    recover.add_argument(
+        "--out", help="write the point-in-time state here"
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     keys = commands.add_parser(
         "keys", help="list (and optionally derive) every declared key"

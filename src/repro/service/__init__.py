@@ -6,38 +6,50 @@ properties a long-lived serving process exploits directly.  This
 package turns :class:`~repro.core.engine.WeakInstanceEngine` into a
 restartable server:
 
-* :mod:`repro.service.wal` — append-only JSONL write-ahead log with
-  CRC-32 checksums, batched fsync and torn-tail repair;
+* :mod:`repro.service.wal` — segmented append-only JSONL write-ahead
+  log with CRC-32 checksums, batched fsync, sealed-segment rolling and
+  torn-tail repair;
 * :mod:`repro.service.store` — :class:`DurableStore`: scheme + WAL +
   atomic snapshots, crash recovery by replaying validated updates,
-  automatic compaction;
+  segment compaction, point-in-time recovery (``as_of_seq``);
 * :mod:`repro.service.server` — :class:`SchemeServer`: named sessions,
   single-writer lock, lock-free snapshot reads;
+* :mod:`repro.service.replica` — :class:`WalShipper` streaming sealed
+  segments (plus the tailed active one) to :class:`FollowerStore`
+  processes that replay incrementally and can be promoted on failover;
 * :mod:`repro.service.metrics` — thread-safe operation counters.
 """
 
 from repro.service.metrics import MetricsRegistry
+from repro.service.replica import FollowerStore, ReplicaSet, WalShipper
 from repro.service.server import SchemeServer, Session
 from repro.service.store import DurableStore, RecoveryReport
 from repro.service.wal import (
     WalRecord,
     WalScan,
     WriteAheadLog,
+    iter_wal,
     record_crc,
     replayable,
     scan_wal,
+    segment_paths,
 )
 
 __all__ = [
     "DurableStore",
+    "FollowerStore",
     "MetricsRegistry",
     "RecoveryReport",
+    "ReplicaSet",
     "SchemeServer",
     "Session",
     "WalRecord",
     "WalScan",
+    "WalShipper",
     "WriteAheadLog",
+    "iter_wal",
     "record_crc",
     "replayable",
     "scan_wal",
+    "segment_paths",
 ]

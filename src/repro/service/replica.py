@@ -1,0 +1,826 @@
+"""Follower replication over the segmented WAL.
+
+The segmented log makes replication a file-shipping problem: sealed
+segments are immutable, so a :class:`WalShipper` on the primary streams
+their bytes (plus the growing tail of the active segment) to
+:class:`FollowerStore` processes over the same length-prefixed JSON
+frame protocol the sharded tier speaks
+(:mod:`repro.shard.protocol`).  A follower writes the records into
+identically-named segment files — its log is byte-for-byte the
+primary's — and replays each state-changing record through its own
+:class:`~repro.core.engine.WeakInstanceEngine`.  Replay extends the
+engine's delta-chase basis incrementally (the PR-4 property the paper's
+block-local chase semantics guarantee), so follower apply cost follows
+each record's cascade, not the state size, and the follower's immutable
+:class:`~repro.state.database_state.DatabaseState` snapshots serve
+lock-free reads the whole time.
+
+Failure handling:
+
+* **Primary compacted past the follower** — a sealed segment the
+  cursor still needed was deleted after a snapshot.  The shipper
+  re-bootstraps the follower from the current snapshot; the follower
+  discards its log and starts over.  No offset arithmetic across the
+  gap is attempted.
+* **Follower divergence** — a shipped record that fails CRC, breaks
+  the sequence, or is rejected by the follower's engine on replay
+  raises out of :meth:`FollowerStore.replay`; the truncation fuzzers
+  drive this path with torn segment boundaries.
+* **Primary loss** — :meth:`FollowerStore.promote` turns the follower
+  into a writable :class:`~repro.service.store.DurableStore` *in
+  place*: its live engine/state carry over (no re-chase, no replay), a
+  fresh :class:`~repro.service.wal.WriteAheadLog` re-opens its segment
+  directory, and the scan doubles as a CRC audit of everything the
+  follower wrote.
+
+:class:`ReplicaSet` packages the deployment the CLI's ``serve
+--replicas N`` uses: forked follower processes (the
+:func:`follower_main` loop mirrors the shard worker's) fed by a
+background shipping thread, with ``sync()`` draining the pipeline for
+tests and shutdown.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.core.engine import WeakInstanceEngine
+from repro.foundations.errors import ServiceError, StoreError, WALError
+from repro.io import (
+    dump_json_atomic,
+    dump_scheme,
+    load_json,
+    scheme_from_dict,
+    scheme_to_dict,
+    state_to_dict,
+)
+from repro.obs.spans import Tracer, span, tracing
+from repro.schema.database_scheme import DatabaseScheme
+from repro.service.store import (
+    SCHEME_FILE,
+    SNAPSHOT_FILE,
+    WAL_DIR,
+    DurableStore,
+    RecoveryReport,
+)
+from repro.service.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    WriteAheadLog,
+    _decode_line,
+    segment_index,
+    segment_name,
+)
+from repro.shard.protocol import recv_frame, send_frame
+from repro.state.database_state import DatabaseState
+
+PathLike = Union[str, Path]
+
+#: RPC ops a follower understands (documented for the protocol tests).
+FOLLOWER_OPS = (
+    "ping",
+    "bootstrap",
+    "records",
+    "seal",
+    "sync",
+    "status",
+    "query",
+    "state",
+    "promote",
+    "insert",
+    "delete",
+    "shutdown",
+)
+
+#: Upper bound on raw record bytes gathered per ``records`` frame —
+#: comfortably under the protocol's MAX_FRAME_BYTES with JSON overhead.
+SHIP_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+def _check_reply(reply: Mapping[str, Any]) -> dict[str, Any]:
+    if not reply.get("ok", False):
+        info = reply.get("error") or {}
+        raise ServiceError(
+            "follower error: "
+            f"{info.get('type', 'Error')}: {info.get('message', '')}"
+        )
+    return dict(reply)
+
+
+class LocalTransport:
+    """Direct in-process dispatch — the test/bench transport."""
+
+    def __init__(self, follower: "FollowerStore") -> None:
+        self.follower = follower
+
+    def send(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return _check_reply(self.follower.handle(payload))
+
+    def close(self) -> None:
+        pass
+
+
+class SocketTransport:
+    """One request/response round trip per frame over a socketpair."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+
+    def send(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        send_frame(self.sock, payload)
+        reply = recv_frame(self.sock)
+        if reply is None:
+            raise ServiceError("follower closed its pipe mid-request")
+        return _check_reply(reply)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class FollowerStore:
+    """A read-only replica fed record frames by a :class:`WalShipper`.
+
+    Kept separate from the process loop (:func:`follower_main`) so
+    tests can drive it in-process over a :class:`LocalTransport`, the
+    same split the sharded tier uses for its workers.  Not thread-safe
+    on the write path — one shipper feeds it; reads hand out immutable
+    state snapshots and need no lock.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        compiled: bool = True,
+        fsync_every: int = 1,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.compiled = compiled
+        self.fsync_every = fsync_every
+        self.tracer = Tracer()
+        self._scheme: Optional[DatabaseScheme] = None
+        self._engine: Optional[WeakInstanceEngine] = None
+        self._state: Optional[DatabaseState] = None
+        self._snapshot_seq = 0
+        self._applied_seq = 0
+        self._rejects = 0
+        self._segment_index: Optional[int] = None
+        self._segment_handle: Optional[Any] = None
+        self._promoted: Optional[DurableStore] = None
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def applied_seq(self) -> int:
+        """Sequence of the last record applied (or promoted through)."""
+        if self._promoted is not None:
+            return self._promoted.last_seq
+        return self._applied_seq
+
+    @property
+    def state(self) -> Optional[DatabaseState]:
+        """The follower's current immutable state — safe to hand to
+        readers with no locking (replay swaps the pointer)."""
+        if self._promoted is not None:
+            return self._promoted.state
+        return self._state
+
+    @property
+    def promoted(self) -> Optional[DurableStore]:
+        return self._promoted
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "applied_seq": self.applied_seq,
+            "rejects": self._rejects,
+            "promoted": self._promoted is not None,
+            "bootstrapped": self._engine is not None,
+        }
+
+    # -- dispatch -------------------------------------------------------------
+    def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """One RPC in, one JSON-ready response out.  Errors become
+        ``{"ok": false, "error": {...}}`` so the shipper can surface
+        them with the follower's diagnosis intact."""
+        op = request.get("op")
+        try:
+            with tracing(self.tracer):
+                return self._dispatch(op, request)
+        except Exception as error:  # noqa: BLE001 — shipped to primary
+            return {
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+            }
+
+    def _dispatch(
+        self, op: Optional[str], request: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        if op == "ping":
+            return {"ok": True, **self.status()}
+        if op == "bootstrap":
+            self.bootstrap(request["scheme"], request["snapshot"])
+            return {"ok": True, "applied_seq": self._applied_seq}
+        if op == "records":
+            applied = self.replay(
+                int(request["segment"]), request["lines"]
+            )
+            return {
+                "ok": True,
+                "applied": applied,
+                "applied_seq": self.applied_seq,
+            }
+        if op == "seal":
+            self.seal(int(request["segment"]))
+            return {"ok": True}
+        if op == "sync":
+            self._fsync_segment()
+            return {"ok": True, **self.status()}
+        if op == "status":
+            return {"ok": True, **self.status()}
+        if op == "query":
+            return {"ok": True, "rows": sorted(self.query(request["target"]))}
+        if op == "state":
+            state = self.state
+            if state is None:
+                raise ServiceError("follower has not been bootstrapped")
+            return {"ok": True, "state": state_to_dict(state)}
+        if op == "promote":
+            store = self.promote()
+            return {"ok": True, "last_seq": store.last_seq}
+        if op == "insert":
+            store = self._require_promoted("insert")
+            outcome = store.insert(request["relation"], request["values"])
+            return {"ok": True, "outcome": outcome.to_dict()}
+        if op == "delete":
+            store = self._require_promoted("delete")
+            store.delete(request["relation"], request["values"])
+            return {"ok": True}
+        raise ServiceError(f"unknown follower op {op!r}")
+
+    def _require_promoted(self, op: str) -> DurableStore:
+        if self._promoted is None:
+            raise ServiceError(
+                f"follower is read-only until promoted; cannot {op}"
+            )
+        return self._promoted
+
+    # -- replication ----------------------------------------------------------
+    def bootstrap(
+        self, scheme_dict: Mapping[str, Any], snapshot: Mapping[str, Any]
+    ) -> None:
+        """(Re)initialise from the primary's snapshot.
+
+        Also the shipper's recovery path when compaction on the primary
+        deleted a segment this follower still needed: any previously
+        shipped segments are discarded and the log restarts from the
+        snapshot's sequence."""
+        if self._promoted is not None:
+            raise ServiceError("follower was promoted; cannot re-bootstrap")
+        seq = snapshot["seq"]
+        if not isinstance(seq, int) or not isinstance(
+            snapshot.get("state"), dict
+        ):
+            raise ServiceError("malformed bootstrap snapshot")
+        scheme = scheme_from_dict(scheme_dict)
+        engine = WeakInstanceEngine(scheme, compiled=self.compiled)
+        state = engine.load(snapshot["state"])
+        # Persist the store files first: a promote after a crash of the
+        # *primary* must find a complete store directory here.
+        dump_scheme(scheme, self.directory / SCHEME_FILE)
+        dump_json_atomic(
+            {"seq": seq, "state": snapshot["state"]},
+            self.directory / SNAPSHOT_FILE,
+        )
+        self._close_segment()
+        wal_dir = self.directory / WAL_DIR
+        wal_dir.mkdir(parents=True, exist_ok=True)
+        for stale in sorted(wal_dir.iterdir()):
+            if segment_index(stale) is not None:
+                stale.unlink()
+        if self._engine is not None:
+            self._engine.close()
+        self._scheme = scheme
+        self._engine = engine
+        self._state = state
+        self._snapshot_seq = seq
+        self._applied_seq = seq
+        self._rejects = 0
+        self._segment_index = None
+
+    def replay(self, segment: int, lines: Sequence[str]) -> int:
+        """Append the shipped raw lines to segment ``segment`` and
+        apply their records; returns how many changed the state.
+
+        Each line must decode, pass its CRC, and continue the sequence
+        — and each replayed insert goes back through the follower's own
+        engine, so a primary/follower divergence surfaces here as an
+        error instead of silently forked states.  Records at or before
+        the bootstrap snapshot's sequence are written (byte fidelity)
+        but not applied (the snapshot already contains them)."""
+        engine = self._engine
+        if engine is None or self._state is None:
+            raise ServiceError("follower has not been bootstrapped")
+        with span("replica.replay") as sp:
+            handle = self._segment_for(segment)
+            state = self._state
+            applied = 0
+            for text in lines:
+                raw = text.encode("utf-8")
+                record = _decode_line(raw, None)
+                if record is None:
+                    raise WALError(
+                        f"follower received a damaged record for segment "
+                        f"{segment} after seq {self._applied_seq}"
+                    )
+                if record.seq <= self._snapshot_seq:
+                    handle.write(raw)
+                    continue
+                if record.seq != self._applied_seq + 1:
+                    raise WALError(
+                        f"follower expected seq {self._applied_seq + 1} "
+                        f"but was shipped seq {record.seq} — replication "
+                        "stream diverged"
+                    )
+                handle.write(raw)
+                if record.op == "insert":
+                    outcome = engine.insert(
+                        state, record.relation, record.values or {}
+                    )
+                    if not outcome.consistent or outcome.state is None:
+                        raise StoreError(
+                            f"record seq {record.seq} was accepted by the "
+                            "primary but fails validation on the follower "
+                            "— states diverged"
+                        )
+                    state = outcome.state
+                    applied += 1
+                elif record.op == "delete":
+                    state = engine.delete(
+                        state, record.relation, record.values or {}
+                    )
+                    applied += 1
+                else:
+                    self._rejects += 1
+                self._applied_seq = record.seq
+            handle.flush()
+            self._state = state
+            if sp:
+                sp.add("records", len(lines))
+                sp.add("applied", applied)
+        return applied
+
+    def seal(self, segment: int) -> None:
+        """The primary rolled past ``segment``: fsync and close it —
+        from here on its bytes are immutable, exactly as on the
+        primary."""
+        if self._segment_index == segment:
+            self._close_segment(fsync=True)
+
+    def query(self, attributes: Any) -> set:
+        """``[X]`` over the follower's snapshot state — lock-free."""
+        if self._promoted is not None:
+            return self._promoted.query(attributes)
+        if self._engine is None or self._state is None:
+            raise ServiceError("follower has not been bootstrapped")
+        return self._engine.query(self._state, attributes)
+
+    def promote(self) -> DurableStore:
+        """Fail over: become a writable :class:`DurableStore` in place.
+
+        The follower's live engine and state carry over — no snapshot
+        reload, no replay, no re-chase; the dominant cost is one scan
+        of its segment files to rebuild the appender's bookkeeping,
+        which doubles as a CRC audit of everything it wrote.  The
+        returned store continues the sequence where shipping stopped,
+        appending to the same segment directory."""
+        if self._promoted is not None:
+            return self._promoted
+        engine = self._engine
+        if engine is None or self._state is None or self._scheme is None:
+            raise ServiceError(
+                "follower has not been bootstrapped; nothing to promote"
+            )
+        started = time.perf_counter()
+        self._close_segment(fsync=True)
+        wal = WriteAheadLog(
+            self.directory / WAL_DIR,
+            base_seq=self._snapshot_seq,
+            fsync_every=self.fsync_every,
+            flexible=True,
+        )
+        if wal.last_seq != self._applied_seq:
+            wal.close()
+            raise StoreError(
+                f"follower applied up to seq {self._applied_seq} but its "
+                f"log ends at {wal.last_seq} — refusing to promote a "
+                "diverged replica"
+            )
+        report = RecoveryReport(
+            snapshot_seq=self._snapshot_seq,
+            replayed=0,
+            rejects_in_log=self._rejects,
+            discarded_bytes=wal.recovered.discarded_bytes,
+            stale_log=False,
+            seconds=time.perf_counter() - started,
+        )
+        self._promoted = DurableStore(
+            directory=self.directory,
+            scheme=self._scheme,
+            engine=engine,
+            state=self._state,
+            wal=wal,
+            recovery=report,
+            compact_factor=4.0,
+            auto_compact=True,
+        )
+        return self._promoted
+
+    def close(self) -> None:
+        if self._promoted is not None:
+            self._promoted.close()
+            self._promoted = None
+            self._engine = None
+            return
+        self._close_segment()
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "FollowerStore":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()
+
+    # -- segment files --------------------------------------------------------
+    def _segment_for(self, segment: int) -> Any:
+        if self._segment_index == segment and self._segment_handle:
+            return self._segment_handle
+        if (
+            self._segment_index is not None
+            and segment < self._segment_index
+        ):
+            raise WALError(
+                f"follower is on segment {self._segment_index}; refusing "
+                f"to reopen sealed segment {segment}"
+            )
+        self._close_segment(fsync=True)
+        path = self.directory / WAL_DIR / segment_name(segment)
+        self._segment_handle = open(path, "ab")
+        self._segment_index = segment
+        return self._segment_handle
+
+    def _fsync_segment(self) -> None:
+        if self._segment_handle is not None:
+            self._segment_handle.flush()
+            os.fsync(self._segment_handle.fileno())
+
+    def _close_segment(self, fsync: bool = False) -> None:
+        if self._segment_handle is not None:
+            if fsync:
+                self._fsync_segment()
+            self._segment_handle.close()
+            self._segment_handle = None
+
+
+def _first_seq(path: Path) -> Optional[int]:
+    """Sequence of the first intact record in a segment file."""
+    try:
+        with open(path, "rb") as handle:
+            line = handle.readline()
+    except OSError:
+        return None
+    record = _decode_line(line, None)
+    return record.seq if record is not None else None
+
+
+def _read_complete_lines(
+    path: Path, offset: int, max_bytes: int = SHIP_CHUNK_BYTES
+) -> tuple[list[str], int]:
+    """Read whole, CRC-valid lines from ``offset``; stop at the first
+    incomplete or still-flushing line (it is retried next poll) or at
+    ``max_bytes``.  Returns the lines and the new offset."""
+    lines: list[str] = []
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        total = 0
+        while total < max_bytes:
+            line = handle.readline()
+            if not line or not line.endswith(b"\n"):
+                break
+            if _decode_line(line, None) is None:
+                break
+            lines.append(line.decode("utf-8"))
+            offset += len(line)
+            total += len(line)
+    return lines, offset
+
+
+class WalShipper:
+    """Streams a primary store's segments to follower transports.
+
+    Per follower it keeps a cursor ``(segment index, byte offset)``
+    into the primary's segment directory and ships complete records
+    from there: sealed segments in order (each closed with a ``seal``
+    frame, so the follower's copy becomes immutable at the same
+    boundary), then the active segment's growing tail.  Reading is
+    concurrent-safe against the appending writer because only intact,
+    CRC-valid, newline-terminated lines ever ship — a half-flushed
+    tail stays behind the cursor until the next poll.
+
+    If compaction deleted a segment before it shipped (the follower
+    lagged across a snapshot), the follower is re-bootstrapped from
+    the current snapshot rather than chasing a gap.
+    """
+
+    def __init__(
+        self,
+        store: DurableStore,
+        transports: Sequence[Any],
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.store = store
+        self.transports = list(transports)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._cursors: list[Optional[dict[str, int]]] = [
+            None for _ in self.transports
+        ]
+        self.bootstraps = 0
+
+    def ship(self) -> int:
+        """One shipping pass over every follower; returns the number of
+        records sent.  Call repeatedly (or from a polling thread) —
+        each pass ships whatever accumulated since the last."""
+        with tracing(self.tracer):
+            with span("replica.ship") as sp:
+                shipped = 0
+                for position, transport in enumerate(self.transports):
+                    shipped += self._ship_one(position, transport)
+                if sp:
+                    sp.add("records", shipped)
+        return shipped
+
+    def sync(self) -> list[dict[str, Any]]:
+        """Drain: ship until no follower is behind the log's flushed
+        tail, fsync the followers, and return their statuses."""
+        while self.ship():
+            pass
+        return [
+            transport.send({"op": "sync"}) for transport in self.transports
+        ]
+
+    def lag(self) -> list[int]:
+        """Records each follower is behind the primary, by sequence."""
+        primary_seq = self.store.last_seq
+        lags = []
+        for transport in self.transports:
+            status = transport.send({"op": "status"})
+            lags.append(primary_seq - int(status["applied_seq"]))
+        return lags
+
+    # -- one follower ---------------------------------------------------------
+    def _ship_one(self, position: int, transport: Any) -> int:
+        cursor = self._cursors[position]
+        if cursor is None:
+            cursor = self._bootstrap(transport)
+            self._cursors[position] = cursor
+        wal = self.store.wal
+        shipped = 0
+        while True:
+            index = cursor["segment"]
+            path = wal.directory / segment_name(index)
+            try:
+                lines, end = _read_complete_lines(path, cursor["offset"])
+            except FileNotFoundError:
+                # Compacted away before this follower saw it: start
+                # over from the snapshot that superseded it.
+                cursor = self._bootstrap(transport)
+                self._cursors[position] = cursor
+                continue
+            if lines:
+                transport.send(
+                    {"op": "records", "segment": index, "lines": lines}
+                )
+                cursor["offset"] = end
+                shipped += len(lines)
+            if index < wal.active_index:
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    size = None
+                if size is not None and cursor["offset"] >= size:
+                    # Sealed and fully shipped: seal on the follower
+                    # and move to the next segment.
+                    transport.send({"op": "seal", "segment": index})
+                    cursor["segment"] = index + 1
+                    cursor["offset"] = 0
+                    continue
+            if not lines:
+                return shipped
+
+    def _bootstrap(self, transport: Any) -> dict[str, int]:
+        snapshot = load_json(self.store.directory / SNAPSHOT_FILE)
+        transport.send(
+            {
+                "op": "bootstrap",
+                "scheme": scheme_to_dict(self.store.scheme),
+                "snapshot": snapshot,
+            }
+        )
+        self.bootstraps += 1
+        seq = int(snapshot["seq"])
+        return {"segment": self._segment_holding(seq + 1), "offset": 0}
+
+    def _segment_holding(self, seq: int) -> int:
+        """The segment whose records include ``seq``, falling back to
+        the active segment when ``seq`` has not been written yet."""
+        wal = self.store.wal
+        chosen = wal.active_index
+        for path in wal.segments():
+            index = segment_index(path)
+            first = _first_seq(path)
+            if index is None or first is None or first > seq:
+                break
+            chosen = index
+        return chosen
+
+
+def follower_main(conn: socket.socket, config: Mapping[str, Any]) -> None:
+    """The forked follower's entire life: serve replication RPCs until
+    EOF/shutdown, tear down cleanly.
+
+    Mirrors the shard worker loop: SIGTERM exits cleanly, SIGINT is
+    ignored so a Ctrl-C aimed at the serving process group cannot kill
+    followers before the primary coordinates shutdown."""
+
+    def _terminate(signum: int, frame: object) -> None:  # pragma: no cover
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    follower = FollowerStore(
+        config["directory"],
+        compiled=bool(config.get("compiled", True)),
+        fsync_every=int(config.get("fsync_every", 1)),
+    )
+    try:
+        while True:
+            request = recv_frame(conn)
+            if request is None or request.get("op") == "shutdown":
+                if request is not None:
+                    send_frame(conn, {"ok": True})
+                break
+            send_frame(conn, follower.handle(request))
+    except (SystemExit, BrokenPipeError, ConnectionResetError):
+        pass
+    finally:
+        follower.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class ReplicaSet:
+    """Forked follower processes fed by a background shipping thread.
+
+    The deployment behind ``serve --replicas N``: follower ``k`` lives
+    in ``<base>/follower-<k>`` (a complete store directory, ready to
+    be promoted by failover tooling), and a daemon thread polls the
+    primary's log every ``poll_interval`` seconds, shipping whatever
+    the serving threads appended.  ``sync()`` drains the pipeline on
+    demand; ``close()`` drains, shuts the followers down and reaps the
+    processes."""
+
+    def __init__(
+        self,
+        store: DurableStore,
+        count: int,
+        directory: Optional[PathLike] = None,
+        *,
+        poll_interval: float = 0.05,
+        compiled: bool = True,
+    ) -> None:
+        if count < 1:
+            raise ServiceError("a replica set needs at least one follower")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ServiceError(
+                "follower replication needs the fork start method (POSIX)"
+            )
+        self.store = store
+        self.poll_interval = poll_interval
+        base = (
+            Path(directory)
+            if directory is not None
+            else store.directory / "replicas"
+        )
+        base.mkdir(parents=True, exist_ok=True)
+        self.directories: list[Path] = []
+        self._procs: list[Any] = []
+        self._transports: list[SocketTransport] = []
+        context = multiprocessing.get_context("fork")
+        for index in range(count):
+            follower_dir = base / f"follower-{index}"
+            parent_sock, child_sock = socket.socketpair()
+            process = context.Process(
+                target=follower_main,
+                args=(
+                    child_sock,
+                    {
+                        "directory": str(follower_dir),
+                        "compiled": compiled,
+                        "fsync_every": 1,
+                    },
+                ),
+                name=f"repro-follower-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_sock.close()
+            self.directories.append(follower_dir)
+            self._procs.append(process)
+            self._transports.append(SocketTransport(parent_sock))
+        self.shipper = WalShipper(store, self._transports)
+        # One ping per follower: a child that died on startup surfaces
+        # here, not on the first shipped record.
+        self._lock = threading.Lock()
+        for transport in self._transports:
+            transport.send({"op": "ping"})
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-wal-shipper", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                with self._lock:
+                    self.shipper.ship()
+            except ServiceError:
+                # A follower died mid-ship; stop polling — close()
+                # will report reality via the remaining statuses.
+                return
+            self._stop.wait(self.poll_interval)
+
+    def sync(self) -> list[dict[str, Any]]:
+        """Ship everything appended so far and fsync the followers."""
+        with self._lock:
+            return self.shipper.sync()
+
+    def statuses(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                transport.send({"op": "status"})
+                for transport in self._transports
+            ]
+
+    def close(self) -> None:
+        """Final drain, then shut followers down and reap them."""
+        self._stop.set()
+        self._thread.join(timeout=10)
+        try:
+            with self._lock:
+                self.shipper.sync()
+        except ServiceError:
+            pass
+        for transport in self._transports:
+            try:
+                transport.send({"op": "shutdown"})
+            except ServiceError:
+                pass
+            transport.close()
+        for process in self._procs:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover
+                process.terminate()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()
+
+
+def iter_follower_dirs(base: PathLike) -> Iterator[Path]:
+    """The follower store directories under a replica-set base, in
+    index order — what failover tooling promotes from."""
+    base = Path(base)
+    if not base.is_dir():
+        return
+    for path in sorted(base.iterdir()):
+        if path.is_dir() and path.name.startswith("follower-"):
+            yield path

@@ -6,8 +6,10 @@ A :class:`DurableStore` lives in one directory::
       scheme.json     the DatabaseScheme (written once at create time)
       snapshot.json   {"seq": N, "state": {...}} — the state after the
                       first N accepted updates (atomic replace)
-      wal.jsonl       accepted updates N+1, N+2, ... plus durable
-                      ``reject`` diagnostics (see repro.service.wal)
+      wal/            segmented log of accepted updates N+1, N+2, ...
+        wal.000007.jsonl   sealed (immutable) segments, plus durable
+        wal.000008.jsonl   ``reject`` diagnostics; the highest index
+                           is the active segment (see repro.service.wal)
 
 Every mutation is validated by the scheme's
 :class:`~repro.core.engine.WeakInstanceEngine` *before* it is logged:
@@ -21,14 +23,21 @@ so repair tooling can later inspect *why* a tuple was refused; replay
 skips them and they can never resurrect the refused tuple.
 
 Recovery = load ``snapshot.json`` (consistency-checked through the
-engine's memoized chase), replay the WAL's intact prefix, repair any
-torn tail.  Compaction = write a new snapshot at the current sequence,
-then reset the WAL; it triggers automatically once the log outgrows the
-snapshot by ``compact_factor``.
+engine's memoized chase), stream-replay the WAL's intact prefix, repair
+any torn tail.  Compaction = write a new snapshot at the current
+sequence, then delete the sealed segments it covers; it triggers
+automatically once the log outgrows the snapshot by ``compact_factor``.
+Passing ``as_of_seq=N`` to :meth:`DurableStore.open` stops replay after
+record ``N`` — point-in-time recovery — and the store opens read-only.
 
 A store is single-writer by construction — it performs no internal
 locking.  :class:`repro.service.server.SchemeServer` provides the
-thread-safe front end.
+thread-safe front end; :mod:`repro.service.replica` ships sealed
+segments to read-only followers.
+
+Stores created before segmentation kept a single ``wal.jsonl`` file;
+:meth:`DurableStore.open` migrates it into ``wal/`` as the first
+segment, so old directories keep recovering.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ from typing import Hashable, Mapping, Optional, Sequence, Union
 
 from repro.core.engine import BatchOutcome, Update, WeakInstanceEngine
 from repro.foundations.attrs import AttrsLike
-from repro.foundations.errors import StoreError
+from repro.foundations.errors import StoreError, WALError
 from repro.io import (
     dump_json_atomic,
     dump_scheme,
@@ -51,7 +60,12 @@ from repro.io import (
 from repro.obs.spans import span
 from repro.schema.database_scheme import DatabaseScheme
 from repro.service.metrics import MetricsRegistry
-from repro.service.wal import WalRecord, WriteAheadLog, replayable
+from repro.service.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    WalRecord,
+    WriteAheadLog,
+    segment_name,
+)
 from repro.state.consistency import MaintenanceOutcome
 from repro.state.database_state import DatabaseState
 
@@ -59,7 +73,10 @@ PathLike = Union[str, Path]
 
 SCHEME_FILE = "scheme.json"
 SNAPSHOT_FILE = "snapshot.json"
-WAL_FILE = "wal.jsonl"
+#: Directory of WAL segments inside the store.
+WAL_DIR = "wal"
+#: Pre-segmentation single-file log name (migrated on open).
+LEGACY_WAL_FILE = "wal.jsonl"
 
 #: Never compact while the WAL is smaller than this many bytes — tiny
 #: stores would otherwise snapshot on every write.
@@ -76,16 +93,24 @@ class RecoveryReport:
     discarded_bytes: int
     stale_log: bool
     seconds: float
+    #: Whole pre-snapshot segments deleted during recovery.
+    stale_segments: int = 0
+    #: Point-in-time bound the replay stopped at (``None`` = full).
+    as_of_seq: Optional[int] = None
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        report: dict[str, object] = {
             "snapshot_seq": self.snapshot_seq,
             "replayed": self.replayed,
             "rejects_in_log": self.rejects_in_log,
             "discarded_bytes": self.discarded_bytes,
             "stale_log": self.stale_log,
+            "stale_segments": self.stale_segments,
             "seconds": round(self.seconds, 6),
         }
+        if self.as_of_seq is not None:
+            report["as_of_seq"] = self.as_of_seq
+        return report
 
     def describe(self) -> str:
         lines = [
@@ -93,13 +118,21 @@ class RecoveryReport:
             f"replayed {self.replayed} update(s) from the WAL",
             f"{self.rejects_in_log} durable reject diagnostic(s) in the log",
         ]
+        if self.as_of_seq is not None:
+            lines.append(
+                f"stopped at seq {self.as_of_seq} (point-in-time recovery; "
+                "store is read-only)"
+            )
         if self.discarded_bytes:
             lines.append(
                 f"repaired a torn tail ({self.discarded_bytes} byte(s) "
                 "discarded)"
             )
         if self.stale_log:
-            lines.append("discarded a pre-snapshot (stale) WAL")
+            lines.append(
+                f"discarded {self.stale_segments} pre-snapshot (stale) "
+                "WAL segment(s)"
+            )
         lines.append(f"recovery took {self.seconds:.4f}s")
         return "\n".join(lines)
 
@@ -124,6 +157,7 @@ class DurableStore:
         compact_factor: float,
         auto_compact: bool,
         metrics: Optional[MetricsRegistry] = None,
+        as_of_seq: Optional[int] = None,
     ) -> None:
         self.directory = directory
         self.scheme = scheme
@@ -133,6 +167,7 @@ class DurableStore:
         self.recovery = recovery
         self.compact_factor = compact_factor
         self.auto_compact = auto_compact
+        self._as_of_seq = as_of_seq
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.metrics.increment("store.recoveries")
         self.metrics.increment("store.replayed_records", recovery.replayed)
@@ -152,6 +187,7 @@ class DurableStore:
         workers: int = 1,
         parallel_backend: str = "thread",
         compiled: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> "DurableStore":
         """Initialise a fresh store directory (must not already hold
         one) and return it opened."""
@@ -173,6 +209,7 @@ class DurableStore:
             workers=workers,
             parallel_backend=parallel_backend,
             compiled=compiled,
+            segment_bytes=segment_bytes,
         )
 
     @classmethod
@@ -187,6 +224,8 @@ class DurableStore:
         workers: int = 1,
         parallel_backend: str = "thread",
         compiled: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        as_of_seq: Optional[int] = None,
     ) -> "DurableStore":
         """Recover the store at ``directory``: snapshot + WAL replay.
 
@@ -195,7 +234,14 @@ class DurableStore:
         sequential either way, but each replayed insert extends the
         engine's delta-chase basis instead of re-chasing the whole
         state, so recovery cost follows the log's cascades, not
-        (log length) x (state size)."""
+        (log length) x (state size).
+
+        ``as_of_seq=N`` is point-in-time recovery: replay stops after
+        the record with sequence ``N`` and the store opens *read-only*
+        — the log still holds records past ``N``, and accepting new
+        writes would fork it.  ``N`` must be at or past the snapshot
+        sequence (earlier states were compacted away) and at or before
+        the log's last record."""
         started = time.perf_counter()
         directory = Path(directory)
         with span("store.recovery") as sp:
@@ -230,49 +276,69 @@ class DurableStore:
                     {"seq": 0, "state": state_to_dict(state)}, snapshot_path
                 )
 
-            wal = WriteAheadLog(
-                directory / WAL_FILE,
-                base_seq=snapshot_seq,
-                fsync_every=fsync_every,
-                flexible=True,
-            )
-            scan = wal.recovered
-            if scan.records and scan.records[0].seq > snapshot_seq + 1:
+            if as_of_seq is not None and as_of_seq < snapshot_seq:
                 raise StoreError(
-                    f"WAL starts at seq {scan.records[0].seq} but the "
+                    f"cannot recover as of seq {as_of_seq}: the snapshot "
+                    f"already compacted everything up to {snapshot_seq}"
+                )
+
+            _migrate_legacy_wal(directory)
+            try:
+                wal = WriteAheadLog(
+                    directory / WAL_DIR,
+                    base_seq=snapshot_seq,
+                    fsync_every=fsync_every,
+                    flexible=True,
+                    segment_bytes=segment_bytes,
+                )
+            except WALError as error:
+                raise StoreError(
+                    f"cannot recover {directory}: {error}"
+                ) from error
+            recovered = wal.recovered
+            if (
+                recovered.first_seq is not None
+                and recovered.first_seq > snapshot_seq + 1
+            ):
+                raise StoreError(
+                    f"WAL starts at seq {recovered.first_seq} but the "
                     f"snapshot ends at {snapshot_seq}: records are missing"
                 )
-            to_replay = [
-                record
-                for record in replayable(scan.records)
-                if record.seq > snapshot_seq
-            ]
-            stale_log = bool(scan.records) and scan.last_seq <= snapshot_seq
+            # Stream the replay: records come off disk one line at a
+            # time, so recovery memory is bounded by one record no
+            # matter how large the log grew.
             replayed = 0
-            for record in to_replay:
+            rejects = 0
+            for record in wal.records(after_seq=snapshot_seq):
+                if as_of_seq is not None and record.seq > as_of_seq:
+                    break
+                if record.op == "reject":
+                    rejects += 1
+                    continue
                 state = _apply_record(engine, state, record)
                 replayed += 1
-            if stale_log:
-                # Crash between snapshot write and WAL reset left a log
-                # whose every record is already baked into the snapshot
-                # (its last seq is at or before the snapshot's).  Reset
-                # now, or the dead records linger in the live log and
-                # the next open replays nothing but still carries them —
-                # the flag and the cleanup must agree on the condition.
-                wal.reset(snapshot_seq)
+            if as_of_seq is not None and wal.last_seq < as_of_seq:
+                raise StoreError(
+                    f"cannot recover as of seq {as_of_seq}: the log ends "
+                    f"at seq {wal.last_seq}"
+                )
+            # Segments every record of which the snapshot covers were
+            # deleted by the WAL's own recovery (a crash beat the
+            # compaction); surface that as the stale-log flag.
+            stale_log = recovered.stale_segments > 0
             report = RecoveryReport(
                 snapshot_seq=snapshot_seq,
                 replayed=replayed,
-                rejects_in_log=sum(
-                    1 for record in scan.records if record.op == "reject"
-                ),
-                discarded_bytes=scan.discarded_bytes,
+                rejects_in_log=rejects,
+                discarded_bytes=recovered.discarded_bytes,
                 stale_log=stale_log,
                 seconds=time.perf_counter() - started,
+                stale_segments=recovered.stale_segments,
+                as_of_seq=as_of_seq,
             )
             if sp:
                 sp.add("replayed", replayed)
-                sp.add("discarded_bytes", scan.discarded_bytes)
+                sp.add("discarded_bytes", recovered.discarded_bytes)
                 sp.add("stale_logs", 1 if stale_log else 0)
         return cls(
             directory=directory,
@@ -284,6 +350,7 @@ class DurableStore:
             compact_factor=compact_factor,
             auto_compact=auto_compact,
             metrics=metrics,
+            as_of_seq=as_of_seq,
         )
 
     # -- introspection --------------------------------------------------------
@@ -294,7 +361,23 @@ class DurableStore:
 
     @property
     def last_seq(self) -> int:
+        """The sequence the served state reflects — the WAL's last
+        record, or the ``as_of_seq`` bound for a point-in-time open."""
+        if self._as_of_seq is not None:
+            return self._as_of_seq
         return self._wal.last_seq
+
+    @property
+    def read_only(self) -> bool:
+        """True for a point-in-time (``as_of_seq``) open: the log holds
+        records past the served state, so writes would fork it."""
+        return self._as_of_seq is not None
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The underlying segmented log.  Read-mostly: replication
+        tails its segment files; only the store itself appends."""
+        return self._wal
 
     @property
     def wal_bytes(self) -> int:
@@ -304,12 +387,20 @@ class DurableStore:
     def closed(self) -> bool:
         return self._wal.closed
 
+    def _require_writable(self) -> None:
+        if self._as_of_seq is not None:
+            raise StoreError(
+                f"store was opened read-only as of seq {self._as_of_seq}; "
+                "writing would fork the log it was recovered from"
+            )
+
     # -- updates --------------------------------------------------------------
     def insert(
         self, relation_name: str, values: Mapping[str, Hashable]
     ) -> MaintenanceOutcome:
         """Validate one insertion; log and apply it when accepted, log a
         durable ``reject`` diagnostic when refused."""
+        self._require_writable()
         with span("store.insert") as sp:
             outcome = self.engine.insert(self._state, relation_name, values)
             if outcome.consistent:
@@ -337,6 +428,7 @@ class DurableStore:
         self, relation_name: str, values: Mapping[str, Hashable]
     ) -> DatabaseState:
         """Log and apply one deletion (always consistency-preserving)."""
+        self._require_writable()
         with span("store.delete"):
             updated = self.engine.delete(self._state, relation_name, values)
             self._wal.append("delete", relation_name, values)
@@ -348,6 +440,7 @@ class DurableStore:
     def apply_batch(self, updates: Sequence[Update]) -> BatchOutcome:
         """Atomic batch: either every update is validated, logged and
         applied, or none is and the rejection is logged as a diagnostic."""
+        self._require_writable()
         with span("store.batch") as sp:
             outcome = self.engine.apply_batch(self._state, updates)
             if outcome:
@@ -385,6 +478,7 @@ class DurableStore:
         — only the WAL append and the state swap remain.  Counter and
         span accounting match :meth:`apply_batch`'s committed branch.
         """
+        self._require_writable()
         with span("store.batch") as sp:
             for operation, relation_name, values in updates:
                 self._wal.append(operation, relation_name, values)
@@ -408,6 +502,7 @@ class DurableStore:
         tuple: the record is byte-compatible with the ``reject`` entry
         :meth:`apply_batch` writes, so WAL auditing tools see the same
         diagnostic whether the batch ran sharded or single-process."""
+        self._require_writable()
         with span("store.batch") as sp:
             self._wal.append(
                 "reject",
@@ -436,12 +531,16 @@ class DurableStore:
         self._wal.sync()
 
     def snapshot(self) -> Path:
-        """Write a snapshot at the current sequence and reset the WAL.
+        """Write a snapshot at the current sequence and compact the WAL.
 
         Order matters for crash safety: the snapshot replaces
-        atomically *first*; only then is the log reset.  A crash in
-        between leaves a stale log that recovery recognises by its
-        sequence numbers and discards."""
+        atomically *first*; only then are the sealed segments it covers
+        deleted.  A crash in between leaves stale segments that
+        recovery recognises by their sequence numbers and discards.
+        Nothing is ever truncated in place — the active segment rolls,
+        so a follower mid-way through a sealed file never sees its
+        bytes change."""
+        self._require_writable()
         with span("store.snapshot") as sp:
             self._wal.sync()
             seq = self._wal.last_seq
@@ -449,11 +548,13 @@ class DurableStore:
             dump_json_atomic(
                 {"seq": seq, "state": state_to_dict(self._state)}, path
             )
-            self._wal.reset(seq)
+            compacted = self._wal.compact(seq)
             self._snapshot_bytes = path.stat().st_size
             self.metrics.increment("store.snapshots")
+            self.metrics.increment("store.compacted_segments", compacted)
             if sp:
                 sp.add("snapshot_bytes", self._snapshot_bytes)
+                sp.add("compacted_segments", compacted)
             return path
 
     def _after_write(self) -> None:
@@ -463,8 +564,9 @@ class DurableStore:
             self.maybe_compact()
 
     def maybe_compact(self) -> bool:
-        """Snapshot + reset when the WAL has outgrown the snapshot by
-        ``compact_factor`` (and is past the absolute minimum size)."""
+        """Snapshot + segment compaction when the WAL has outgrown the
+        snapshot by ``compact_factor`` (and is past the absolute
+        minimum size)."""
         threshold = max(
             MIN_COMPACT_BYTES, self.compact_factor * self._snapshot_bytes
         )
@@ -475,14 +577,39 @@ class DurableStore:
         return True
 
     def close(self) -> None:
-        self._wal.close()
-        self.engine.close()
+        """Flush the WAL and release the engine's executor.
+
+        The engine close sits in a ``finally``: a WAL close that fails
+        (its final fsync, say) must not leak the executor threads."""
+        try:
+            self._wal.close()
+        finally:
+            self.engine.close()
 
     def __enter__(self) -> "DurableStore":
         return self
 
     def __exit__(self, *_: object) -> None:
         self.close()
+
+
+def _migrate_legacy_wal(directory: Path) -> None:
+    """Move a pre-segmentation single-file ``wal.jsonl`` into the
+    segment directory as segment 1, so stores written before the
+    format change keep recovering.  A no-op once migrated (or for a
+    fresh store)."""
+    legacy = directory / LEGACY_WAL_FILE
+    if not legacy.exists():
+        return
+    wal_dir = directory / WAL_DIR
+    wal_dir.mkdir(parents=True, exist_ok=True)
+    target = wal_dir / segment_name(1)
+    if target.exists():
+        raise StoreError(
+            f"{directory} holds both a legacy {LEGACY_WAL_FILE} and a "
+            f"segmented log — refusing to guess which one is current"
+        )
+    legacy.rename(target)
 
 
 def _apply_record(

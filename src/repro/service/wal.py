@@ -1,4 +1,4 @@
-"""An append-only JSONL write-ahead log for validated updates.
+"""A segmented append-only JSONL write-ahead log for validated updates.
 
 Format — one JSON object per line::
 
@@ -14,23 +14,45 @@ Format — one JSON object per line::
   ``reject`` for a durable diagnostic of a refused insertion (replay
   skips it; repair tooling reads it).
 
+Segmentation: the log is a directory of segment files
+(``wal.000001.jsonl``, ``wal.000002.jsonl``, …).  The highest-numbered
+segment is *active* — the only file ever appended to; once the active
+segment reaches ``segment_bytes`` the log rolls: the active file is
+fsynced, closed, and never written again (*sealed*), and the next index
+opens.  Sealed segments are the unit of everything coarser than a
+record: compaction after a snapshot deletes whole sealed segments
+(:meth:`WriteAheadLog.compact` — there is no truncate-in-place),
+replication ships them byte-for-byte, and point-in-time recovery
+replays them up to a sequence number.  Sequence numbers are continuous
+across the boundary: segment *k+1* starts at the seq after segment
+*k*'s last record.
+
 Durability is batched: ``fsync_every = n`` issues one ``fsync`` per
-``n`` appends (plus one on :meth:`WriteAheadLog.sync` and on close), so
-a serving workload can trade a bounded suffix of un-synced records for
-throughput.  ``fsync_every = 1`` is the strict default.
+``n`` appends (plus one on :meth:`WriteAheadLog.sync`, on roll and on
+close), so a serving workload can trade a bounded suffix of un-synced
+records for throughput.  ``fsync_every = 1`` is the strict default.
 
 Crash tolerance: a torn tail — a final line the crash cut short, or a
 final record whose checksum does not match because only part of it
-reached the disk — is detected by :func:`scan_wal` and *repaired* (the
-file is truncated back to the last intact record) when the log is
-reopened for appending.  Corruption strictly before the last record is
-not survivable and raises :class:`~repro.foundations.errors.WALError`.
+reached the disk — is detected and *repaired* (the active segment is
+truncated back to the last intact record) when the log is reopened for
+appending.  Only the active segment may be torn: damage anywhere in a
+sealed segment, or intact data after a damaged record, is interior
+corruption a single crash cannot produce and raises
+:class:`~repro.foundations.errors.WALError`.  A failed ``append``
+(disk full mid-record) truncates back to the pre-write offset at once,
+so the *next* append cannot bury a torn record in the interior.
+
+Scanning streams the log line by line — memory stays bounded by one
+record regardless of log size.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
+import re
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,10 +68,45 @@ STATE_OPS = ("insert", "delete")
 #: All record kinds a well-formed log may contain.
 KNOWN_OPS = STATE_OPS + ("reject",)
 
+#: Roll the active segment once it reaches this many bytes.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+_SEGMENT_RE = re.compile(r"^wal\.(\d{6,})\.jsonl$")
+
+
+def segment_name(index: int) -> str:
+    """The file name of segment ``index`` (``wal.000001.jsonl``, …)."""
+    return f"wal.{index:06d}.jsonl"
+
+
+def segment_index(path: PathLike) -> Optional[int]:
+    """The segment index encoded in ``path``'s name, or ``None``."""
+    match = _SEGMENT_RE.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def segment_paths(directory: PathLike) -> list[Path]:
+    """The segment files under ``directory`` in index order (the last
+    one is the active segment).  A missing directory lists as empty."""
+    directory = Path(directory)
+    try:
+        entries = sorted(directory.iterdir())
+    except OSError:
+        return []
+    indexed = []
+    for entry in entries:
+        index = segment_index(entry)
+        if index is not None:
+            indexed.append((index, entry))
+    return [path for _, path in sorted(indexed)]
+
 
 def _canonical(payload: Mapping[str, Any]) -> bytes:
+    # No ``default=`` fallback: a value json cannot encode must raise,
+    # not silently stringify — a record that replays with *different*
+    # values than the state that was accepted is worse than no record.
     return json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), default=str
+        payload, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
 
 
@@ -57,6 +114,60 @@ def record_crc(payload: Mapping[str, Any]) -> int:
     """CRC-32 of the canonical encoding of ``payload`` minus ``crc``."""
     body = {key: value for key, value in payload.items() if key != "crc"}
     return zlib.crc32(_canonical(body))
+
+
+def _check_loggable(value: Any, where: str) -> None:
+    """Reject values that would not replay identically from JSON.
+
+    Only ``str``/``int``/finite ``float``/``bool``/``None`` scalars,
+    lists of loggable values, and string-keyed dicts of loggable values
+    survive a ``dumps``/``loads`` round trip unchanged.  Everything
+    else (tuples become lists, non-string keys become strings,
+    arbitrary objects would need a lossy fallback) raises
+    :class:`WALError` at append time, before the record reaches disk.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise WALError(
+                f"{where}: non-finite float {value!r} does not survive a "
+                "JSON round trip"
+            )
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WALError(
+                    f"{where}: key {key!r} is {type(key).__name__}; JSON "
+                    "object keys replay as strings"
+                )
+            _check_loggable(item, f"{where}[{key!r}]")
+        return
+    if isinstance(value, list):
+        for position, item in enumerate(value):
+            _check_loggable(item, f"{where}[{position}]")
+        return
+    raise WALError(
+        f"{where}: {type(value).__name__} value {value!r} would not "
+        "replay identically — only JSON scalars, lists and string-keyed "
+        "dicts are loggable"
+    )
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make segment creations/deletions durable where the platform
+    allows fsync on a directory; best-effort elsewhere."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -124,9 +235,124 @@ def _decode_line(
     return WalRecord.from_payload(payload)
 
 
+def _count_remaining(handle: Any) -> int:
+    """Bytes left in ``handle`` without holding them in memory."""
+    total = 0
+    while True:
+        chunk = handle.read(1 << 16)
+        if not chunk:
+            return total
+        total += len(chunk)
+
+
+class _SegmentScan:
+    """One streaming pass over a single segment file.
+
+    Consume :meth:`records` to completion, then read the accumulated
+    totals.  Memory stays bounded by one line; the whole file is never
+    read at once."""
+
+    def __init__(self, path: Path, expected_seq: Optional[int]) -> None:
+        self.path = Path(path)
+        self.index = segment_index(self.path)
+        self.expected = expected_seq
+        self.first_seq: Optional[int] = None
+        self.last_seq: Optional[int] = None
+        self.valid_bytes = 0
+        self.discarded_bytes = 0
+        self.count = 0
+
+    def records(self) -> Iterator[WalRecord]:
+        try:
+            handle = open(self.path, "rb")
+        except FileNotFoundError:
+            return
+        with handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    return
+                record = _decode_line(line, self.expected)
+                if record is None:
+                    # A torn tail is at most ONE damaged line: a partial
+                    # final line (no newline — readline only returns one
+                    # at EOF) or a single complete-but-corrupt final
+                    # line.  Any byte after that means intact-looking
+                    # data follows a bad record — interior corruption,
+                    # which a single crash cannot produce.
+                    trailing = 0
+                    if line.endswith(b"\n"):
+                        trailing = _count_remaining(handle)
+                    if trailing:
+                        raise WALError(
+                            f"{self.path}: corrupt record at byte "
+                            f"{self.valid_bytes} is followed by "
+                            f"{trailing} more byte(s) — not a torn tail"
+                        )
+                    self.discarded_bytes = len(line)
+                    return
+                self.valid_bytes += len(line)
+                if self.first_seq is None:
+                    self.first_seq = record.seq
+                self.last_seq = record.seq
+                self.count += 1
+                self.expected = record.seq + 1
+                yield record
+
+
+class _LogScan:
+    """A streaming scan across an ordered list of segment files.
+
+    Sequence numbers chain across segment boundaries; only the final
+    (active) segment may carry a torn tail — damage in any earlier
+    segment raises :class:`WALError` because sealed segments are
+    immutable once rolled."""
+
+    def __init__(
+        self,
+        paths: Sequence[Path],
+        base_seq: int,
+        flexible: bool,
+    ) -> None:
+        self.paths = list(paths)
+        self.base_seq = base_seq
+        self.flexible = flexible
+        self.segments: list[_SegmentScan] = []
+        self.valid_bytes = 0
+        self.discarded_bytes = 0
+        self.last_seq = base_seq
+        self.first_seq: Optional[int] = None
+        self.records_count = 0
+
+    def records(self) -> Iterator[WalRecord]:
+        expected: Optional[int] = (
+            None if self.flexible else self.base_seq + 1
+        )
+        for position, path in enumerate(self.paths):
+            segment = _SegmentScan(path, expected)
+            self.segments.append(segment)
+            for record in segment.records():
+                yield record
+            sealed = position < len(self.paths) - 1
+            if segment.discarded_bytes and sealed:
+                raise WALError(
+                    f"{path}: sealed segment has a damaged tail at byte "
+                    f"{segment.valid_bytes} — only the active (final) "
+                    "segment may be torn"
+                )
+            self.valid_bytes += segment.valid_bytes
+            self.discarded_bytes += segment.discarded_bytes
+            self.records_count += segment.count
+            if segment.first_seq is not None and self.first_seq is None:
+                self.first_seq = segment.first_seq
+            if segment.last_seq is not None:
+                self.last_seq = segment.last_seq
+                expected = segment.last_seq + 1
+
+
 @dataclass(frozen=True)
 class WalScan:
-    """Everything :func:`scan_wal` learned about a log file."""
+    """Everything :func:`scan_wal` learned about a log."""
 
     records: tuple[WalRecord, ...]
     valid_bytes: int
@@ -138,91 +364,189 @@ class WalScan:
         return self.discarded_bytes > 0
 
 
+def iter_wal(
+    path: PathLike, base_seq: int = 0, *, flexible: bool = False
+) -> Iterator[WalRecord]:
+    """Stream the longest intact prefix of the log at ``path`` — a
+    segment directory or a single segment file — without materializing
+    it.  Raises :class:`WALError` on interior corruption; a torn tail
+    in the final segment simply ends the stream."""
+    path = Path(path)
+    if path.is_dir():
+        paths = segment_paths(path)
+    elif path.exists():
+        paths = [path]
+    else:
+        return
+    yield from _LogScan(paths, base_seq, flexible).records()
+
+
 def scan_wal(
     path: PathLike, base_seq: int = 0, *, flexible: bool = False
 ) -> WalScan:
-    """Read the longest intact prefix of the log at ``path``.
+    """Read the longest intact prefix of the log at ``path`` (a segment
+    directory or a single segment file) into memory.
 
-    The scan stops at the first line that is missing its newline, fails
-    to parse, fails its checksum, or breaks the consecutive sequence.
-    Whatever follows is the discarded tail.  A discarded tail that
-    itself contains an intact line is interior corruption — a crash can
-    only tear the *last* record — and raises
-    :class:`~repro.foundations.errors.WALError`.
+    The scan streams line by line and stops at the first line that is
+    missing its newline, fails to parse, fails its checksum, or breaks
+    the consecutive sequence.  Whatever follows is the discarded tail.
+    A discarded tail that itself contains an intact line — or any
+    damage in a sealed (non-final) segment — is interior corruption
+    and raises :class:`~repro.foundations.errors.WALError`.
 
     The first record must carry ``base_seq + 1`` unless ``flexible`` is
     set, in which case any starting sequence is accepted — the store
-    uses this to recognise a log left behind by a crash between writing
-    a snapshot and resetting the log.
+    uses this to recognise segments left behind by a crash between
+    writing a snapshot and compacting the log.
 
-    A missing file scans as empty (``last_seq = base_seq``).
+    A missing file or directory scans as empty (``last_seq =
+    base_seq``).  Prefer :func:`iter_wal` when the records only need to
+    be visited once — this function holds them all.
     """
     path = Path(path)
-    if not path.exists():
+    if path.is_dir():
+        paths = segment_paths(path)
+    elif path.exists():
+        paths = [path]
+    else:
         return WalScan((), 0, 0, base_seq)
-    data = path.read_bytes()
-    records: list[WalRecord] = []
-    offset = 0
-    seq: Optional[int] = None
-    while offset < len(data):
-        end = data.find(b"\n", offset)
-        line = data[offset:] if end < 0 else data[offset : end + 1]
-        if seq is not None:
-            expected: Optional[int] = seq + 1
-        else:
-            expected = None if flexible else base_seq + 1
-        record = _decode_line(line, expected)
-        if record is None:
-            break
-        records.append(record)
-        seq = record.seq
-        offset += len(line)
-    tail = data[offset:]
-    # A torn tail is at most ONE damaged line: either a partial final
-    # line (no newline — the crash cut the append short) or a single
-    # complete-but-corrupt final line.  Anything after that first
-    # newline means intact-looking data follows a bad record — interior
-    # corruption, which a single crash cannot produce.
-    first_newline = tail.find(b"\n")
-    if first_newline not in (-1, len(tail) - 1):
-        raise WALError(
-            f"{path}: corrupt record at byte {offset} is followed by "
-            f"{len(tail) - first_newline - 1} more byte(s) — not a torn "
-            "tail"
-        )
-    last_seq = seq if seq is not None else base_seq
-    return WalScan(tuple(records), offset, len(data) - offset, last_seq)
+    scan = _LogScan(paths, base_seq, flexible)
+    records = tuple(scan.records())
+    return WalScan(
+        records, scan.valid_bytes, scan.discarded_bytes, scan.last_seq
+    )
+
+
+@dataclass(frozen=True)
+class WalRecovery:
+    """What opening a :class:`WriteAheadLog` found (and repaired)."""
+
+    #: Sequence of the first surviving on-disk record (``None`` if the
+    #: log is empty after repair/cleanup).
+    first_seq: Optional[int]
+    #: Sequence the log continues from.
+    last_seq: int
+    #: Surviving intact records across all segments.
+    records: int
+    #: Bytes of intact records kept.
+    valid_bytes: int
+    #: Bytes of torn tail truncated from the active segment.
+    discarded_bytes: int
+    #: Whole segments deleted because a snapshot already covered every
+    #: record in them (a crash beat the compaction that would have).
+    stale_segments: int
+    #: Segment files in the log after recovery (including the active).
+    segments: int
+
+    @property
+    def torn(self) -> bool:
+        return self.discarded_bytes > 0
 
 
 class WriteAheadLog:
-    """Appender over one JSONL log file with batched fsync.
+    """Appender over a directory of JSONL segments with batched fsync.
 
-    Opening scans the existing file, repairs a torn tail (truncating to
-    the last intact record) and continues the sequence.  ``append``
-    assigns the next ``seq``, writes the record and flushes it to the
-    OS; one ``fsync`` is issued every ``fsync_every`` appends.  Not
-    thread-safe — the store serializes writers.
+    Opening scans the existing segments, repairs a torn tail on the
+    active segment (truncating to the last intact record), deletes
+    whole segments a snapshot already covers (``flexible`` mode), and
+    continues the sequence.  ``append`` assigns the next ``seq``,
+    writes the record and flushes it to the OS; one ``fsync`` is issued
+    every ``fsync_every`` appends.  When the active segment reaches
+    ``segment_bytes`` the next append rolls to a new segment file.
+    Not thread-safe — the store serializes writers.
     """
 
     def __init__(
         self,
-        path: PathLike,
+        directory: PathLike,
         base_seq: int = 0,
         fsync_every: int = 1,
         flexible: bool = False,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> None:
         if fsync_every < 1:
             raise WALError("fsync_every must be at least 1")
-        self.path = Path(path)
-        self.fsync_every = fsync_every
-        scan = scan_wal(self.path, base_seq, flexible=flexible)
-        self.recovered = scan
-        if scan.discarded_bytes:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(scan.valid_bytes)
-        self._seq = scan.last_seq
-        self._handle = open(self.path, "ab")
+        if segment_bytes < 1:
+            raise WALError("segment_bytes must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_every = int(fsync_every)
+        self.segment_bytes = int(segment_bytes)
+        self._base_seq = base_seq
+        self._broken = False
         self._unsynced = 0
+
+        paths = segment_paths(self.directory)
+        scan = _LogScan(paths, base_seq, flexible=flexible)
+        for _ in scan.records():
+            pass  # streaming: recovery never holds the log in memory
+        if scan.discarded_bytes:
+            torn = scan.segments[-1]
+            with open(torn.path, "r+b") as handle:
+                handle.truncate(torn.valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+        # A crash between writing a snapshot and compacting leaves
+        # segments every record of which the snapshot already covers;
+        # drop that fully-covered prefix now (flexible mode only — a
+        # strict caller asserts the log starts at base_seq + 1).
+        survivors = list(scan.segments)
+        stale = 0
+        if flexible:
+            while (
+                survivors
+                and survivors[0].last_seq is not None
+                and survivors[0].last_seq <= base_seq
+            ):
+                survivors[0].path.unlink()
+                stale += 1
+                survivors.pop(0)
+            if stale:
+                _fsync_directory(self.directory)
+
+        self._seq = base_seq
+        first_seq: Optional[int] = None
+        surviving_records = 0
+        surviving_bytes = 0
+        for segment in survivors:
+            if segment.first_seq is not None and first_seq is None:
+                first_seq = segment.first_seq
+            if segment.last_seq is not None:
+                self._seq = segment.last_seq
+            surviving_records += segment.count
+            surviving_bytes += segment.valid_bytes
+
+        if survivors:
+            self._active_index = survivors[-1].index or 1
+            self._active_path = survivors[-1].path
+        else:
+            last_index = scan.segments[-1].index if scan.segments else 0
+            self._active_index = (last_index or 0) + 1
+            self._active_path = self.directory / segment_name(
+                self._active_index
+            )
+
+        # Sealed-segment bookkeeping: the last sequence each sealed
+        # segment holds (for compaction coverage checks) and their
+        # total size (for size_bytes without stat calls).
+        self._sealed_last: dict[int, int] = {}
+        self._sealed_bytes = 0
+        for segment in survivors[:-1]:
+            if segment.index is not None and segment.last_seq is not None:
+                self._sealed_last[segment.index] = segment.last_seq
+            self._sealed_bytes += segment.valid_bytes
+
+        self._handle = open(self._active_path, "ab")
+        self.recovered = WalRecovery(
+            first_seq=first_seq,
+            last_seq=self._seq,
+            records=surviving_records,
+            valid_bytes=surviving_bytes,
+            discarded_bytes=scan.discarded_bytes,
+            stale_segments=stale,
+            segments=max(len(survivors), 1),
+        )
 
     # -- introspection --------------------------------------------------------
     @property
@@ -230,23 +554,49 @@ class WriteAheadLog:
         return self._seq
 
     @property
-    def size_bytes(self) -> int:
-        """The log's current size.
+    def active_path(self) -> Path:
+        """The segment file currently being appended to."""
+        return self._active_path
 
-        While open this is the append handle's position (cheap, exact).
-        Once closed it falls back to ``stat`` — a closed non-empty log
-        must keep reporting its real on-disk size, because compaction
-        thresholds and metrics read this after ``close()``."""
+    @property
+    def active_index(self) -> int:
+        return self._active_index
+
+    def segments(self) -> list[Path]:
+        """All segment files in index order (last one is active)."""
+        return segment_paths(self.directory)
+
+    @property
+    def size_bytes(self) -> int:
+        """The log's current total size across all segments.
+
+        While open this is the sealed-segment total plus the append
+        handle's position (cheap, exact).  Once closed it falls back to
+        ``stat`` — a closed non-empty log must keep reporting its real
+        on-disk size, because compaction thresholds and metrics read
+        this after ``close()``."""
         if not self._handle.closed:
-            return self._handle.tell()
-        try:
-            return self.path.stat().st_size
-        except OSError:
-            return 0
+            return self._sealed_bytes + self._handle.tell()
+        total = 0
+        for path in self.segments():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     @property
     def closed(self) -> bool:
         return self._handle.closed
+
+    def _require_open(self) -> None:
+        if self._broken:
+            raise WALError(
+                f"{self._active_path}: log is unusable after a failed "
+                "write could not be rolled back"
+            )
+        if self._handle.closed:
+            raise WALError(f"{self._active_path}: log is closed")
 
     # -- writing --------------------------------------------------------------
     def append(
@@ -256,11 +606,19 @@ class WriteAheadLog:
         values: Optional[Mapping[str, Any]] = None,
         extra: Optional[Mapping[str, Any]] = None,
     ) -> WalRecord:
-        """Write one record and return it (with its assigned ``seq``)."""
+        """Write one record and return it (with its assigned ``seq``).
+
+        Values are vetted for JSON round-trip fidelity *before* the
+        record reaches disk, and a failed write truncates the segment
+        back to the pre-write offset so no torn record is ever buried
+        by a later append."""
         if op not in KNOWN_OPS:
             raise WALError(f"unknown WAL op {op!r}")
-        if self._handle.closed:
-            raise WALError(f"{self.path}: log is closed")
+        self._require_open()
+        if values is not None:
+            _check_loggable(dict(values), "values")
+        if extra:
+            _check_loggable(dict(extra), "extra")
         record = WalRecord(
             seq=self._seq + 1,
             op=op,
@@ -268,10 +626,21 @@ class WriteAheadLog:
             values=None if values is None else dict(values),
             extra=dict(extra or {}),
         )
-        with span("wal.append") as sp:
+        try:
             line = record.to_line()
-            self._handle.write(line)
-            self._handle.flush()
+        except (TypeError, ValueError) as error:
+            raise WALError(
+                f"record {record.seq} is not JSON-serializable: {error}"
+            ) from error
+        if self._handle.tell() >= self.segment_bytes:
+            self.roll()
+        with span("wal.append") as sp:
+            start = self._handle.tell()
+            try:
+                self._handle.write(line)
+                self._handle.flush()
+            except OSError as error:
+                self._rewind(start, error)
             self._seq = record.seq
             self._unsynced += 1
             if self._unsynced >= self.fsync_every:
@@ -279,6 +648,53 @@ class WriteAheadLog:
             if sp:
                 sp.add("bytes", len(line))
         return record
+
+    def _rewind(self, start: int, error: OSError) -> None:
+        """A failed write may have left part of a record on disk;
+        truncate back to the pre-write offset so the next append lands
+        on a clean record boundary instead of burying the tear as
+        interior corruption."""
+        try:
+            self._handle.truncate(start)
+            self._handle.seek(start)
+        except OSError:
+            # The rollback itself failed; poison the log so later
+            # appends fail loudly instead of writing past the tear.
+            self._broken = True
+            raise WALError(
+                f"{self._active_path}: write failed at byte {start} and "
+                f"the partial record could not be removed: {error}"
+            ) from error
+        raise WALError(
+            f"{self._active_path}: write failed at byte {start}; the "
+            f"partial record was truncated away: {error}"
+        ) from error
+
+    def roll(self) -> Path:
+        """Seal the active segment and open the next one.
+
+        The sealed file is fsynced first, so everything before the
+        boundary is durable the moment the segment becomes immutable.
+        Rolling an empty active segment is a no-op."""
+        self._require_open()
+        if self._handle.tell() == 0:
+            return self._active_path
+        with span("wal.roll") as sp:
+            self.sync()
+            sealed_size = self._handle.tell()
+            self._handle.close()
+            self._sealed_bytes += sealed_size
+            self._sealed_last[self._active_index] = self._seq
+            self._active_index += 1
+            self._active_path = self.directory / segment_name(
+                self._active_index
+            )
+            self._handle = open(self._active_path, "ab")
+            _fsync_directory(self.directory)
+            if sp:
+                sp.add("segment", self._active_index)
+                sp.add("sealed_bytes", sealed_size)
+        return self._active_path
 
     def sync(self) -> None:
         """Force an ``fsync`` of everything appended so far."""
@@ -288,21 +704,54 @@ class WriteAheadLog:
                 os.fsync(self._handle.fileno())
             self._unsynced = 0
 
-    def reset(self, base_seq: int) -> None:
-        """Empty the log and restart the sequence at ``base_seq`` —
-        called after a snapshot has made the old records redundant."""
-        self._handle.truncate(0)
-        # truncate() does not move the append-mode position; seek so
-        # tell() (and hence size_bytes) reflects the emptied file.
-        self._handle.seek(0)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self._seq = base_seq
-        self._unsynced = 0
+    def compact(self, upto_seq: int) -> int:
+        """Delete sealed segments whose records a snapshot at
+        ``upto_seq`` fully covers; returns how many were removed.
+
+        Rolls first (when the active segment has records) so the
+        covered tail becomes a sealed, deletable file — segments are
+        immutable, so compaction never truncates in place.  This
+        replaces the old whole-log ``reset``."""
+        self._require_open()
+        if self._handle.tell() > 0:
+            self.roll()
+        deleted = 0
+        for index in sorted(self._sealed_last):
+            if self._sealed_last[index] > upto_seq:
+                break  # ordered: everything later is newer
+            path = self.directory / segment_name(index)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            self._sealed_bytes -= size
+            del self._sealed_last[index]
+            deleted += 1
+        if deleted:
+            _fsync_directory(self.directory)
+        return deleted
+
+    # -- reading --------------------------------------------------------------
+    def records(self, after_seq: Optional[int] = None) -> Iterator[WalRecord]:
+        """Stream the log's intact records from disk in sequence order,
+        skipping those with ``seq <= after_seq`` when given.  The
+        active handle is flushed first so every appended record is
+        visible; the log itself is never held in memory."""
+        if not self._handle.closed:
+            self._handle.flush()
+        scan = _LogScan(self.segments(), self._base_seq, flexible=True)
+        for record in scan.records():
+            if after_seq is None or record.seq > after_seq:
+                yield record
 
     def close(self) -> None:
         if not self._handle.closed:
-            self.sync()
+            if not self._broken:
+                self.sync()
             self._handle.close()
 
     def __enter__(self) -> "WriteAheadLog":

@@ -7,7 +7,7 @@ import pytest
 from repro.core.engine import WeakInstanceEngine
 from repro.foundations.errors import ServiceError
 from repro.service.server import SchemeServer
-from repro.service.store import WAL_FILE, DurableStore
+from repro.service.store import WAL_DIR, DurableStore
 from repro.service.wal import replayable, scan_wal
 from repro.workloads.paper import example1_university
 
@@ -143,7 +143,7 @@ class TestConcurrency:
         final_state = server.state
         server.close()
 
-        scan = scan_wal(tmp_path / "store" / WAL_FILE)
+        scan = scan_wal(tmp_path / "store" / WAL_DIR)
         engine = WeakInstanceEngine(scheme)
         serial = engine.empty_state()
         for record in replayable(scan.records):

@@ -1,6 +1,7 @@
-"""Unit tests for the JSONL write-ahead log."""
+"""Unit tests for the segmented JSONL write-ahead log."""
 
 import json
+import tracemalloc
 
 import pytest
 
@@ -8,49 +9,68 @@ from repro.foundations.errors import WALError
 from repro.service.wal import (
     WalRecord,
     WriteAheadLog,
+    iter_wal,
     record_crc,
     replayable,
     scan_wal,
+    segment_name,
+    segment_paths,
 )
 
 
 @pytest.fixture
-def wal_path(tmp_path):
-    return tmp_path / "wal.jsonl"
+def wal_dir(tmp_path):
+    return tmp_path / "wal"
+
+
+def active(wal_dir):
+    """The active (highest-index) segment file."""
+    return segment_paths(wal_dir)[-1]
+
+
+def log_bytes(wal_dir):
+    """Every segment's bytes, concatenated in index order."""
+    return b"".join(path.read_bytes() for path in segment_paths(wal_dir))
 
 
 class TestAppendScan:
-    def test_roundtrip(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_roundtrip(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             first = wal.append("insert", "R1", {"A": "a"})
             second = wal.append("delete", "R1", {"A": "a"})
             assert (first.seq, second.seq) == (1, 2)
-        scan = scan_wal(wal_path)
+        scan = scan_wal(wal_dir)
         assert [r.op for r in scan.records] == ["insert", "delete"]
         assert scan.records[0].values == {"A": "a"}
         assert scan.last_seq == 2
         assert not scan.torn
 
-    def test_missing_file_scans_empty(self, wal_path):
-        scan = scan_wal(wal_path, base_seq=7)
+    def test_missing_dir_scans_empty(self, wal_dir):
+        scan = scan_wal(wal_dir, base_seq=7)
         assert scan.records == ()
         assert scan.last_seq == 7
 
-    def test_seq_continues_across_reopen(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_single_file_scan_still_works(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             wal.append("insert", "R1", {"A": "a"})
-        with WriteAheadLog(wal_path) as wal:
+        scan = scan_wal(active(wal_dir))
+        assert len(scan.records) == 1
+
+    def test_seq_continues_across_reopen(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+        with WriteAheadLog(wal_dir) as wal:
             record = wal.append("insert", "R1", {"A": "b"})
             assert record.seq == 2
 
-    def test_reject_records_are_not_replayable(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_reject_records_are_not_replayable(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             wal.append("insert", "R1", {"A": "a"})
             wal.append(
                 "reject", "R1", {"A": "bad"}, extra={"outcome": {"x": 1}}
             )
             wal.append("delete", "R1", {"A": "a"})
-        scan = scan_wal(wal_path)
+        scan = scan_wal(wal_dir)
         assert [r.op for r in scan.records] == ["insert", "reject", "delete"]
         assert [r.op for r in replayable(scan.records)] == [
             "insert",
@@ -58,8 +78,8 @@ class TestAppendScan:
         ]
         assert scan.records[1].extra == {"outcome": {"x": 1}}
 
-    def test_unknown_op_refused(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_unknown_op_refused(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             with pytest.raises(WALError):
                 wal.append("truncate", "R1", {})
 
@@ -71,117 +91,423 @@ class TestAppendScan:
         assert decoded["crc"] == payload["crc"]
 
 
-class TestTornTail:
-    def test_partial_final_line_is_discarded(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+class TestSegments:
+    def test_rolls_at_size_threshold(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=1) as wal:
+            for index in range(4):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        paths = segment_paths(wal_dir)
+        # segment_bytes=1 rolls before every append after the first.
+        assert [p.name for p in paths] == [
+            segment_name(i) for i in range(1, 5)
+        ]
+        scan = scan_wal(wal_dir)
+        assert [r.seq for r in scan.records] == [1, 2, 3, 4]
+
+    def test_sequence_chains_across_segments(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=120) as wal:
+            for index in range(10):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        assert len(segment_paths(wal_dir)) > 1
+        with WriteAheadLog(wal_dir) as wal:
+            assert wal.last_seq == 10
+            record = wal.append("insert", "R1", {"A": "next"})
+            assert record.seq == 11
+
+    def test_roll_is_explicit_too(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             wal.append("insert", "R1", {"A": "a"})
-        with open(wal_path, "ab") as handle:
+            sealed = wal.active_path
+            wal.roll()
+            assert wal.active_path != sealed
+            wal.append("insert", "R1", {"A": "b"})
+        scan = scan_wal(wal_dir)
+        assert [r.seq for r in scan.records] == [1, 2]
+
+    def test_roll_on_empty_segment_is_noop(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            before = wal.active_path
+            assert wal.roll() == before
+            assert wal.active_path == before
+
+    def test_compact_deletes_only_covered_sealed_segments(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=1) as wal:
+            for index in range(5):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+            # Snapshot at seq 3: segments holding 1..3 go, 4..5 stay.
+            deleted = wal.compact(3)
+            assert deleted == 3
+            names = [p.name for p in wal.segments()]
+            assert segment_name(1) not in names
+            assert segment_name(4) in names and segment_name(5) in names
+            record = wal.append("insert", "R1", {"A": "later"})
+            assert record.seq == 6
+        scan = scan_wal(wal_dir, flexible=True)
+        assert [r.seq for r in scan.records] == [4, 5, 6]
+
+    def test_compact_rolls_active_first(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            for index in range(3):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+            wal.compact(3)
+            # Everything was covered: one fresh, empty active segment.
+            assert wal.size_bytes == 0
+            assert len(wal.segments()) == 1
+            assert wal.last_seq == 3
+        scan = scan_wal(wal_dir, base_seq=3)
+        assert scan.records == ()
+
+    def test_size_bytes_spans_segments(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=1) as wal:
+            for index in range(4):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+            assert wal.size_bytes == len(log_bytes(wal_dir))
+
+    def test_stale_segments_dropped_in_flexible_mode(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=1) as wal:
+            for index in range(3):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        # A snapshot at seq 3 landed, but the compaction never ran.
+        with WriteAheadLog(wal_dir, base_seq=3, flexible=True) as wal:
+            assert wal.recovered.stale_segments >= 3
+            assert wal.recovered.records == 0
+            assert wal.last_seq == 3
+            # Fresh active segment continues the index sequence.
+            assert wal.active_index >= 4
+
+    def test_torn_sealed_segment_raises(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=1) as wal:
+            for index in range(3):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        sealed = segment_paths(wal_dir)[0]
+        sealed.write_bytes(sealed.read_bytes()[:-5])
+        with pytest.raises(WALError, match="sealed"):
+            scan_wal(wal_dir)
+        with pytest.raises(WALError, match="sealed"):
+            WriteAheadLog(wal_dir)
+
+
+class TestTornTail:
+    def test_partial_final_line_is_discarded(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append("insert", "R1", {"A": "a"})
+        with open(active(wal_dir), "ab") as handle:
             handle.write(b'{"seq": 2, "op": "insert"')
-        scan = scan_wal(wal_path)
+        scan = scan_wal(wal_dir)
         assert len(scan.records) == 1
         assert scan.torn
         assert scan.discarded_bytes > 0
 
-    def test_corrupt_final_crc_is_discarded(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_corrupt_final_crc_is_discarded(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             wal.append("insert", "R1", {"A": "a"})
             wal.append("insert", "R1", {"A": "b"})
-        data = wal_path.read_bytes()
+        path = active(wal_dir)
+        data = path.read_bytes()
         # Flip a byte inside the last record's values.
-        wal_path.write_bytes(data[:-10] + b"X" + data[-9:])
-        scan = scan_wal(wal_path)
+        path.write_bytes(data[:-10] + b"X" + data[-9:])
+        scan = scan_wal(wal_dir)
         assert len(scan.records) == 1
 
-    def test_reopen_repairs_torn_tail(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_reopen_repairs_torn_tail(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             wal.append("insert", "R1", {"A": "a"})
-        intact = wal_path.read_bytes()
-        with open(wal_path, "ab") as handle:
+        path = active(wal_dir)
+        intact = path.read_bytes()
+        with open(path, "ab") as handle:
             handle.write(b"garbage-no-newline")
-        with WriteAheadLog(wal_path) as wal:
+        with WriteAheadLog(wal_dir) as wal:
             assert wal.recovered.discarded_bytes == len(b"garbage-no-newline")
             assert wal.last_seq == 1
         # The torn bytes are gone from disk and appends continue cleanly.
-        assert wal_path.read_bytes().startswith(intact)
-        scan = scan_wal(wal_path)
+        assert path.read_bytes() == intact
+        scan = scan_wal(wal_dir)
         assert len(scan.records) == 1
 
-    def test_interior_corruption_raises(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_interior_corruption_raises(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             wal.append("insert", "R1", {"A": "a"})
             wal.append("insert", "R1", {"A": "b"})
             wal.append("insert", "R1", {"A": "c"})
-        data = wal_path.read_bytes()
-        lines = data.splitlines(keepends=True)
+        path = active(wal_dir)
+        lines = path.read_bytes().splitlines(keepends=True)
         # Corrupt the FIRST record while intact records follow: not a
         # torn tail, and not survivable.
-        mangled = b"{corrupt}\n" + b"".join(lines[1:])
-        wal_path.write_bytes(mangled)
+        path.write_bytes(b"{corrupt}\n" + b"".join(lines[1:]))
         with pytest.raises(WALError):
-            scan_wal(wal_path)
+            scan_wal(wal_dir)
 
-    def test_truncate_every_offset_yields_prefix(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
+    def test_truncate_every_offset_yields_prefix(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
             for index in range(4):
                 wal.append("insert", "R1", {"A": f"a{index}"})
-        data = wal_path.read_bytes()
+        path = active(wal_dir)
+        data = path.read_bytes()
         boundaries = [0]
         for line in data.splitlines(keepends=True):
             boundaries.append(boundaries[-1] + len(line))
         for offset in range(len(data) + 1):
-            wal_path.write_bytes(data[:offset])
-            scan = scan_wal(wal_path)
+            path.write_bytes(data[:offset])
+            scan = scan_wal(wal_dir)
             expected = sum(1 for b in boundaries[1:] if b <= offset)
             assert len(scan.records) == expected, f"offset {offset}"
             assert [r.seq for r in scan.records] == list(
                 range(1, expected + 1)
             )
 
+    def test_truncate_every_offset_across_segment_boundary(self, wal_dir):
+        """The torn-tail guarantee holds when the tear lands in the
+        ACTIVE segment of a multi-segment log — and damage that deletes
+        a whole trailing segment still recovers the sealed prefix."""
+        with WriteAheadLog(wal_dir, segment_bytes=150) as wal:
+            for index in range(6):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        paths = segment_paths(wal_dir)
+        assert len(paths) >= 2
+        last = paths[-1]
+        sealed_records = sum(
+            len(p.read_bytes().splitlines()) for p in paths[:-1]
+        )
+        data = last.read_bytes()
+        boundaries = [0]
+        for line in data.splitlines(keepends=True):
+            boundaries.append(boundaries[-1] + len(line))
+        for offset in range(len(data) + 1):
+            last.write_bytes(data[:offset])
+            scan = scan_wal(wal_dir)
+            expected = sealed_records + sum(
+                1 for b in boundaries[1:] if b <= offset
+            )
+            assert len(scan.records) == expected, f"offset {offset}"
+        # Deleting the trailing segment entirely: the sealed prefix
+        # still recovers, and the log reopens appendable.
+        last.unlink()
+        with WriteAheadLog(wal_dir) as wal:
+            assert wal.last_seq == sealed_records
+            record = wal.append("insert", "R1", {"A": "after"})
+            assert record.seq == sealed_records + 1
+
+
+class TestStreamingScan:
+    def test_scan_memory_stays_bounded(self, wal_dir):
+        """Regression: ``scan_wal`` used to slurp the whole log with
+        ``read_bytes()``, so a multi-hundred-MB log needed that much
+        memory just to recover.  The streaming scan's peak must stay
+        far below the log size (one line at a time)."""
+        wal = WriteAheadLog(wal_dir, fsync_every=10_000)
+        padding = "x" * 120
+        for index in range(40_000):
+            wal.append("insert", "R1", {"A": f"a{index}", "pad": padding})
+        wal.close()
+        log_size = sum(p.stat().st_size for p in segment_paths(wal_dir))
+        assert log_size > 6 * 1024 * 1024  # multi-MB stand-in
+
+        tracemalloc.start()
+        count = 0
+        for record in iter_wal(wal_dir):
+            count += 1
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert count == 40_000
+        # One-line-at-a-time: orders of magnitude below the log size.
+        assert peak < log_size / 8, (peak, log_size)
+
+    def test_iter_wal_matches_scan_wal(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=200) as wal:
+            for index in range(8):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+        assert [r.seq for r in iter_wal(wal_dir)] == [
+            r.seq for r in scan_wal(wal_dir).records
+        ]
+
+    def test_records_skips_up_to_after_seq(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=200) as wal:
+            for index in range(8):
+                wal.append("insert", "R1", {"A": f"a{index}"})
+            assert [r.seq for r in wal.records(after_seq=5)] == [6, 7, 8]
+
+
+class TestRoundTripFidelity:
+    """Regression: ``default=str`` silently stringified anything JSON
+    could not encode, so a logged insert replayed with *different*
+    values than the state that was accepted."""
+
+    def test_tuple_values_are_rejected(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            with pytest.raises(WALError, match="tuple"):
+                wal.append("insert", "R1", {"A": (1, 2)})
+            # The refused append consumed no sequence number.
+            assert wal.last_seq == 0
+            assert wal.append("insert", "R1", {"A": "ok"}).seq == 1
+
+    def test_arbitrary_objects_are_rejected(self, wal_dir):
+        class Opaque:
+            pass
+
+        with WriteAheadLog(wal_dir) as wal:
+            with pytest.raises(WALError, match="Opaque"):
+                wal.append("insert", "R1", {"A": Opaque()})
+            with pytest.raises(WALError):
+                wal.append("insert", "R1", {"A": {1, 2}})
+
+    def test_non_string_keys_are_rejected(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            with pytest.raises(WALError, match="keys"):
+                wal.append("insert", "R1", {"A": {1: "x"}})
+
+    def test_non_finite_floats_are_rejected(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            with pytest.raises(WALError, match="non-finite"):
+                wal.append("insert", "R1", {"A": float("nan")})
+            with pytest.raises(WALError, match="non-finite"):
+                wal.append("insert", "R1", {"A": float("inf")})
+
+    def test_unloggable_extra_is_rejected(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            with pytest.raises(WALError):
+                wal.append(
+                    "reject", "R1", {"A": "a"}, extra={"outcome": {"w": 1j}}
+                )
+
+    def test_loggable_values_round_trip_identically(self, wal_dir):
+        values = {
+            "s": "text",
+            "i": 7,
+            "f": 2.5,
+            "b": True,
+            "n": None,
+            "nested": {"list": [1, "two", 3.0, False, None]},
+        }
+        with WriteAheadLog(wal_dir) as wal:
+            wal.append("insert", "R1", values)
+        (record,) = scan_wal(wal_dir).records
+        assert record.values == values
+        for key, original in values.items():
+            replayed = record.values[key]
+            assert type(replayed) is type(original)
+
+
+class _FaultyHandle:
+    """Wraps the WAL's real append handle; fails the Nth write after
+    leaving ``partial`` bytes on disk — a disk-full tear mid-record."""
+
+    def __init__(self, real, fail_on: int, partial: int = 5):
+        self._real = real
+        self._fail_on = fail_on
+        self._partial = partial
+        self._writes = 0
+        self.truncate_fails = False
+
+    def write(self, data):
+        self._writes += 1
+        if self._writes == self._fail_on:
+            self._real.write(data[: self._partial])
+            self._real.flush()
+            raise OSError(28, "No space left on device")
+        return self._real.write(data)
+
+    def truncate(self, size):
+        if self.truncate_fails:
+            raise OSError(28, "No space left on device")
+        return self._real.truncate(size)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestWriteFailure:
+    """Regression: a partial ``write`` (disk full mid-record) left a
+    torn record that the *next* append wrote past, manufacturing the
+    interior corruption recovery treats as unrecoverable."""
+
+    def test_failed_write_truncates_back(self, wal_dir):
+        wal = WriteAheadLog(wal_dir)
+        wal.append("insert", "R1", {"A": "a"})
+        clean_size = wal.size_bytes
+        wal._handle = _FaultyHandle(wal._handle, fail_on=1)
+        with pytest.raises(WALError, match="write failed"):
+            wal.append("insert", "R1", {"A": "b"})
+        # The tear is gone and the sequence did not advance.
+        assert wal.size_bytes == clean_size
+        assert wal.last_seq == 1
+        # The next append lands on a clean boundary...
+        record = wal.append("insert", "R1", {"A": "c"})
+        assert record.seq == 2
+        wal.close()
+        # ...and the log scans clean end to end: no interior corruption.
+        scan = scan_wal(wal_dir)
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert not scan.torn
+
+    def test_unrollbackable_failure_poisons_the_log(self, wal_dir):
+        wal = WriteAheadLog(wal_dir)
+        wal.append("insert", "R1", {"A": "a"})
+        faulty = _FaultyHandle(wal._handle, fail_on=1)
+        faulty.truncate_fails = True
+        wal._handle = faulty
+        with pytest.raises(WALError, match="could not be removed"):
+            wal.append("insert", "R1", {"A": "b"})
+        # Further appends must fail loudly rather than bury the tear.
+        with pytest.raises(WALError, match="unusable"):
+            wal.append("insert", "R1", {"A": "c"})
+        # Recovery (a reopen) repairs the tear like any torn tail.
+        faulty.truncate_fails = False
+        wal.close()
+        with WriteAheadLog(wal_dir) as reopened:
+            assert reopened.last_seq == 1
+            assert reopened.recovered.discarded_bytes > 0
+
 
 class TestDurability:
-    def test_fsync_every_validates(self, wal_path):
+    def test_fsync_every_validates(self, wal_dir):
         with pytest.raises(WALError):
-            WriteAheadLog(wal_path, fsync_every=0)
+            WriteAheadLog(wal_dir, fsync_every=0)
 
-    def test_batched_appends_survive_close(self, wal_path):
-        with WriteAheadLog(wal_path, fsync_every=100) as wal:
+    def test_segment_bytes_validates(self, wal_dir):
+        with pytest.raises(WALError):
+            WriteAheadLog(wal_dir, segment_bytes=0)
+
+    def test_batched_appends_survive_close(self, wal_dir):
+        with WriteAheadLog(wal_dir, fsync_every=100) as wal:
             for index in range(5):
                 wal.append("insert", "R1", {"A": f"a{index}"})
-        assert len(scan_wal(wal_path).records) == 5
+        assert len(scan_wal(wal_dir).records) == 5
 
-    def test_reset_restarts_sequence(self, wal_path):
-        with WriteAheadLog(wal_path) as wal:
-            wal.append("insert", "R1", {"A": "a"})
-            wal.append("insert", "R1", {"A": "b"})
-            wal.reset(2)
-            assert wal.size_bytes == 0
-            record = wal.append("insert", "R1", {"A": "c"})
-            assert record.seq == 3
-        scan = scan_wal(wal_path, base_seq=2)
-        assert [r.seq for r in scan.records] == [3]
-
-    def test_append_after_close_raises(self, wal_path):
-        wal = WriteAheadLog(wal_path)
+    def test_append_after_close_raises(self, wal_dir):
+        wal = WriteAheadLog(wal_dir)
         wal.close()
         with pytest.raises(WALError):
             wal.append("insert", "R1", {"A": "a"})
 
-    def test_size_bytes_survives_close(self, wal_path):
+    def test_compact_and_roll_after_close_raise_walerror(self, wal_dir):
+        """Regression: maintenance calls on a closed log surfaced the
+        file object's raw ``ValueError`` instead of :class:`WALError`,
+        so callers' error translation missed them."""
+        wal = WriteAheadLog(wal_dir)
+        wal.append("insert", "R1", {"A": "a"})
+        wal.close()
+        with pytest.raises(WALError, match="closed"):
+            wal.compact(1)
+        with pytest.raises(WALError, match="closed"):
+            wal.roll()
+
+    def test_size_bytes_survives_close(self, wal_dir):
         """Regression: ``size_bytes`` answered 0 once the handle was
         closed, so post-close compaction checks and metrics saw an
         empty log that was actually full."""
-        wal = WriteAheadLog(wal_path)
+        wal = WriteAheadLog(wal_dir, segment_bytes=60)
         wal.append("insert", "R1", {"A": "a"})
         wal.append("insert", "R1", {"A": "b"})
         open_size = wal.size_bytes
         assert open_size > 0
         wal.close()
         assert wal.size_bytes == open_size
-        assert wal.size_bytes == wal_path.stat().st_size
+        assert wal.size_bytes == len(log_bytes(wal_dir))
 
-    def test_size_bytes_zero_when_file_gone(self, wal_path):
-        wal = WriteAheadLog(wal_path)
+    def test_size_bytes_zero_when_files_gone(self, wal_dir):
+        wal = WriteAheadLog(wal_dir)
         wal.append("insert", "R1", {"A": "a"})
         wal.close()
-        wal_path.unlink()
+        for path in segment_paths(wal_dir):
+            path.unlink()
         assert wal.size_bytes == 0

@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.io import dump_scheme, dump_state, load_scheme
+from repro.service.wal import segment_paths
 from repro.state.database_state import DatabaseState, tuples_from_rows
 from repro.workloads.paper import example1_university, example12_reducible
 
@@ -497,7 +498,8 @@ class TestReplay:
                 "C=c,S=s,G=A",
             ]
         )
-        with open(store_dir / "wal.jsonl", "ab") as handle:
+        active = segment_paths(store_dir / "wal")[-1]
+        with open(active, "ab") as handle:
             handle.write(b'{"seq": 2, "op"')
         capsys.readouterr()
         assert main(["replay", "--store", str(store_dir)]) == 0
@@ -509,6 +511,67 @@ class TestReplay:
         code = main(["replay", "--store", str(tmp_path / "nope")])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestRecover:
+    def _seed(self, university_files, store_dir, count=3):
+        scheme_path, _ = university_files
+        for index in range(count):
+            main(
+                [
+                    "insert",
+                    str(scheme_path),
+                    "--store",
+                    str(store_dir),
+                    "--relation",
+                    "R4",
+                    "--values",
+                    f"C=C{index},S=S{index},G=A",
+                ]
+            )
+
+    def test_recover_as_of_reproduces_prefix(
+        self, university_files, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        self._seed(university_files, store_dir)
+        capsys.readouterr()
+        out_path = tmp_path / "pitr.json"
+        code = main(
+            [
+                "recover",
+                "--store",
+                str(store_dir),
+                "--as-of",
+                "2",
+                "--json",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{") : out.rindex("}") + 1])
+        assert payload["as_of_seq"] == 2
+        assert payload["last_seq"] == 2
+        assert payload["tuples"] == 2
+        assert payload["read_only"] is True
+        state = json.loads(out_path.read_text())
+        assert len(state["R4"]) == 2
+        # The point-in-time open never disturbs the live store.
+        capsys.readouterr()
+        assert main(["replay", "--store", str(store_dir)]) == 0
+        assert "3 stored tuple" in capsys.readouterr().out
+
+    def test_recover_beyond_log_errors(
+        self, university_files, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        self._seed(university_files, store_dir)
+        capsys.readouterr()
+        code = main(["recover", "--store", str(store_dir), "--as-of", "9"])
+        assert code == 1
+        assert "ends at seq 3" in capsys.readouterr().err
 
 
 class TestErrors:
