@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench serve-bench shard-bench replica-bench bench-suite bench-compare trace-smoke
+.PHONY: test lint bench serve-bench shard-bench replica-bench read-bench bench-suite bench-compare trace-smoke
 
 # Shard counts / rounds for the sharded serving benchmark; override for
 # a quick smoke: make shard-bench SHARD_COUNTS=1,2 SHARD_ROUNDS=2
@@ -43,6 +43,12 @@ shard-bench:
 # failover time; merges into BENCH_perf.json.
 replica-bench:
 	$(PY) -m repro.bench --replica
+
+# Read path: block-versioned result cache vs uncached engine, sharded
+# routing invariant, frontend coalescing, and follower read offload;
+# merges into BENCH_perf.json.
+read-bench:
+	$(PY) -m repro.bench --read
 
 # Re-run the tracked scenarios and fail when any speedup ratio falls
 # more than 25% below the committed BENCH_perf.json baseline.

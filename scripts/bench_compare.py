@@ -48,9 +48,12 @@ def load_baseline(path: Path) -> dict[str, float]:
     }
 
 
-def fresh_speedups(repeats: int, workers: int) -> dict[str, float]:
+def fresh_speedups(
+    repeats: int, workers: int
+) -> tuple[dict[str, float], dict[str, int]]:
     from repro.bench import (
         run_parallel_scenarios,
+        run_read_scenarios,
         run_replica_scenarios,
         run_scenarios,
         run_shard_scenarios,
@@ -64,10 +67,29 @@ def fresh_speedups(repeats: int, workers: int) -> dict[str, float]:
     # Failover: promote-a-follower vs cold recovery (the lag scenario
     # it also returns carries no speedup and is informational).
     scenarios.update(run_replica_scenarios())
-    return {
+    # The read path: cached-vs-uncached ratio plus the routing
+    # invariant (a warm single-block query costs exactly one RPC).
+    scenarios.update(run_read_scenarios())
+    speedups = {
         name: record["speedup"]
         for name, record in scenarios.items()
         if "speedup" in record
+    }
+    invariants = {
+        name: record["single_block_query_rpcs"]
+        for name, record in scenarios.items()
+        if "single_block_query_rpcs" in record
+    }
+    return speedups, invariants
+
+
+def load_invariants(path: Path) -> dict[str, int]:
+    """Scenario name → committed exact-match invariant values."""
+    report = json.loads(path.read_text())
+    return {
+        name: record["single_block_query_rpcs"]
+        for name, record in report.get("scenarios", {}).items()
+        if "single_block_query_rpcs" in record
     }
 
 
@@ -101,7 +123,8 @@ def main(argv: list[str] | None = None) -> int:
     if not baseline:
         print(f"no speedup-tracked scenarios in {args.baseline}")
         return 1
-    fresh = fresh_speedups(args.repeats, args.workers)
+    baseline_invariants = load_invariants(args.baseline)
+    fresh, fresh_invariants = fresh_speedups(args.repeats, args.workers)
 
     regressions: list[str] = []
     width = max(len(name) for name in sorted(baseline | fresh.keys()))
@@ -119,6 +142,21 @@ def main(argv: list[str] | None = None) -> int:
             regressions.append(name)
     for name in sorted(set(fresh) - set(baseline)):
         print(f"{name:{width}}  fresh {fresh[name]:6.2f}x  (new — no baseline)")
+
+    # Exact-match invariants: RPC counts are promises, not timings, so
+    # there is no tolerance — fresh must equal the committed value.
+    for name in sorted(baseline_invariants):
+        if name not in fresh_invariants:
+            continue
+        expected = baseline_invariants[name]
+        got = fresh_invariants[name]
+        verdict = "ok" if got == expected else "REGRESSED"
+        print(
+            f"{name}  single_block_query_rpcs baseline {expected}  "
+            f"fresh {got}  {verdict}"
+        )
+        if got != expected:
+            regressions.append(f"{name}:single_block_query_rpcs")
 
     if regressions:
         print(

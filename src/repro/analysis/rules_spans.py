@@ -72,6 +72,9 @@ def default_config(repo_root: Path) -> SpanConfig:
             "core/engine.py::WeakInstanceEngine._query_compiled": (
                 "engine.query.compiled",
             ),
+            "core/engine.py::WeakInstanceEngine._query_cached": (
+                "engine.query.cached",
+            ),
             "compile/program.py::compile_expression": ("compile.kernel",),
             "service/store.py::DurableStore.open": ("store.recovery",),
             "service/store.py::DurableStore.insert": ("store.insert",),
@@ -141,6 +144,7 @@ def default_config(repo_root: Path) -> SpanConfig:
                 "delegates to WriteAheadLog.sync (wal.fsync span)"
             ),
             "service/store.py::DurableStore.close": "resource teardown",
+            "service/store.py::DurableStore.metrics_snapshot": "reporting",
             # Server: constructors, sessions and reporting never touch
             # the engine's hot paths.
             "service/server.py::SchemeServer.in_memory": "constructor",

@@ -769,6 +769,300 @@ def run_shard_scenarios(
     return scenarios
 
 
+def _read_mix_operations(
+    tiles: int, ops: int, read_fraction: float = 0.95
+) -> list[tuple]:
+    """The deterministic 95%-read / 5%-write mix every read-path
+    scenario replays: reads split between per-tile single-block
+    ``(C, S, G)`` totals — the R4 relation's own attributes, whose plan
+    touches exactly one block — and the join-bearing ``(C, S)`` subset
+    whose plan unions every block of its tile; writes are accepted
+    inserts into a random tile's R4, each invalidating only cache
+    entries whose plans touch that block."""
+    rng = random.Random(BENCH_SEED)
+    operations: list[tuple] = []
+    serial = 0
+    for _ in range(ops):
+        tile = rng.randrange(tiles)
+        if rng.random() < read_fraction:
+            if rng.random() < 0.5:
+                operations.append(("query", (f"C{tile}", f"S{tile}")))
+            else:
+                operations.append(
+                    ("query", (f"C{tile}", f"S{tile}", f"G{tile}"))
+                )
+        else:
+            serial += 1
+            operations.append(
+                (
+                    "insert",
+                    f"T{tile}R4",
+                    {
+                        f"C{tile}": f"mix_c{serial}",
+                        f"S{tile}": f"mix_s{serial}",
+                        f"G{tile}": "A",
+                    },
+                )
+            )
+    return operations
+
+
+def run_read_scenarios(
+    ops: int = 400,
+    tiles: int = 6,
+    seed_rows: int = 120,
+    repeats: int = 5,
+    shards: int = 4,
+    coalesce_rounds: int = 8,
+    coalesce_burst: int = 32,
+) -> dict[str, dict]:
+    """The versioned read path under a read-heavy mix.
+
+    ``read_heavy_mix`` races the block-versioned result cache against
+    an identical engine with the cache disabled on the same seeded
+    95%-query / 5%-insert sequence (answers asserted identical first —
+    the cache must be invisible except in time).  ``read_heavy_mix_s4``
+    replays the mix through a sharded router, asserting the acceptance
+    invariant that a warm single-block query costs exactly one RPC.
+    ``read_heavy_mix_frontend`` drives bursts of identical concurrent
+    reads through the asyncio front door, recording how many joined an
+    in-flight execution instead of reaching the backend.
+    ``read_heavy_mix_follower`` offloads every read of the mix to a
+    WAL-fed follower, shipping after each write so the follower always
+    satisfies the read-your-writes sequence floor."""
+    import asyncio
+
+    from repro.core.engine import WeakInstanceEngine
+    from repro.service.replica import FollowerStore, LocalTransport, WalShipper
+    from repro.service.store import DurableStore
+    from repro.shard.frontend import ShardFrontend
+    from repro.shard.router import ShardRouter
+    from repro.workloads.scaling import tiled_university
+
+    scheme = tiled_university(tiles)
+    operations = _read_mix_operations(tiles, ops)
+    reads = sum(1 for op in operations if op[0] == "query")
+    writes = ops - reads
+    # Heavy on the join side, light on the write side: R1 and R5 carry
+    # ``seed_rows`` matched rows each (the ``(C, S)`` plan joins them),
+    # while R4 — where every mix write lands — stays small, so reads
+    # dominate the uncached cost exactly as in the modelled workload.
+    seed_updates = []
+    for tile in range(tiles):
+        for i in range(seed_rows):
+            seed_updates.append(
+                (
+                    "insert",
+                    f"T{tile}R5",
+                    {
+                        f"H{tile}": f"h{i}",
+                        f"S{tile}": f"s{i}",
+                        f"R{tile}": f"r{i}",
+                    },
+                )
+            )
+            seed_updates.append(
+                (
+                    "insert",
+                    f"T{tile}R1",
+                    {
+                        f"H{tile}": f"h{i}",
+                        f"R{tile}": f"r{i}",
+                        f"C{tile}": f"c{i}",
+                    },
+                )
+            )
+        for i in range(max(1, seed_rows // 8)):
+            seed_updates.append(
+                (
+                    "insert",
+                    f"T{tile}R4",
+                    {
+                        f"C{tile}": f"c{i}",
+                        f"S{tile}": f"s{i}",
+                        f"G{tile}": "A",
+                    },
+                )
+            )
+    builder = WeakInstanceEngine(scheme, read_cache=False)
+    seeded = builder.batch(builder.empty_state(), seed_updates)
+    assert seeded and seeded.state is not None
+    state0 = seeded.state
+    builder.close()
+    scenarios: dict[str, dict] = {}
+
+    # -- single-process: cached vs uncached engine ---------------------------
+    cached = WeakInstanceEngine(scheme)
+    uncached = WeakInstanceEngine(scheme, read_cache=False)
+
+    def drive(engine: WeakInstanceEngine) -> Callable[[], list]:
+        def run() -> list:
+            state = state0
+            results = []
+            for op in operations:
+                if op[0] == "query":
+                    results.append(engine.query(state, op[1]))
+                else:
+                    outcome = engine.insert(state, op[1], op[2])
+                    assert outcome.consistent
+                    state = outcome.state
+            return results
+
+        return run
+
+    record = _scenario(
+        "read_heavy_mix",
+        state0,
+        drive(cached),
+        drive(uncached),
+        repeats,
+        check_equal=lambda fast, slow: fast == slow,
+    )
+    info = cached.cache_info()["read"]
+    probes = info.hits + info.misses
+    record.update(
+        {
+            "ops": ops,
+            "reads": reads,
+            "writes": writes,
+            "tiles": tiles,
+            "seed_rows": seed_rows,
+            "repeats": repeats,
+            "read_cache_hits": info.hits,
+            "read_cache_misses": info.misses,
+            "read_cache_hit_rate": (
+                round(info.hits / probes, 4) if probes else 0.0
+            ),
+            "seed": BENCH_SEED,
+        }
+    )
+    scenarios["read_heavy_mix"] = record
+    cached.close()
+    uncached.close()
+
+    # -- sharded: block-aware routing + worker-side caches -------------------
+    router = ShardRouter.in_memory(scheme, shards)
+    try:
+        assert router.apply_batch(seed_updates)
+        # The acceptance invariant this PR ships: a warm single-block
+        # query reaches exactly the one shard owning its block.
+        warm_target = ("C0", "S0", "G0")
+        warm_rows = router.query(warm_target)
+        rpcs_before = router.metrics.snapshot().get("shard.rpcs", 0)
+        assert router.query(warm_target) == warm_rows
+        single_rpcs = (
+            router.metrics.snapshot().get("shard.rpcs", 0) - rpcs_before
+        )
+        if single_rpcs != 1:
+            raise AssertionError(
+                f"single-block query cost {single_rpcs} RPCs, expected 1"
+            )
+        elapsed = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for op in operations:
+                if op[0] == "query":
+                    router.query(op[1])
+                else:
+                    assert router.insert(op[1], op[2]).consistent
+            elapsed = min(elapsed, time.perf_counter() - start)
+        snapshot = router.metrics_snapshot()
+        hits = sum(
+            value
+            for name, value in snapshot.items()
+            if name.startswith("cache.read.hits")
+        )
+        misses = sum(
+            value
+            for name, value in snapshot.items()
+            if name.startswith("cache.read.misses")
+        )
+        scenarios[f"read_heavy_mix_s{router.shards}"] = {
+            "ops": ops,
+            "shards": router.shards,
+            "repeats": repeats,
+            "seconds": round(elapsed, 6),
+            "ops_per_second": round(ops / elapsed, 1),
+            "single_block_query_rpcs": single_rpcs,
+            "read_cache_hit_rate": (
+                round(hits / (hits + misses), 4) if hits + misses else 0.0
+            ),
+            "seed": BENCH_SEED,
+        }
+
+        # -- front-door coalescing over the same router ----------------------
+        async def burst_rounds() -> float:
+            frontend = ShardFrontend(router)
+            request = {"op": "query", "target": list(warm_target)}
+            start = time.perf_counter()
+            for _ in range(coalesce_rounds):
+                responses = await asyncio.gather(
+                    *(
+                        frontend._handle(dict(request))
+                        for _ in range(coalesce_burst)
+                    )
+                )
+                assert all(response["ok"] for response in responses)
+            return time.perf_counter() - start
+
+        coalesce_seconds = asyncio.run(burst_rounds())
+        coalesced = router.metrics.snapshot().get("front.coalesced_reads", 0)
+        scenarios["read_heavy_mix_frontend"] = {
+            "reads": coalesce_rounds * coalesce_burst,
+            "rounds": coalesce_rounds,
+            "burst": coalesce_burst,
+            "seconds": round(coalesce_seconds, 6),
+            "coalesced_reads": coalesced,
+            "backend_executions": coalesce_rounds * coalesce_burst
+            - coalesced,
+            "seed": BENCH_SEED,
+        }
+    finally:
+        router.close()
+
+    # -- follower read offload ----------------------------------------------
+    root = Path(tempfile.mkdtemp(prefix="repro-read-bench-"))
+    try:
+        primary = DurableStore.create(
+            root / "primary", scheme, fsync_every=32
+        )
+        try:
+            assert primary.apply_batch(seed_updates)
+            with FollowerStore(root / "follower") as follower:
+                shipper = WalShipper(primary, [LocalTransport(follower)])
+                shipper.sync()
+                for target in (("C0", "S0"), ("C1", "S1", "H1")):
+                    assert follower.query(target) == primary.query(target)
+                elapsed = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    for op in operations:
+                        if op[0] == "query":
+                            follower.query(op[1])
+                        else:
+                            primary.insert(op[1], op[2])
+                            shipper.ship()
+                            # The read-your-writes floor, held exactly.
+                            assert (
+                                follower.applied_seq == primary.last_seq
+                            )
+                    elapsed = min(elapsed, time.perf_counter() - start)
+                scenarios["read_heavy_mix_follower"] = {
+                    "ops": ops,
+                    "reads_offloaded": reads,
+                    "writes": writes,
+                    "repeats": repeats,
+                    "seconds": round(elapsed, 6),
+                    "ops_per_second": round(ops / elapsed, 1),
+                    "seed": BENCH_SEED,
+                }
+        finally:
+            primary.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return scenarios
+
+
 def run_metadata(workers: int) -> dict:
     """The run's provenance: pool size, host shape, interpreter, and
     the seed every randomized workload derives from.
@@ -836,11 +1130,22 @@ def _print_scenarios(scenarios: dict[str, dict]) -> None:
                 f"  ({record['tuples_per_second']:.0f} tuples/s)"
             )
         elif "ops_per_second" in record:
+            if "accepted" in record:
+                detail = (
+                    f"{record['accepted']} accepted / "
+                    f"{record['rejected']} rejected / "
+                    f"{record['queries']} queries"
+                )
+            else:
+                detail = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(record.items())
+                    if key not in ("seconds", "ops", "ops_per_second")
+                )
             print(
                 f"{name:{width}}  {record['seconds']*1e3:8.3f} ms for "
                 f"{record['ops']} ops  ({record['ops_per_second']:.0f} ops/s, "
-                f"{record['accepted']} accepted / {record['rejected']} "
-                f"rejected / {record['queries']} queries)"
+                f"{detail})"
             )
         else:
             detail = ", ".join(
@@ -893,6 +1198,20 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios (default 400)",
     )
     parser.add_argument(
+        "--read",
+        action="store_true",
+        help="run the read-path scenarios (block-versioned result "
+        "cache, sharded read routing, front-door coalescing, and "
+        "follower read offload)",
+    )
+    parser.add_argument(
+        "--read-ops",
+        type=int,
+        default=400,
+        help="operations in the read-heavy mix (default 400, 95%% "
+        "queries)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -904,6 +1223,7 @@ def main(argv: list[str] | None = None) -> int:
 
     root = _repo_root()
     sys.path.insert(0, str(root))  # for the benchmarks package
+    only_families = args.serving or args.replica or args.read
     scenarios: dict[str, dict] = {}
     # The whole run is traced: every chase/join/store/wal span lands in
     # a latency histogram whose percentile summary is persisted next to
@@ -911,7 +1231,7 @@ def main(argv: list[str] | None = None) -> int:
     # tracing-regression budget measures, so tracing stays on here.
     tracer = Tracer()
     with tracing(tracer):
-        if args.all or not (args.serving or args.replica):
+        if args.all or not only_families:
             scenarios.update(run_scenarios(repeats=args.repeats))
             scenarios.update(
                 run_parallel_scenarios(
@@ -922,9 +1242,22 @@ def main(argv: list[str] | None = None) -> int:
             scenarios.update(run_serving_scenarios(ops=args.serving_ops))
         if args.all or args.replica:
             scenarios.update(run_replica_scenarios(ops=args.replica_ops))
+        if args.all or args.read:
+            scenarios.update(run_read_scenarios(ops=args.read_ops))
     spans = tracer.span_summaries()
     path = root / BENCH_PATH_NAME
     metadata = run_metadata(args.workers)
+    # Honest run provenance for the read path: the measured hit rate
+    # and coalesced-read count land next to workers/seed so a headline
+    # speedup can never outrun what the cache actually absorbed.
+    if "read_heavy_mix" in scenarios:
+        metadata["read_cache_hit_rate"] = scenarios["read_heavy_mix"][
+            "read_cache_hit_rate"
+        ]
+    if "read_heavy_mix_frontend" in scenarios:
+        metadata["coalesced_reads"] = scenarios["read_heavy_mix_frontend"][
+            "coalesced_reads"
+        ]
     if metadata["workers_capped"]:
         print(
             f"warning: --workers {metadata['workers']} exceeds the "

@@ -298,9 +298,12 @@ commands:
   exit                        stop serving"""
 
 
-def _serve_loop(server, lines, echo: bool = False) -> int:
+def _serve_loop(server, lines, echo: bool = False, read_replicas=None) -> int:
     """Drive the server over the line protocol.  Returns an exit code;
-    protocol errors are reported per line, not fatal."""
+    protocol errors are reported per line, not fatal.  With
+    ``read_replicas`` (a :class:`~repro.service.replica.ReplicaSet`),
+    ``query`` is offloaded to a caught-up follower — read-your-writes
+    is preserved by the replica set's sequence floor."""
     session = server.session("default")
     for raw in lines:
         line = raw.strip()
@@ -335,7 +338,10 @@ def _serve_loop(server, lines, echo: bool = False) -> int:
                 print("deleted")
             elif command == "query":
                 target = attrs(rest)
-                rows = session.query(target)
+                if read_replicas is not None:
+                    rows = read_replicas.query(target)
+                else:
+                    rows = session.query(target)
                 print("\t".join(sorted(target)))
                 for row in sorted(rows):
                     print("\t".join(str(value) for value in row))
@@ -391,14 +397,18 @@ def _restore_shutdown_handlers(previous: dict) -> None:
         signal_mod.signal(signum, handler)
 
 
-def _serve_lines(server: object, args: argparse.Namespace) -> int:
+def _serve_lines(
+    server: object, args: argparse.Namespace, read_replicas=None
+) -> int:
     """Run the line protocol with supervised-shutdown semantics."""
     previous = _install_shutdown_handlers()
     try:
         if args.script:
             with open(args.script) as handle:
-                return _serve_loop(server, handle, echo=True)
-        return _serve_loop(server, sys.stdin)
+                return _serve_loop(
+                    server, handle, echo=True, read_replicas=read_replicas
+                )
+        return _serve_loop(server, sys.stdin, read_replicas=read_replicas)
     except KeyboardInterrupt:
         print("\nshutting down")
         return 0
@@ -568,9 +578,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             print(
                 f"shipping WAL segments to {replicas} follower "
-                f"process(es) under {store.directory / 'replicas'}"
+                f"process(es) under {store.directory / 'replicas'}, "
+                "offloading reads to caught-up followers"
             )
-        return _serve_lines(server, args)
+        return _serve_lines(server, args, read_replicas=replica_set)
     finally:
         if replica_set is not None:
             replica_set.close()
@@ -688,7 +699,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                         if args.target:
                             for _ in range(args.repeat):
                                 store.query(args.target)
-                        metrics = store.metrics.snapshot()
+                        metrics = store.metrics_snapshot()
                     finally:
                         store.close()
             else:
@@ -709,12 +720,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                         engine.query(state, args.target)
                 else:
                     engine.representative(state)
+                for cache_name, info in engine.cache_info().items():
+                    metrics[f"cache.{cache_name}.hits"] = info.hits
+                    metrics[f"cache.{cache_name}.misses"] = info.misses
+                if "read" in engine.cache_info():
+                    info = engine.cache_info()["read"]
+                    probes = info.hits + info.misses
+                    metrics["cache.read.hit_rate"] = (
+                        info.hits / probes if probes else 0.0
+                    )
         if args.prometheus:
             counters = dict(metrics)
             counters.update(tracer.counter_snapshot())
+            # A rate is a level, not a monotone count: gauge it.
+            gauges = {
+                name: counters.pop(name)
+                for name in list(counters)
+                if name.endswith(".hit_rate")
+            }
             print(
                 prometheus_text(
-                    counters=counters, histograms=tracer.histograms()
+                    counters=counters,
+                    gauges=gauges,
+                    histograms=tracer.histograms(),
                 ),
                 end="",
             )
@@ -727,7 +755,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(json.dumps(report, indent=2, sort_keys=True))
         else:
             print(_render_span_table(tracer.span_summaries()))
-            counters = tracer.counter_snapshot()
+            counters = dict(metrics)
+            counters.update(tracer.counter_snapshot())
             if counters:
                 print()
                 for name in sorted(counters):

@@ -31,6 +31,7 @@ from repro.core.query import (
     total_projection_plan,
     total_projection_reducible,
 )
+from repro.core.readcache import ReadCache
 from repro.foundations.attrs import AttrsLike, attrs, fmt_attrs, sorted_attrs
 from repro.foundations.cache import MISSING, CacheInfo, LRUCache
 from repro.foundations.errors import (
@@ -102,6 +103,13 @@ class WeakInstanceEngine:
     :mod:`repro.compile`; ``compiled=False`` (the CLI's
     ``--no-compile``) keeps every evaluation on the interpreted
     expression walk.
+
+    ``read_cache=True`` (the default) keeps a block-versioned
+    query-result cache in front of both query routes (see
+    :mod:`repro.core.readcache`): a repeated ``[X]`` against a state
+    whose touched blocks are unchanged is a dict probe, and a write
+    only stops queries overlapping the written block from hitting.
+    ``read_cache_size`` bounds the number of cached answers.
     """
 
     def __init__(
@@ -112,6 +120,8 @@ class WeakInstanceEngine:
         workers: int = 1,
         parallel_backend: str = "thread",
         compiled: bool = True,
+        read_cache: bool = True,
+        read_cache_size: int = 1024,
     ) -> None:
         if parallel_backend not in BACKENDS:
             raise StateError(
@@ -143,6 +153,11 @@ class WeakInstanceEngine:
         # untouched, so only the written block re-chases.
         self._block_chase: LRUCache = LRUCache(
             max(chase_cache_size, 4 * max(1, len(self.partition.blocks)))
+        )
+        self.read_cache: Optional[ReadCache] = (
+            ReadCache(self.partition, maxsize=read_cache_size)
+            if read_cache
+            else None
         )
 
     @property
@@ -287,12 +302,24 @@ class WeakInstanceEngine:
 
     def cache_info(self) -> dict[str, CacheInfo]:
         """Hit/miss/eviction accounting for the engine's memo layers."""
-        return {
+        info = {
             "plans": self._plans.info(),
             "compiled": self._compiled.info(),
             "chase": self._chase.info(),
             "block_chase": self._block_chase.info(),
         }
+        if self.read_cache is not None:
+            info["read"] = self.read_cache.info()
+        return info
+
+    def _note_write(self, state: DatabaseState, relation_name: str) -> None:
+        """Stamp a fresh read-cache version on the written relation's
+        block of a just-produced state."""
+        if self.read_cache is None:
+            return
+        self.read_cache.note_write(
+            state, self.partition.block_index_of(relation_name)
+        )
 
     # -- updates -----------------------------------------------------------------
     def insert(
@@ -304,6 +331,8 @@ class WeakInstanceEngine:
         """Validate and apply one insertion (Algorithm 5 / 2 / chase)."""
         with span("engine.insert") as sp:
             outcome = self.maintainer.insert(state, relation_name, values)
+            if outcome.consistent and outcome.state is not None:
+                self._note_write(outcome.state, relation_name)
             if sp:
                 sp.add("tuples_examined", outcome.tuples_examined)
                 sp.add("chase_steps", outcome.chase_steps)
@@ -320,6 +349,7 @@ class WeakInstanceEngine:
         """Apply a deletion — always consistency-preserving."""
         with span("engine.delete") as sp:
             result = state.delete(relation_name, values)
+            self._note_write(result, relation_name)
             if sp:
                 sp.add("deleted", 1)
             return result
@@ -513,10 +543,11 @@ class WeakInstanceEngine:
         relations = {
             name: merged.get(name, state[name]) for name in self.scheme.names
         }
-        return BatchOutcome(
-            state=DatabaseState(self.scheme, relations),
-            applied=len(updates),
-        )
+        merged_state = DatabaseState(self.scheme, relations)
+        if self.read_cache is not None:
+            for block_index in routed:
+                self.read_cache.note_write(merged_state, block_index)
+        return BatchOutcome(state=merged_state, applied=len(updates))
 
     def streaming(self, state: DatabaseState):
         """Per-block materialized views over ``state`` — the insert-heavy
@@ -576,22 +607,47 @@ class WeakInstanceEngine:
                 sp.add("rows_out", len(rows))
         return rows
 
+    def _query_cached(
+        self, key: tuple
+    ) -> Optional[set[tuple[Hashable, ...]]]:
+        """Probe the block-versioned result cache for a prior answer
+        under ``key``, or ``None`` on a miss (the caller evaluates and
+        fills the entry)."""
+        assert self.read_cache is not None
+        with span("engine.query.cached") as sp:
+            rows = self.read_cache.get(key)
+            if sp:
+                sp.add("hit", 0 if rows is None else 1)
+                if rows is not None:
+                    sp.add("rows_out", len(rows))
+        return rows
+
     def query(
         self, state: DatabaseState, attributes: AttrsLike
     ) -> set[tuple[Hashable, ...]]:
-        """``[X]`` evaluated by the cheapest correct route."""
+        """``[X]`` evaluated by the cheapest correct route: the
+        block-versioned result cache first, then the compiled kernels,
+        then the interpreted expression walk (or the full chase outside
+        the reducible class)."""
         target = attrs(attributes)
         with span("engine.query") as sp:
             rows = None
-            if self.reducible:
-                if self.kernels is not None:
-                    rows = self._query_compiled(state, target)
-                if rows is None:
-                    rows = total_projection_reducible(
-                        state, target, self.recognition
-                    )
-            else:
-                rows = self.representative(state).total_projection(target)
+            key = None
+            if self.read_cache is not None:
+                key = self.read_cache.key(state, target, self.plan)
+                rows = self._query_cached(key)
+            if rows is None:
+                if self.reducible:
+                    if self.kernels is not None:
+                        rows = self._query_compiled(state, target)
+                    if rows is None:
+                        rows = total_projection_reducible(
+                            state, target, self.recognition
+                        )
+                else:
+                    rows = self.representative(state).total_projection(target)
+                if key is not None:
+                    self.read_cache.put(key, rows)
             if sp:
                 sp.add("rows_out", len(rows))
             return rows

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.core.engine import WeakInstanceEngine
+from repro.foundations.attrs import attrs
 from repro.foundations.errors import ServiceError, StoreError, WALError
 from repro.io import (
     dump_json_atomic,
@@ -756,6 +757,7 @@ class ReplicaSet:
         # One ping per follower: a child that died on startup surfaces
         # here, not on the first shipped record.
         self._lock = threading.Lock()
+        self._next_read = 0  # guarded-by: _lock (round-robin cursor)
         for transport in self._transports:
             transport.send({"op": "ping"})
         self._stop = threading.Event()
@@ -769,7 +771,7 @@ class ReplicaSet:
             try:
                 with self._lock:
                     self.shipper.ship()
-            except ServiceError:
+            except (ServiceError, OSError):
                 # A follower died mid-ship; stop polling — close()
                 # will report reality via the remaining statuses.
                 return
@@ -787,6 +789,46 @@ class ReplicaSet:
                 for transport in self._transports
             ]
 
+    def query(self, attributes: Any) -> set:
+        """``[X]`` offloaded to a caught-up follower.
+
+        Read-your-writes: the primary's ``last_seq`` at call time is
+        the sequence floor — a follower may answer only once it has
+        applied at least that much of the log, so every write the
+        caller committed before asking is visible in the answer.
+        Followers are tried round-robin; if all lag, the pipeline gets
+        one shipping nudge and one more pass, and only then does the
+        primary answer itself.  The call therefore never returns stale
+        data and never fails on a healthy primary.
+        """
+        floor = self.store.last_seq
+        payload = {"op": "query", "target": sorted(attrs(attributes))}
+        with self._lock:
+            for attempt in range(2):
+                count = len(self._transports)
+                for offset in range(count):
+                    index = (self._next_read + offset) % count
+                    transport = self._transports[index]
+                    try:
+                        status = transport.send({"op": "status"})
+                        if status.get("applied_seq", -1) < floor:
+                            continue
+                        reply = transport.send(payload)
+                    except (ServiceError, OSError):
+                        # A dead or unbootstrapped follower is a lag
+                        # case, not an error: try the next one.
+                        continue
+                    self._next_read = (index + 1) % count
+                    self.store.metrics.increment("replica.reads_offloaded")
+                    return {tuple(row) for row in reply["rows"]}
+                if attempt == 0:
+                    try:
+                        self.shipper.ship()
+                    except (ServiceError, OSError):
+                        break
+        self.store.metrics.increment("replica.read_fallbacks")
+        return self.store.query(attributes)
+
     def close(self) -> None:
         """Final drain, then shut followers down and reap them."""
         self._stop.set()
@@ -794,12 +836,12 @@ class ReplicaSet:
         try:
             with self._lock:
                 self.shipper.sync()
-        except ServiceError:
+        except (ServiceError, OSError):
             pass
         for transport in self._transports:
             try:
                 transport.send({"op": "shutdown"})
-            except ServiceError:
+            except (ServiceError, OSError):
                 pass
             transport.close()
         for process in self._procs:

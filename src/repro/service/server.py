@@ -88,6 +88,7 @@ class SchemeServer:
         workers: int = 1,
         parallel_backend: str = "thread",
         compiled: bool = True,
+        read_cache: bool = True,
     ) -> None:
         if (store is None) == (scheme is None):
             raise ServiceError(
@@ -119,6 +120,7 @@ class SchemeServer:
                 workers=workers,
                 parallel_backend=parallel_backend,
                 compiled=compiled,
+                read_cache=read_cache,
             )
             self.metrics = MetricsRegistry()
             self._state = (
@@ -133,9 +135,14 @@ class SchemeServer:
         state: Optional[DatabaseState] = None,
         workers: int = 1,
         compiled: bool = True,
+        read_cache: bool = True,
     ) -> "SchemeServer":
         return cls(
-            scheme=scheme, state=state, workers=workers, compiled=compiled
+            scheme=scheme,
+            state=state,
+            workers=workers,
+            compiled=compiled,
+            read_cache=read_cache,
         )
 
     @classmethod
@@ -233,12 +240,18 @@ class SchemeServer:
             self._store.snapshot()
 
     def metrics_snapshot(self) -> dict[str, Union[int, float]]:
-        """Server counters merged with the engine's cache accounting."""
+        """Server counters merged with the engine's cache accounting
+        (the read cache additionally reports its derived hit rate)."""
         merged = self.metrics.snapshot()
         for cache_name, info in self.engine.cache_info().items():
             merged[f"cache.{cache_name}.hits"] = info.hits
             merged[f"cache.{cache_name}.misses"] = info.misses
             merged[f"cache.{cache_name}.evictions"] = info.evictions
+            if cache_name == "read":
+                probes = info.hits + info.misses
+                merged["cache.read.hit_rate"] = (
+                    info.hits / probes if probes else 0.0
+                )
         return merged
 
     def stats(self) -> dict[str, object]:
@@ -260,14 +273,21 @@ class SchemeServer:
         kinds = self.metrics.snapshot_by_kind()
         counters = dict(kinds["counters"])
         counters.update(kinds["timers"])
+        gauges = dict(kinds["gauges"])
         for cache_name, info in self.engine.cache_info().items():
             counters[f"cache.{cache_name}.hits"] = info.hits
             counters[f"cache.{cache_name}.misses"] = info.misses
             counters[f"cache.{cache_name}.evictions"] = info.evictions
+            if cache_name == "read":
+                # A rate is a level, not a monotone count: gauge it.
+                probes = info.hits + info.misses
+                gauges["cache.read.hit_rate"] = (
+                    info.hits / probes if probes else 0.0
+                )
         counters.update(self.tracer.counter_snapshot())
         return prometheus_text(
             counters=counters,
-            gauges=kinds["gauges"],
+            gauges=gauges,
             histograms=self.tracer.histograms(),
         )
 

@@ -187,6 +187,7 @@ class DurableStore:
         workers: int = 1,
         parallel_backend: str = "thread",
         compiled: bool = True,
+        read_cache: bool = True,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> "DurableStore":
         """Initialise a fresh store directory (must not already hold
@@ -209,6 +210,7 @@ class DurableStore:
             workers=workers,
             parallel_backend=parallel_backend,
             compiled=compiled,
+            read_cache=read_cache,
             segment_bytes=segment_bytes,
         )
 
@@ -224,6 +226,7 @@ class DurableStore:
         workers: int = 1,
         parallel_backend: str = "thread",
         compiled: bool = True,
+        read_cache: bool = True,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         as_of_seq: Optional[int] = None,
     ) -> "DurableStore":
@@ -254,6 +257,7 @@ class DurableStore:
                 workers=workers,
                 parallel_backend=parallel_backend,
                 compiled=compiled,
+                read_cache=read_cache,
             )
 
             snapshot_path = directory / SNAPSHOT_FILE
@@ -524,6 +528,21 @@ class DurableStore:
         with span("store.query"):
             self.metrics.increment("ops.query")
             return self.engine.query(self._state, attributes)
+
+    def metrics_snapshot(self) -> dict[str, Union[int, float]]:
+        """Store counters merged with the engine's cache accounting
+        (the read cache additionally reports its derived hit rate)."""
+        merged = self.metrics.snapshot()
+        for cache_name, info in self.engine.cache_info().items():
+            merged[f"cache.{cache_name}.hits"] = info.hits
+            merged[f"cache.{cache_name}.misses"] = info.misses
+            merged[f"cache.{cache_name}.evictions"] = info.evictions
+            if cache_name == "read":
+                probes = info.hits + info.misses
+                merged["cache.read.hit_rate"] = (
+                    info.hits / probes if probes else 0.0
+                )
+        return merged
 
     # -- durability -----------------------------------------------------------
     def sync(self) -> None:

@@ -13,6 +13,15 @@ tracer, off the event loop in a worker thread (router calls block on
 worker RPCs); the event loop itself only ever frames and unframes
 bytes.  Writes stay serial through the router's write lock — the
 fan-out tier, not the front door, owns ordering.
+
+Identical concurrent reads are *coalesced*: while one ``query`` for a
+target is executing, later arrivals for the same target join its
+in-flight future (``span("front.coalesce")``, counted as
+``front.coalesced_reads``) instead of issuing their own backend RPCs.
+The coalescing key includes a write epoch the frontend bumps on every
+completed write, so a read issued after a client's write can never
+join an execution whose snapshot might predate that write —
+read-your-writes survives coalescing.
 """
 
 from __future__ import annotations
@@ -46,6 +55,9 @@ FRONT_OPS = (
 class ShardFrontend:
     """Serve a :class:`~repro.shard.router.ShardRouter` over asyncio."""
 
+    #: Operations whose completion bumps the coalescing write epoch.
+    WRITE_OPS = ("insert", "delete", "batch")
+
     def __init__(
         self,
         router: Any,
@@ -56,6 +68,10 @@ class ShardFrontend:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
+        # In-flight identical reads share one execution.  Both maps are
+        # only touched from the event loop, so no lock is needed.
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._write_epoch = 0
 
     # -- lifecycle ------------------------------------------------------------
     async def start(self) -> None:
@@ -122,9 +138,58 @@ class ShardFrontend:
         """One request → one response, off the event loop.
 
         Requests from *different* connections overlap freely; the
-        router's own locks serialize what must be serial."""
+        router's own locks serialize what must be serial.  Identical
+        concurrent reads collapse onto one backend execution."""
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self._execute, request)
+        op = request.get("op") if isinstance(request, Mapping) else None
+        if op == "query":
+            key = self._coalesce_key(request)
+            if key is not None:
+                leader = self._inflight.get(key)
+                if leader is not None:
+                    response = await leader
+                    self._note_coalesced()
+                    return response
+                future: asyncio.Future = loop.create_future()
+                self._inflight[key] = future
+                try:
+                    response = await loop.run_in_executor(
+                        None, self._execute, request
+                    )
+                except BaseException as error:
+                    self._inflight.pop(key, None)
+                    future.set_exception(error)
+                    future.exception()  # retrieved: no stray warning
+                    raise
+                # Pop before resolving: a read arriving from here on
+                # must start fresh, never adopt a finished snapshot.
+                self._inflight.pop(key, None)
+                future.set_result(response)
+                return response
+        response = await loop.run_in_executor(None, self._execute, request)
+        if op in self.WRITE_OPS:
+            # Bumping on *completion* is what makes coalescing safe: a
+            # client's next read sees the new epoch and cannot join an
+            # execution whose snapshot may predate this write.
+            self._write_epoch += 1
+        return response
+
+    def _coalesce_key(self, request: Mapping[str, Any]) -> Optional[tuple]:
+        """The identity under which concurrent reads may share one
+        execution — ``None`` for malformed targets (the normal path
+        reports those per-request)."""
+        try:
+            target = tuple(sorted(attrs(request["target"])))
+        except (ReproError, KeyError, TypeError):
+            return None
+        return (target, self._write_epoch)
+
+    def _note_coalesced(self) -> None:
+        with tracing(self.router.tracer):
+            with span("front.coalesce") as sp:
+                if sp:
+                    sp.add("joined", 1)
+        self.router.metrics.increment("front.coalesced_reads")
 
     # -- dispatch (worker thread) ---------------------------------------------
     def _execute(self, request: Any) -> dict[str, Any]:

@@ -268,6 +268,7 @@ class ShardRouter:
         tracer: Optional[Tracer] = None,
         fsync_every: int = 1,
         compiled: bool = True,
+        read_cache: bool = True,
     ) -> None:
         self.scheme = scheme
         self.partition = partition_scheme(scheme)
@@ -277,6 +278,7 @@ class ShardRouter:
         self.directory = Path(directory) if directory is not None else None
         self._fsync_every = fsync_every
         self._compiled = compiled
+        self._read_cache = read_cache
         self._write_lock = threading.Lock()
         self._sessions_lock = threading.Lock()
         self._sessions: dict[str, RouterSession] = {}  # guarded-by: _sessions_lock
@@ -287,7 +289,12 @@ class ShardRouter:
         self._procs: list[multiprocessing.process.BaseProcess] = []
         # A full-scheme engine for plan computation and the scatter-
         # gather query path; it never validates writes (shards do).
-        self._engine = WeakInstanceEngine(scheme, compiled=compiled)
+        # Its read cache stays off: gathered states are fresh objects
+        # every time, so entries could never hit — the per-worker
+        # engines (which see stable states) carry the read cache.
+        self._engine = WeakInstanceEngine(
+            scheme, compiled=compiled, read_cache=False
+        )
         if self.map.shards <= 1:
             self._start_inline()
         else:
@@ -301,9 +308,16 @@ class ShardRouter:
         shards: int = 1,
         tracer: Optional[Tracer] = None,
         compiled: bool = True,
+        read_cache: bool = True,
     ) -> "ShardRouter":
         """A sharded deployment with nothing on disk."""
-        return cls(scheme, shards, tracer=tracer, compiled=compiled)
+        return cls(
+            scheme,
+            shards,
+            tracer=tracer,
+            compiled=compiled,
+            read_cache=read_cache,
+        )
 
     @classmethod
     def create(
@@ -315,6 +329,7 @@ class ShardRouter:
         fsync_every: int = 1,
         compiled: bool = True,
         tracer: Optional[Tracer] = None,
+        read_cache: bool = True,
     ) -> "ShardRouter":
         """Initialise a fresh sharded store directory and serve it."""
         directory = Path(directory)
@@ -334,6 +349,7 @@ class ShardRouter:
             tracer=tracer,
             fsync_every=fsync_every,
             compiled=compiled,
+            read_cache=read_cache,
         )
 
     @classmethod
@@ -345,6 +361,7 @@ class ShardRouter:
         fsync_every: int = 1,
         compiled: bool = True,
         tracer: Optional[Tracer] = None,
+        read_cache: bool = True,
     ) -> "ShardRouter":
         """Recover a sharded store: every worker replays its own WAL.
 
@@ -379,6 +396,7 @@ class ShardRouter:
             tracer=tracer,
             fsync_every=fsync_every,
             compiled=compiled,
+            read_cache=read_cache,
         )
 
     # -- startup --------------------------------------------------------------
@@ -436,6 +454,7 @@ class ShardRouter:
                 "store_dir": self._shard_dir(index),
                 "fsync_every": self._fsync_every,
                 "compiled": self._compiled,
+                "read_cache": self._read_cache,
             }
             process = context.Process(
                 target=worker_main,
@@ -588,20 +607,25 @@ class ShardRouter:
                     },
                 )
                 return {tuple(row) for row in response["rows"]}
-            # Scatter-gather: fetch what the plan touches (everything
-            # when no plan exists) and evaluate with full-scheme code.
+            # Scatter-gather: fetch what the plan touches and evaluate
+            # with full-scheme code.  A multi-shard deployment implies
+            # an accepted scheme, so "no plan" means an uncoverable
+            # target (``SchemaError``) whose answer is empty on every
+            # consistent state — gather only the relations whose
+            # attributes overlap the target instead of fanning out to
+            # every shard, and let the same evaluation confirm it.
             self.metrics.increment("router.gather_queries")
             if names is None:
-                fetch: dict[int, list[str]] = {
-                    index: list(self.map.shard_relations[index])
-                    for index in range(self.map.shards)
-                }
-            else:
-                fetch = {}
-                for name in names:
-                    fetch.setdefault(
-                        self.map.relation_shard[name], []
-                    ).append(name)
+                names = sorted(
+                    member.name
+                    for member in self.scheme.relations
+                    if member.attributes & target
+                )
+            fetch: dict[int, list[str]] = {}
+            for name in names:
+                fetch.setdefault(
+                    self.map.relation_shard[name], []
+                ).append(name)
             merged: dict[str, Any] = {}
             responses = self._fanout(
                 {

@@ -209,6 +209,7 @@ class ShardWorker:
         scheme = scheme_from_dict(config["scheme"])
         store_dir = config.get("store_dir")
         compiled = bool(config.get("compiled", True))
+        read_cache = bool(config.get("read_cache", True))
         if store_dir is not None:
             from pathlib import Path
 
@@ -220,6 +221,7 @@ class ShardWorker:
                         store_dir,
                         fsync_every=int(config.get("fsync_every", 1)),
                         compiled=compiled,
+                        read_cache=read_cache,
                     )
                 else:
                     store = DurableStore.create(
@@ -227,6 +229,7 @@ class ShardWorker:
                         scheme,
                         fsync_every=int(config.get("fsync_every", 1)),
                         compiled=compiled,
+                        read_cache=read_cache,
                     )
             return cls(
                 shard=int(config["shard"]),
@@ -235,7 +238,9 @@ class ShardWorker:
                 store=store,
                 tracer=tracer,
             )
-        engine = WeakInstanceEngine(scheme, compiled=compiled)
+        engine = WeakInstanceEngine(
+            scheme, compiled=compiled, read_cache=read_cache
+        )
         return cls(
             shard=int(config["shard"]),
             engine=engine,
@@ -340,15 +345,22 @@ class ShardWorker:
         if op == "metrics":
             kinds = self.metrics.snapshot_by_kind()
             counters = dict(kinds["counters"])
+            gauges = dict(kinds["gauges"])
             for cache_name, info in self.engine.cache_info().items():
                 counters[f"cache.{cache_name}.hits"] = info.hits
                 counters[f"cache.{cache_name}.misses"] = info.misses
                 counters[f"cache.{cache_name}.evictions"] = info.evictions
+                if cache_name == "read":
+                    # A rate is a level, not a monotone count: gauge it.
+                    probes = info.hits + info.misses
+                    gauges["cache.read.hit_rate"] = (
+                        info.hits / probes if probes else 0.0
+                    )
             counters.update(self.tracer.counter_snapshot())
             return {
                 "ok": True,
                 "counters": counters,
-                "gauges": dict(kinds["gauges"]),
+                "gauges": gauges,
                 "timers": dict(kinds["timers"]),
             }
         if op == "stats":

@@ -61,12 +61,22 @@ class TestChaseMemoization:
 
     def test_query_reuses_the_memoized_chase(self):
         # Example 2's scheme is not reducible, so query() goes through
-        # the representative instance.
-        engine = WeakInstanceEngine(example2_not_algebraic())
+        # the representative instance.  The read cache would answer the
+        # repeat without touching the chase at all — disable it so this
+        # exercises the chase memo layer itself.
+        engine = WeakInstanceEngine(example2_not_algebraic(), read_cache=False)
         state = example2_chain_state(4)
         baseline = engine.query(state, "AB")
         assert engine.query(state, "AB") == baseline
         assert engine.cache_info()["chase"].hits >= 1
+
+    def test_query_repeat_hits_the_read_cache(self):
+        engine = WeakInstanceEngine(example2_not_algebraic())
+        state = example2_chain_state(4)
+        baseline = engine.query(state, "AB")
+        assert engine.query(state, "AB") == baseline
+        info = engine.cache_info()["read"]
+        assert info.hits == 1 and info.misses == 1
 
     def test_inconsistent_rejection_is_memoized_too(self):
         engine = WeakInstanceEngine(example2_not_algebraic())

@@ -1,0 +1,216 @@
+"""Tests for the block-versioned read cache.
+
+The load-bearing property is *exactness*: a cached answer may be
+served if and only if no block its plan touches has changed.  The
+differential suite drives identical interleaved write/query sequences
+through a cached and an uncached engine across every paper scheme and
+requires byte-identical answers; the unit tests pin the invalidation
+rule itself — a cross-block write must preserve other blocks' entries,
+a same-block write must not.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import WeakInstanceEngine
+from repro.core.partition import partition_scheme
+from repro.core.readcache import BlockVersions, ReadCache
+from repro.workloads.paper import ALL_SCHEMES, example1_university
+
+
+def _seed_values(member, index):
+    return {
+        attribute: f"{attribute.lower()}{index}"
+        for attribute in sorted(member.attributes)
+    }
+
+
+def _operations(scheme, seed, rounds=6):
+    """A deterministic interleaved workload: inserts and deletes with a
+    small value domain (so joins and rejections both happen), each
+    followed by a sweep of queries over per-relation targets, a
+    cross-relation union and a single attribute."""
+    rng = random.Random(seed)
+    members = list(scheme.relations)
+    targets = [member.attributes for member in members]
+    if len(members) > 1:
+        targets.append(members[0].attributes | members[1].attributes)
+    targets.append(frozenset(sorted(scheme.universe)[:1]))
+    operations = []
+    inserted = []
+    for _ in range(rounds):
+        if inserted and rng.random() < 0.35:
+            operations.append(("delete",) + rng.choice(inserted))
+        else:
+            member = rng.choice(members)
+            values = _seed_values(member, rng.randrange(3))
+            operations.append(("insert", member.name, values))
+            inserted.append((member.name, values))
+        for target in targets:
+            operations.append(("query", target, None))
+    return operations
+
+
+def _drive(engine, operations, repeat_queries=1):
+    """Apply the operation list, returning every observable outcome
+    (insert verdicts and sorted query answers)."""
+    state = engine.empty_state()
+    observed = []
+    for kind, name_or_target, values in operations:
+        if kind == "insert":
+            outcome = engine.insert(state, name_or_target, values)
+            if outcome.consistent:
+                state = outcome.state
+            observed.append(("insert", outcome.consistent))
+        elif kind == "delete":
+            if values in state[name_or_target]:
+                state = engine.delete(state, name_or_target, values)
+            observed.append(("delete", True))
+        else:
+            for _ in range(repeat_queries):
+                rows = engine.query(state, name_or_target)
+                observed.append(("query", tuple(sorted(rows))))
+    return observed
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", sorted(ALL_SCHEMES))
+    def test_cached_matches_uncached_under_interleaved_writes(self, name):
+        scheme = ALL_SCHEMES[name]()
+        operations = _operations(scheme, seed=20260808)
+        cached = WeakInstanceEngine(scheme)
+        uncached = WeakInstanceEngine(scheme, read_cache=False)
+        # The cached engine answers every query twice (the second from
+        # the cache when nothing moved); the uncached engine is the
+        # oracle, so its single answers are repeated for comparison.
+        got = _drive(cached, operations, repeat_queries=2)
+        want = []
+        for record in _drive(uncached, operations):
+            want.append(record)
+            if record[0] == "query":
+                want.append(record)
+        assert got == want
+        info = cached.cache_info()["read"]
+        assert info.hits > 0  # the repeats really were served cached
+
+    def test_delete_then_query_never_serves_the_deleted_row(self):
+        scheme = example1_university()
+        engine = WeakInstanceEngine(scheme)
+        state = engine.empty_state()
+        member = scheme.relations[0]
+        values = _seed_values(member, 1)
+        outcome = engine.insert(state, member.name, values)
+        assert outcome.consistent
+        state = outcome.state
+        before = engine.query(state, member.attributes)
+        assert engine.query(state, member.attributes) == before  # cached
+        state = engine.delete(state, member.name, values)
+        after = engine.query(state, member.attributes)
+        assert after == set()
+        assert after != before
+
+
+class TestInvalidation:
+    def test_cross_block_write_preserves_other_blocks_entries(self):
+        scheme = example1_university()
+        partition = partition_scheme(scheme)
+        assert len(partition.blocks) >= 2
+        engine = WeakInstanceEngine(scheme)
+        state = engine.empty_state()
+        # Two relations from different blocks.
+        first = scheme.relations[0]
+        other = next(
+            member
+            for member in scheme.relations
+            if partition.block_index_of(member.name)
+            != partition.block_index_of(first.name)
+        )
+        outcome = engine.insert(state, first.name, _seed_values(first, 1))
+        assert outcome.consistent
+        state = outcome.state
+        engine.query(state, first.attributes)  # fill
+        hits_before = engine.cache_info()["read"].hits
+        outcome = engine.insert(state, other.name, _seed_values(other, 1))
+        assert outcome.consistent
+        state = outcome.state
+        engine.query(state, first.attributes)
+        assert engine.cache_info()["read"].hits == hits_before + 1
+
+    def test_same_block_write_invalidates(self):
+        scheme = example1_university()
+        engine = WeakInstanceEngine(scheme)
+        state = engine.empty_state()
+        member = scheme.relations[0]
+        outcome = engine.insert(state, member.name, _seed_values(member, 1))
+        assert outcome.consistent
+        state = outcome.state
+        first = engine.query(state, member.attributes)
+        outcome = engine.insert(state, member.name, _seed_values(member, 2))
+        assert outcome.consistent
+        state = outcome.state
+        hits_before = engine.cache_info()["read"].hits
+        second = engine.query(state, member.attributes)
+        assert engine.cache_info()["read"].hits == hits_before  # a miss
+        assert len(second) == len(first) + 1
+
+    def test_batch_bumps_every_routed_block(self):
+        scheme = example1_university()
+        engine = WeakInstanceEngine(scheme, workers=2)
+        partition = engine.partition
+        state = engine.empty_state()
+        first = scheme.relations[0]
+        other = next(
+            member
+            for member in scheme.relations
+            if partition.block_index_of(member.name)
+            != partition.block_index_of(first.name)
+        )
+        updates = [
+            ("insert", first.name, _seed_values(first, 1)),
+            ("insert", other.name, _seed_values(other, 1)),
+        ]
+        result = engine.batch(state, updates)
+        assert result
+        writes = engine.read_cache.versions.writes
+        assert writes >= 2
+        rows = engine.query(result.state, first.attributes)
+        assert rows == engine.query(result.state, first.attributes)
+        engine.close()
+
+    def test_disabled_cache_reports_no_read_layer(self):
+        engine = WeakInstanceEngine(example1_university(), read_cache=False)
+        assert "read" not in engine.cache_info()
+        assert engine.read_cache is None
+
+
+class TestBlockVersions:
+    def test_version_is_stable_until_the_block_changes(self):
+        scheme = example1_university()
+        partition = partition_scheme(scheme)
+        engine = WeakInstanceEngine(scheme, read_cache=False)
+        versions = BlockVersions(partition)
+        state = engine.empty_state()
+        v0 = versions.version(state, 0)
+        assert versions.version(state, 0) == v0
+        member = scheme.relations[0]
+        block = partition.block_index_of(member.name)
+        outcome = engine.insert(state, member.name, _seed_values(member, 1))
+        assert outcome.consistent
+        written = outcome.state
+        assert versions.version(written, block) != versions.version(
+            state, block
+        )
+        # Blocks the write never touched keep their relation objects,
+        # hence their versions.
+        for index in range(len(partition.blocks)):
+            if index != block:
+                assert versions.version(written, index) == versions.version(
+                    state, index
+                )
+
+    def test_stats_expose_hit_rate_and_writes(self):
+        scheme = example1_university()
+        cache = ReadCache(partition_scheme(scheme))
+        stats = cache.stats()
+        assert stats["hit_rate"] == 0.0 and stats["writes_observed"] == 0

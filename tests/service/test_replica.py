@@ -482,3 +482,36 @@ class TestReplicaSetProcesses:
         with DurableStore.create(tmp_path / "primary", scheme) as primary:
             with pytest.raises(ServiceError, match="at least one"):
                 ReplicaSet(primary, 0)
+
+class TestReadOffload:
+    def test_reads_offload_with_read_your_writes(self, tmp_path, scheme):
+        with make_primary(tmp_path, scheme) as primary:
+            with ReplicaSet(primary, 2, poll_interval=0.01) as replicas:
+                for index in range(4):
+                    primary.insert("R4", r4_tuple(index))
+                    # Immediately after the write: the sequence floor
+                    # forces the answering follower to have applied it.
+                    rows = replicas.query("CS")
+                    assert rows == primary.query("CS")
+                    assert len(rows) == index + 1
+                snapshot = primary.metrics.snapshot()
+                # The floor check plus the in-call shipping nudge mean
+                # every read found a caught-up follower.
+                assert snapshot.get("replica.reads_offloaded", 0) == 4
+                assert snapshot.get("replica.read_fallbacks", 0) == 0
+
+    def test_dead_followers_fall_back_to_the_primary(self, tmp_path, scheme):
+        with make_primary(tmp_path, scheme) as primary:
+            with ReplicaSet(primary, 1, poll_interval=0.01) as replicas:
+                primary.insert("R4", r4_tuple(0))
+                replicas.sync()
+                # Stop the background shipper first so the kill cannot
+                # race it, then reap the only follower.
+                replicas._stop.set()
+                replicas._thread.join(timeout=10)
+                replicas._procs[0].terminate()
+                replicas._procs[0].join(timeout=10)
+                rows = replicas.query("CS")
+                assert rows == primary.query("CS")
+                snapshot = primary.metrics.snapshot()
+                assert snapshot.get("replica.read_fallbacks", 0) == 1

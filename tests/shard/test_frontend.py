@@ -219,3 +219,96 @@ class TestLifecycle:
         announced = capsys.readouterr().out
         assert '"shards": 2' in announced
         assert '"listening"' in announced
+
+class TestCoalescing:
+    def test_identical_concurrent_reads_share_one_execution(self, router):
+        router.insert("R4", {"C": "c1", "S": "s1", "G": "A"})
+
+        async def scenario():
+            frontend = ShardFrontend(router)
+            executed = []
+            real = frontend._execute
+
+            def counting(request):
+                executed.append(request["op"])
+                return real(request)
+
+            frontend._execute = counting
+            request = {"op": "query", "target": "CS"}
+            responses = await asyncio.gather(
+                *(frontend._handle(dict(request)) for _ in range(8))
+            )
+            return executed, responses
+
+        executed, responses = run(scenario())
+        # One backend execution; seven joiners shared its answer.
+        assert executed == ["query"]
+        assert all(response["ok"] for response in responses)
+        assert all(
+            response["rows"] == responses[0]["rows"]
+            for response in responses
+        )
+        snapshot = router.metrics.snapshot()
+        assert snapshot.get("front.coalesced_reads", 0) == 7
+
+    def test_distinct_targets_do_not_coalesce(self, router):
+        async def scenario():
+            frontend = ShardFrontend(router)
+            executed = []
+            real = frontend._execute
+
+            def counting(request):
+                executed.append(tuple(sorted(request["target"])))
+                return real(request)
+
+            frontend._execute = counting
+            await asyncio.gather(
+                frontend._handle({"op": "query", "target": "CS"}),
+                frontend._handle({"op": "query", "target": "SG"}),
+            )
+            return executed
+
+        assert sorted(run(scenario())) == [("C", "S"), ("G", "S")]
+
+    def test_write_bumps_the_epoch_so_later_reads_never_join(self, router):
+        async def scenario():
+            frontend = ShardFrontend(router)
+            before = frontend._coalesce_key({"op": "query", "target": "CS"})
+            response = await frontend._handle(
+                {
+                    "op": "insert",
+                    "relation": "R4",
+                    "values": {"C": "c2", "S": "s2", "G": "B"},
+                }
+            )
+            assert response["ok"]
+            after = frontend._coalesce_key({"op": "query", "target": "CS"})
+            return before, after
+
+        before, after = run(scenario())
+        # Same target, different epoch: a post-write read starts fresh
+        # instead of adopting a snapshot that may predate the write.
+        assert before != after
+
+    def test_coalesced_reads_over_the_wire_agree(self, router):
+        router.insert("R4", {"C": "c1", "S": "s1", "G": "A"})
+
+        async def one(host, port):
+            async with FrontendClient(host, port) as client:
+                reply = await client.request(
+                    {"op": "query", "target": "CS"}
+                )
+                return reply["rows"]
+
+        async def scenario():
+            frontend = await _started(router)
+            try:
+                host, port = frontend.address
+                return await asyncio.gather(
+                    *(one(host, port) for _ in range(8))
+                )
+            finally:
+                await frontend.close()
+
+        results = run(scenario())
+        assert all(rows == [["c1", "s1"]] for rows in results)

@@ -1,0 +1,115 @@
+"""Read-routing regression tests: queries must reach only the shards
+that own the relations their plan touches.
+
+The plan is the routing oracle.  A single-block target costs exactly
+one RPC; a cross-block target fans out to the owning shards and no
+further; a target outside the universe has no plan and — because a
+multi-shard deployment implies an accepted scheme, where "no plan"
+means an uncoverable target whose answer is empty on every consistent
+state — is answered without contacting any shard at all.
+"""
+
+from repro.core.engine import WeakInstanceEngine
+from repro.service.metrics import labeled
+from repro.shard.router import ShardRouter
+from repro.workloads.paper import example1_university
+
+# One coherent university world: every relation holds the projection
+# of the same facts, so all five inserts are accepted.
+WORLD = [
+    ("R1", {"H": "h1", "R": "r1", "C": "c1"}),
+    ("R2", {"H": "h1", "T": "t1", "R": "r1"}),
+    ("R3", {"H": "h1", "T": "t1", "C": "c1"}),
+    ("R4", {"C": "c1", "S": "s1", "G": "g1"}),
+    ("R5", {"H": "h1", "S": "s1", "R": "r1"}),
+]
+
+
+def _seeded_router(shards=4):
+    # example1 has 3 blocks; requesting 4 shards clamps to 3, giving
+    # R5 -> shard 0, R4 -> shard 1, {R1, R2, R3} -> shard 2.
+    router = ShardRouter.in_memory(example1_university(), shards)
+    assert router.shards == 3
+    for name, values in WORLD:
+        assert router.insert(name, values).consistent
+    return router
+
+
+def _oracle():
+    engine = WeakInstanceEngine(example1_university(), read_cache=False)
+    state = engine.empty_state()
+    for name, values in WORLD:
+        outcome = engine.insert(state, name, values)
+        assert outcome.consistent
+        state = outcome.state
+    return engine, state
+
+
+def _rpcs(router):
+    return router.metrics.snapshot().get("shard.rpcs", 0)
+
+
+class TestSingleShardQueries:
+    def test_single_block_query_is_exactly_one_rpc(self):
+        router = _seeded_router()
+        engine, state = _oracle()
+        try:
+            # One target per block; each plan's relations live on a
+            # single shard, so each query must be a single RPC.
+            for target in (
+                frozenset("HRC"),
+                frozenset("CSG"),
+                frozenset("HSR"),
+            ):
+                before = _rpcs(router)
+                rows = router.query(target)
+                assert _rpcs(router) - before == 1
+                assert rows == engine.query(state, target)
+        finally:
+            router.close()
+
+    def test_repeated_query_is_served_by_the_worker_read_cache(self):
+        router = _seeded_router()
+        try:
+            target = frozenset("CSG")
+            first = router.query(target)
+            assert router.query(target) == first
+            snapshot = router.metrics_snapshot()
+            # R4's shard answered the repeat from its read cache.
+            assert snapshot[labeled("cache.read.hits", shard=1)] >= 1
+        finally:
+            router.close()
+
+
+class TestPartialFanout:
+    def test_cross_block_query_gathers_only_owning_shards(self):
+        router = _seeded_router()
+        engine, state = _oracle()
+        try:
+            # HR's plan touches R1, R2 (shard 2) and R5 (shard 0) —
+            # shard 1 must stay idle.
+            target = frozenset("HR")
+            idle = labeled("shard.rpcs", shard=1)
+            before = _rpcs(router)
+            idle_before = router.metrics.snapshot().get(idle, 0)
+            rows = router.query(target)
+            assert _rpcs(router) - before == 2
+            snapshot = router.metrics.snapshot()
+            assert snapshot.get(idle, 0) == idle_before
+            assert snapshot.get("router.gather_queries", 0) == 1
+            assert rows == engine.query(state, target)
+        finally:
+            router.close()
+
+    def test_no_plan_query_answers_empty_without_any_rpc(self):
+        router = _seeded_router()
+        engine, state = _oracle()
+        try:
+            target = frozenset({"Z"})  # outside the universe: no plan
+            before = _rpcs(router)
+            rows = router.query(target)
+            assert rows == set()
+            assert rows == engine.query(state, target)
+            assert _rpcs(router) - before == 0
+        finally:
+            router.close()
