@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench serve-bench shard-bench replica-bench read-bench bench-suite bench-compare trace-smoke
+.PHONY: test lint lint-changed bench serve-bench shard-bench replica-bench read-bench bench-suite bench-compare trace-smoke
 
 # Shard counts / rounds for the sharded serving benchmark; override for
 # a quick smoke: make shard-bench SHARD_COUNTS=1,2 SHARD_ROUNDS=2
@@ -13,9 +13,11 @@ SHARD_ROUNDS ?= 4
 test:
 	$(PY) -m pytest -x -q
 
-# Invariant linter (lock discipline, determinism, span hygiene,
-# resource safety) gated on the committed baseline, plus ruff when it
-# is installed (CI always has it; a plain checkout may not).
+# Invariant linter (lock/async/fork discipline, determinism, resource
+# safety, span hygiene, lock order, cache invalidation) over src/,
+# scripts/, benchmarks/ and examples/, gated on the committed
+# baseline; plus ruff when it is installed (CI always has it; a plain
+# checkout may not).
 lint:
 	$(PY) -m repro.cli lint --root . --baseline lint-baseline.json
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -23,6 +25,10 @@ lint:
 	else \
 		echo "ruff not installed; skipping style pass (CI runs it)"; \
 	fi
+
+# Fast pre-commit loop: lint only the files touched since HEAD.
+lint-changed:
+	$(PY) -m repro.cli lint --root . --changed
 
 # Headline optimized-vs-naive scenarios; writes BENCH_perf.json.
 bench:

@@ -110,15 +110,14 @@ def main():
         print("appended a torn half-record to the active WAL segment")
 
         banner("recover")
-        recovered = DurableStore.open(store_dir)
-        print(recovered.recovery.describe())
-        print(f"tuples after recovery: {recovered.state.total_tuples()}")
-        assert recovered.state.total_tuples() == 30
-        assert {"C": "CS0", "S": "student0", "G": "F"} not in (
-            recovered.state["R4"]
-        )
-        print("the rejected tuple did not reappear — diagnostics only")
-        recovered.close()
+        with DurableStore.open(store_dir) as recovered:
+            print(recovered.recovery.describe())
+            print(f"tuples after recovery: {recovered.state.total_tuples()}")
+            assert recovered.state.total_tuples() == 30
+            assert {"C": "CS0", "S": "student0", "G": "F"} not in (
+                recovered.state["R4"]
+            )
+            print("the rejected tuple did not reappear — diagnostics only")
     finally:
         shutil.rmtree(root, ignore_errors=True)
 

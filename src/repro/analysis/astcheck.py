@@ -30,6 +30,13 @@ GUARDED_BY = re.compile(
     r"(?:\s*\(\s*(?P<mode>writes)\s*\))?"
 )
 
+#: ``# allow-<marker>: <reason>`` — the reviewed-and-accepted escape
+#: hatch of the concurrency rule packs.  Each pack documents its own
+#: marker (``allow-blocking``, ``allow-fork``, ``allow-lock-order``); a
+#: reason is expected, and exemptions live next to the code they excuse
+#: rather than in the baseline file.
+ALLOW = re.compile(r"#\s*allow-(?P<marker>[a-z][a-z-]*)(?:\s*:\s*(?P<reason>.*))?")
+
 
 @dataclass(frozen=True)
 class GuardAnnotation:
@@ -90,6 +97,29 @@ class SourceFile:
                     mode="writes" if match.group("mode") else "all",
                     line=candidate,
                 )
+        return None
+
+    def allowance(self, line: int, marker: str) -> Optional[str]:
+        """The reason of an ``# allow-<marker>`` comment on ``line`` or
+        on a comment-only line directly above, else ``None``.
+
+        Same placement rules as :meth:`guard_annotation`: a trailing
+        comment on the previous *statement* does not leak downward.
+        """
+        lines = self.text.splitlines()
+        for candidate in (line, line - 1):
+            comment = self.comments.get(candidate)
+            if comment is None:
+                continue
+            if candidate == line - 1 and (
+                candidate < 1
+                or candidate > len(lines)
+                or not lines[candidate - 1].lstrip().startswith("#")
+            ):
+                continue
+            match = ALLOW.search(comment)
+            if match and match.group("marker") == marker:
+                return match.group("reason") or ""
         return None
 
 
@@ -186,6 +216,171 @@ def with_lock_attrs(node: ast.With) -> list[str]:
         if attr is not None:
             locks.append(attr)
     return locks
+
+
+#: Substrings that mark an attribute or variable as a mutual-exclusion
+#: primitive.  The repo's own locks are all ``*lock*``-named
+#: (``_lock``, ``_write_lock``, ``_locks``); ``mutex``/``sem`` cover
+#: the conventional synonyms.  Name-based, so a rule can tell
+#: ``with self._write_lock:`` apart from ``with tracing(...):`` without
+#: type inference.
+LOCKISH = ("lock", "mutex", "sem")
+
+#: Constructors of synchronization / worker-pool objects whose *module
+#: level* instances are dangerous to inherit across ``fork``.
+CONCURRENCY_CONSTRUCTORS = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "ParallelExecutor",
+    }
+)
+
+
+def is_lockish(name: Optional[str]) -> bool:
+    """Does ``name`` look like a mutual-exclusion primitive?"""
+    if not name:
+        return False
+    lowered = name.lower()
+    return any(token in lowered for token in LOCKISH)
+
+
+def lock_attr_of(expr: ast.expr) -> Optional[str]:
+    """The lock attribute named by an acquisition expression.
+
+    ``self.X`` and ``self.X[i]`` (one lock of a per-shard list) both
+    resolve to ``X``; anything else — calls, plain names, chained
+    attributes — yields ``None``, keeping the lexical lock analyses
+    conservative.
+    """
+    node = expr
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return self_attribute(node)
+
+
+def module_functions(
+    tree: ast.Module,
+) -> dict[str, Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    """``name → node`` for the module-level function definitions."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def module_concurrency_globals(tree: ast.Module) -> dict[str, str]:
+    """Module-level names bound to locks / pools: ``name → constructor``.
+
+    Only simple ``NAME = Lock()`` / ``POOL = ThreadPoolExecutor(...)``
+    bindings in the module body count — that is the only shape whose
+    fork-inheritance hazard is statically certain.
+    """
+    globals_: dict[str, str] = {}
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if not isinstance(value, ast.Call):
+            continue
+        constructor = call_name(value)
+        if constructor not in CONCURRENCY_CONSTRUCTORS:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                globals_[target.id] = constructor
+    return globals_
+
+
+def _lock_method_attrs(nodes: Iterator[ast.AST], method: str) -> set[str]:
+    """Lock attributes ``X`` with a ``self.X...<method>()`` call in
+    ``nodes`` (subscripted per-shard locks ``self.X[i]`` included)."""
+    attrs: set[str] = set()
+    for node in nodes:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+        ):
+            attr = lock_attr_of(node.func.value)
+            if attr is not None:
+                attrs.add(attr)
+    return attrs
+
+
+def try_finally_locks(try_node: ast.Try) -> set[str]:
+    """Lock attributes the manual idiom holds across ``try_node.body``.
+
+    Recognised shape: ``self.X...release()`` in the ``finally`` block,
+    paired with ``self.X...acquire()`` either in the statements
+    directly preceding the ``try`` or inside its body (the fan-out
+    pattern acquires inside the ``try`` so a failure mid-loop releases
+    only what was taken).  The held region is approximated as the whole
+    ``try`` body — an over-approximation that can only suppress
+    discipline findings, never invent them.
+    """
+    released = _lock_method_attrs(
+        (n for stmt in try_node.finalbody for n in ast.walk(stmt)), "release"
+    )
+    if not released:
+        return set()
+    acquired = _lock_method_attrs(
+        (n for stmt in try_node.body for n in ast.walk(stmt)), "acquire"
+    )
+    parent = getattr(try_node, "parent", None)
+    if parent is not None:
+        for _, value in ast.iter_fields(parent):
+            if isinstance(value, list) and try_node in value:
+                preceding = value[: value.index(try_node)]
+                acquired |= _lock_method_attrs(
+                    (n for stmt in preceding for n in ast.walk(stmt)),
+                    "acquire",
+                )
+                break
+    return released & acquired
+
+
+def held_lock_attrs(
+    node: ast.AST, stop_class: Optional[ast.ClassDef] = None
+) -> set[str]:
+    """Every lock attribute lexically held at ``node``: enclosing
+    ``with self.X:`` statements plus the acquire/``finally``-release
+    idiom (:func:`try_finally_locks`).  Stops at ``stop_class`` when
+    given (the discipline rule's per-class scope)."""
+    held: set[str] = set()
+    child: ast.AST = node
+    for ancestor in parents(node):
+        if isinstance(ancestor, ast.With):
+            held.update(with_lock_attrs(ancestor))
+        elif isinstance(ancestor, ast.Try) and child in ancestor.body:
+            held.update(try_finally_locks(ancestor))
+        elif isinstance(ancestor, ast.ClassDef) and ancestor is stop_class:
+            break
+        child = ancestor
+    return held
+
+
+def direct_callees(
+    function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> set[str]:
+    """Plain names ``function`` calls directly (``helper(x)``) — the
+    one-level call graph the fork-safety rule follows.  Attribute calls
+    (``module.helper``) are out of reach of a per-file analysis and are
+    deliberately ignored."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            names.add(node.func.id)
+    return names
 
 
 #: Calls that statically return a set.

@@ -18,6 +18,42 @@ from typing import Iterable, Sequence
 #: text reporter both rely on this ordering.
 SEVERITIES = ("note", "warning", "error")
 
+#: Every rule pack the linter ships: ``rule id → one-line summary``.
+#: The CLI builds its ``--rules`` help from this table and the linter
+#: asserts its registry stays in sync with it, so a new pack announces
+#: itself here or fails loudly.
+RULE_CODES: dict[str, str] = {
+    "lock-discipline": (
+        "guarded-by annotated fields are only touched under their lock"
+    ),
+    "determinism": (
+        "unordered (set / directory) iteration never shapes an ordered "
+        "output"
+    ),
+    "resource-safety": (
+        "file handles and pools are closed on every path"
+    ),
+    "span-hygiene": (
+        "entry points open the spans the catalogue documents"
+    ),
+    "async-discipline": (
+        "async bodies never block the event loop or await under a sync "
+        "lock"
+    ),
+    "fork-safety": (
+        "fork targets touch no inherited locks, pools or event loops; "
+        "forks precede threads"
+    ),
+    "lock-order": (
+        "the cross-file lock-acquisition graph is acyclic (no "
+        "potential deadlock)"
+    ),
+    "cache-invalidation": (
+        "every state-mutation site stamps the read cache's block "
+        "versions"
+    ),
+}
+
 
 @dataclass(frozen=True, order=True)
 class Finding:

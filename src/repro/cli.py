@@ -813,6 +813,68 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Directories `repro lint` sweeps by default (tests stay out: fixture
+#: files seed deliberate violations).
+LINT_DEFAULT_DIRS = ("src", "scripts", "benchmarks", "examples")
+
+#: The configured project rules are src-specific: their maps name
+#: ``src/``-relative entry points, so firing them on ``scripts/`` or
+#: ``benchmarks/`` would only ever produce noise.
+LINT_RULE_PATHS = {
+    "span-hygiene": ("src/",),
+    "cache-invalidation": ("src/",),
+}
+
+
+def _changed_python_files(root):
+    """Root-relative ``.py`` files touched since HEAD (tracked diffs
+    plus untracked files), for ``repro lint --changed``.  Confined to
+    the default lint directories so a changed-scoped run agrees with
+    the full sweep on every file it visits (``tests/`` fixtures seed
+    deliberate violations and must stay out of both)."""
+    import subprocess
+
+    names: set = set()
+    for command in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        result = subprocess.run(
+            command, cwd=root, capture_output=True, text=True, check=True
+        )
+        names.update(line.strip() for line in result.stdout.splitlines())
+    paths = []
+    for name in sorted(names):
+        if not name.split("/", 1)[0] in LINT_DEFAULT_DIRS:
+            continue
+        path = root / name
+        if path.suffix == ".py" and path.is_file():
+            paths.append(path)
+    return paths
+
+
+def _restrict_to_displays(config, displays):
+    """Drop config entries whose file is outside the scanned set, so a
+    ``--changed`` run doesn't report every unscanned entry point as
+    vanished.  Works for both SpanConfig and InvalidationConfig."""
+    import dataclasses
+
+    def keep(key: str) -> bool:
+        # Config keys carry module suffixes ("core/engine.py"), not
+        # full root-relative paths.
+        suffix = key.split("::", 1)[0]
+        return any(display.endswith(suffix) for display in displays)
+
+    changes = {
+        "required": {k: v for k, v in config.required.items() if keep(k)},
+        "exempt": {k: v for k, v in config.exempt.items() if keep(k)},
+    }
+    if hasattr(config, "surface"):
+        changes["surface"] = tuple(s for s in config.surface if keep(s))
+        changes["catalogue"] = None  # partial scans can't prove span orphans
+    return dataclasses.replace(config, **changes)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -820,21 +882,66 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         ALL_RULES,
         default_config,
+        default_invalidation_config,
         lint_paths,
         render_json,
         render_text,
     )
 
     root = Path(args.root)
-    paths = [Path(p) for p in args.paths] if args.paths else [root / "src"]
     rules = (
         tuple(rule.strip() for rule in args.rules.split(",") if rule.strip())
         if args.rules
         else ALL_RULES
     )
+    span_config = default_config(root)
+    invalidation_config = default_invalidation_config()
+
+    if args.changed:
+        if args.paths:
+            print(
+                "error: --changed and explicit paths are mutually "
+                "exclusive",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            paths = _changed_python_files(root)
+        except Exception as error:  # git missing or not a checkout
+            print(f"error: --changed needs git ({error})", file=sys.stderr)
+            return 1
+        if not paths:
+            print("no changed python files to lint")
+            return 0
+        displays = set()
+        for path in paths:
+            try:
+                displays.add(
+                    path.resolve().relative_to(root.resolve()).as_posix()
+                )
+            except ValueError:
+                displays.add(path.as_posix())
+        span_config = _restrict_to_displays(span_config, displays)
+        invalidation_config = _restrict_to_displays(
+            invalidation_config, displays
+        )
+    elif args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [
+            root / name
+            for name in LINT_DEFAULT_DIRS
+            if (root / name).is_dir()
+        ]
+
     try:
         findings = lint_paths(
-            paths, root=root, rules=rules, span_config=default_config(root)
+            paths,
+            root=root,
+            rules=rules,
+            span_config=span_config,
+            invalidation_config=invalidation_config,
+            rule_paths=LINT_RULE_PATHS,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1190,15 +1297,26 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--out", help="write the scheme here")
     synthesize.set_defaults(func=_cmd_synthesize)
 
+    from repro.analysis import RULE_CODES
+
     lint = commands.add_parser(
         "lint",
-        help="run the invariant linter (lock discipline, determinism, "
-        "span hygiene, resource safety)",
+        help="run the invariant linter (lock/async/fork discipline, "
+        "determinism, resource safety, span hygiene, lock order, "
+        "cache invalidation)",
     )
     lint.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: <root>/src)",
+        help="files or directories to lint (default: the src/, "
+        "scripts/, benchmarks/ and examples/ trees under <root>)",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only python files touched since HEAD (git diff plus "
+        "untracked); project-rule maps are narrowed to the scanned "
+        "files so partial runs stay noise-free",
     )
     lint.add_argument(
         "--root",
@@ -1222,8 +1340,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--rules",
-        help="comma-separated subset of rules to run "
-        "(default: all four packs)",
+        help="comma-separated subset of rules to run (default: all). "
+        + " ".join(
+            f"{rule}: {summary}." for rule, summary in RULE_CODES.items()
+        ),
     )
     lint.set_defaults(func=_cmd_lint)
 

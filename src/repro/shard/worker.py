@@ -135,11 +135,16 @@ def apply_slice(
             name: merged.get(name, state[name])
             for name in engine.scheme.names
         }
-        return (
-            DatabaseState(engine.scheme, relations),
-            None,
-            len(operations),
-        )
+        next_state = DatabaseState(engine.scheme, relations)
+        # Stamp the written blocks: lazy identity-keyed versioning keeps
+        # an unstamped state sound, but the bump keeps the first
+        # post-write probe cheap and the writes_observed metric honest
+        # (the serial path below inherits its stamps from
+        # engine.insert/delete).
+        if engine.read_cache is not None:
+            for block_index in grouped:
+                engine.read_cache.note_write(next_state, block_index)
+        return next_state, None, len(operations)
     # Non-decomposable shard scheme: the serial loop, still at global
     # indices.  Correct for any scheme; only the amortization is lost.
     current = state

@@ -1,0 +1,68 @@
+"""Seeded async-discipline violations, with clean counterexamples.
+
+Loaded by path in the linter tests — never imported or executed.
+"""
+
+import asyncio
+import os
+import subprocess
+import threading
+import time
+
+lock = threading.Lock()
+
+
+class Frontend:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._aio_lock = asyncio.Lock()
+
+    async def bad_sleep(self) -> None:
+        time.sleep(0.1)  # VIOLATION: blocking sleep on the loop
+
+    async def good_sleep(self) -> None:
+        await asyncio.sleep(0.1)  # clean: awaited async sleep
+
+    async def bad_open(self, path) -> str:
+        with open(path) as handle:  # VIOLATION: sync file I/O on the loop
+            return handle.read()
+
+    async def bad_fsync(self, handle) -> None:
+        os.fsync(handle.fileno())  # VIOLATION: fsync stalls the loop
+
+    async def bad_subprocess(self) -> None:
+        subprocess.run(["true"])  # VIOLATION: spawn-and-wait on the loop
+
+    async def bad_acquire(self) -> None:
+        self._lock.acquire()  # VIOLATION: sync lock acquire on the loop
+
+    async def good_async_acquire(self) -> None:
+        await self._aio_lock.acquire()  # clean: awaited asyncio lock
+
+    async def bad_with_lock(self) -> None:
+        with self._lock:  # VIOLATION: sync lock in an async body
+            self.counter = 0
+
+    async def bad_await_under_lock(self) -> None:
+        with lock:  # VIOLATION: sync lock in an async body
+            await asyncio.sleep(0)  # VIOLATION: await holding a sync lock
+
+    async def good_executor(self, loop, path) -> bytes:
+        # clean: the blocking call is inside the executor route
+        return await loop.run_in_executor(None, lambda: open(path).close())
+
+    async def good_thunk(self, path) -> str:
+        def read() -> str:
+            with open(path) as handle:  # clean: sync thunk, not loop code
+                return handle.read()
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, read)
+
+    async def good_allowed(self) -> None:
+        time.sleep(0)  # allow-blocking: fixture for the reviewed escape hatch
+
+    def sync_method(self, path) -> None:
+        time.sleep(0.1)  # clean: not an async body
+        with self._lock:
+            self.counter = 1

@@ -1,0 +1,55 @@
+"""Seeded fork-safety violations, with clean counterexamples.
+
+Loaded by path in the linter tests — never imported or executed.
+"""
+
+import asyncio
+import multiprocessing
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+POOL = ThreadPoolExecutor(max_workers=2)
+REGISTRY_LOCK = threading.Lock()
+
+
+def hazardous_target(conn) -> None:
+    with REGISTRY_LOCK:  # VIOLATION: module-level lock inherited mid-state
+        pass
+    POOL.submit(print, "inherited")  # VIOLATION: inherited executor pool
+
+
+def helper() -> None:
+    loop = asyncio.get_event_loop()  # VIOLATION: loop inherited across fork
+    loop.close()
+
+
+def chained_target(conn) -> None:
+    helper()  # the one-level call graph reaches helper()
+
+
+def clean_target(conn) -> None:
+    local_lock = threading.Lock()  # clean: built after the fork
+    with local_lock:
+        pass
+
+
+def spawn_all() -> None:
+    context = multiprocessing.get_context("fork")
+    context.Process(target=hazardous_target, args=(None,)).start()
+    context.Process(target=chained_target, args=(None,)).start()
+    context.Process(target=clean_target, args=(None,)).start()  # clean
+
+
+def fork_after_thread() -> None:
+    context = multiprocessing.get_context("fork")
+    worker = threading.Thread(target=print)
+    worker.start()
+    context.Process(target=clean_target)  # VIOLATION: fork after a thread
+
+
+def fork_before_thread() -> None:
+    context = multiprocessing.get_context("fork")
+    process = context.Process(target=clean_target)  # clean: fork first
+    process.start()
+    worker = threading.Thread(target=print)
+    worker.start()

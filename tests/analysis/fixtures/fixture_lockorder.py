@@ -1,0 +1,103 @@
+"""Seeded lock-order cycles, with a clean hierarchy.
+
+Loaded by path in the linter tests — never imported or executed.
+The ``CrossFile`` half-cycle pairs with ``fixture_lockorder_peer.py``
+to exercise cross-file graph accumulation.
+"""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._accounts_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+
+    def debit(self) -> None:
+        with self._accounts_lock:
+            with self._journal_lock:  # VIOLATION: opposite of credit()
+                pass
+
+    def credit(self) -> None:
+        with self._journal_lock:
+            with self._accounts_lock:  # the other arm of the cycle
+                pass
+
+
+class Hierarchy:
+    def __init__(self) -> None:
+        self._outer_lock = threading.Lock()
+        self._inner_lock = threading.Lock()
+
+    def first(self) -> None:
+        with self._outer_lock:
+            with self._inner_lock:  # clean: consistent global order
+                pass
+
+    def second(self) -> None:
+        with self._outer_lock, self._inner_lock:  # clean: same order
+            pass
+
+
+class ManualCycle:
+    def __init__(self) -> None:
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def manual_first(self) -> None:
+        self._a_lock.acquire()
+        try:
+            with self._b_lock:  # a before b, via the manual idiom
+                pass
+        finally:
+            self._a_lock.release()
+
+    def manual_second(self) -> None:
+        with self._b_lock:
+            self._a_lock.acquire()  # VIOLATION: b before a closes a cycle
+            try:
+                pass
+            finally:
+                self._a_lock.release()
+
+
+class GuardedBridge:
+    def __init__(self) -> None:
+        self._x_lock = threading.Lock()
+        self._y_lock = threading.Lock()
+        self._table: dict = {}  # guarded-by: _x_lock
+
+    def _flush(self) -> None:
+        # Private helper: callers hold _x_lock (it touches the guarded
+        # field), so acquiring _y_lock inside orders x before y.
+        with self._y_lock:
+            self._table.clear()
+
+    def reorder(self) -> None:
+        with self._y_lock:
+            with self._x_lock:  # VIOLATION: y before x closes the cycle
+                pass
+
+
+class Allowed:
+    def __init__(self) -> None:
+        self._p_lock = threading.Lock()
+        self._q_lock = threading.Lock()
+
+    def one_way(self) -> None:
+        with self._p_lock:
+            with self._q_lock:  # clean: the reverse edge is allowed away
+                pass
+
+    def other_way(self) -> None:
+        with self._q_lock:
+            # allow-lock-order: fixture for the reviewed escape hatch
+            with self._p_lock:
+                pass
+
+
+class CrossFile:
+    def backward(self) -> None:
+        with self._right_lock:
+            with self._left_lock:  # VIOLATION: cycle spans two files
+                pass

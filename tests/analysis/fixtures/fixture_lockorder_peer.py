@@ -1,0 +1,20 @@
+"""The other half of the cross-file lock-order cycle.
+
+Loaded by path in the linter tests — never imported or executed.
+``CrossFile.forward`` here orders left before right; ``backward`` in
+``fixture_lockorder.py`` orders right before left — the cycle only
+exists when the graph accumulates across both files.
+"""
+
+import threading
+
+
+class CrossFile:
+    def __init__(self) -> None:
+        self._left_lock = threading.Lock()
+        self._right_lock = threading.Lock()
+
+    def forward(self) -> None:
+        with self._left_lock:
+            with self._right_lock:  # clean alone; cyclic with its peer
+                pass

@@ -38,3 +38,32 @@ class Account:
 
     def _rebalance(self) -> None:
         self._balance -= 1  # clean: private helper, reached under lock
+
+    def drain(self) -> int:
+        self._lock.acquire()
+        try:
+            taken = self._balance  # clean: acquire/finally idiom
+            self._balance = 0  # clean: same idiom, store side
+            return taken
+        finally:
+            self._lock.release()
+
+    def late_acquire(self) -> None:
+        try:
+            self._lock.acquire()
+            self._balance += 1  # clean: acquired inside the try body
+        finally:
+            self._lock.release()
+
+    def acquire_without_release(self) -> None:
+        self._lock.acquire()
+        try:
+            self._balance = 2  # VIOLATION: finally releases nothing
+        finally:
+            self._audit = []  # VIOLATION: and this write is bare too
+
+    def release_in_finally_only(self) -> None:
+        try:
+            self._balance = 3  # VIOLATION: release without an acquire
+        finally:
+            self._lock.release()

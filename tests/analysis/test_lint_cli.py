@@ -1,6 +1,7 @@
 """The ``repro lint`` front door, including the repo self-check."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.cli import main
@@ -11,12 +12,12 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 class TestSelfCheck:
     def test_repo_is_clean_against_committed_baseline(self, capsys):
-        """The gate CI runs: the linter over ``src/`` must be clean
-        modulo the committed baseline."""
+        """The gate CI runs: the linter over the default sweep (src/,
+        scripts/, benchmarks/, examples/) must be clean modulo the
+        committed baseline."""
         code = main(
             [
                 "lint",
-                str(REPO_ROOT / "src" / "repro"),
                 "--root",
                 str(REPO_ROOT),
                 "--baseline",
@@ -25,6 +26,15 @@ class TestSelfCheck:
         )
         output = capsys.readouterr().out
         assert code == 0, f"repro lint found new violations:\n{output}"
+
+    def test_committed_baseline_is_empty(self):
+        """The baseline is a ratchet for emergencies, not a dumping
+        ground: the committed file must stay empty (every real finding
+        gets fixed or per-line allowed, never baselined away)."""
+        payload = json.loads(
+            (REPO_ROOT / "lint-baseline.json").read_text(encoding="utf-8")
+        )
+        assert payload["findings"] == {}
 
     def test_span_catalogue_and_code_agree(self, capsys):
         # Run only the span rule: any drift between docs/ARCHITECTURE.md
@@ -114,7 +124,7 @@ class TestFixtureGate:
         code = main(args + ["--baseline", str(baseline_path)])
         output = capsys.readouterr().out
         assert code == 1
-        # Exactly the new finding surfaces; the four baselined ones
+        # Exactly the new finding surfaces; the seven baselined ones
         # stay suppressed.
         assert output.count("error[lock-discipline]") == 1
         assert "sneak" not in output  # message names the field, not the method
@@ -138,6 +148,56 @@ class TestFixtureGate:
         assert "not found" in captured.err
         assert "error[lock-discipline]" in captured.out
 
+    def test_new_packs_gate_their_fixtures(self, capsys):
+        expected = {
+            "fixture_asyncio.py": ("async-discipline", 8),
+            "fixture_fork.py": ("fork-safety", 4),
+            "fixture_lockorder.py": ("lock-order", 3),
+        }
+        for name, (rule, count) in expected.items():
+            code = main(
+                [
+                    "lint",
+                    str(FIXTURES / name),
+                    "--root",
+                    str(REPO_ROOT),
+                    "--rules",
+                    rule,
+                ]
+            )
+            assert code == 1, name
+            output = capsys.readouterr().out
+            assert output.count(f"error[{rule}]") == count, name
+
+    def test_new_pack_baseline_round_trip(self, capsys, tmp_path):
+        """Baselines written for the new packs suppress exactly their
+        findings on the next run (fingerprint round-trip)."""
+        for name in ("fixture_asyncio.py", "fixture_fork.py"):
+            target = tmp_path / name
+            target.write_text(
+                (FIXTURES / name).read_text(encoding="utf-8"),
+                encoding="utf-8",
+            )
+        baseline_path = tmp_path / "baseline.json"
+        args = [
+            "lint",
+            str(tmp_path),
+            "--root",
+            str(tmp_path),
+            "--rules",
+            "async-discipline,fork-safety",
+        ]
+        code = main(
+            args + ["--write-baseline", "--baseline", str(baseline_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(args + ["--baseline", str(baseline_path)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "12 baselined finding(s) suppressed" in output
+
     def test_unknown_rule_rejected(self, capsys):
         code = main(
             [
@@ -151,3 +211,110 @@ class TestFixtureGate:
         )
         assert code == 1
         assert "unknown rule" in capsys.readouterr().err
+
+
+def _git(repo: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.name=lint-test", "-c",
+         "user.email=lint@test.invalid", *argv],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestChanged:
+    def _seed_repo(self, tmp_path: Path) -> Path:
+        """A tiny git repo: one committed-clean file later made dirty,
+        one committed file with a pre-existing violation left alone,
+        and one brand-new untracked file with a violation."""
+        repo = tmp_path / "repo"
+        (repo / "src").mkdir(parents=True)
+        (repo / "src" / "touched.py").write_text(
+            "async def handler():\n    return 1\n", encoding="utf-8"
+        )
+        (repo / "src" / "stable.py").write_text(
+            "import time\n\n\n"
+            "async def slow():\n    time.sleep(1)\n",
+            encoding="utf-8",
+        )
+        _git(repo, "init", "--quiet")
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "--quiet", "-m", "seed")
+
+        # Dirty one tracked file, add one untracked file.
+        (repo / "src" / "touched.py").write_text(
+            "import time\n\n\n"
+            "async def handler():\n    time.sleep(1)\n",
+            encoding="utf-8",
+        )
+        (repo / "src" / "fresh.py").write_text(
+            "import threading\n\n"
+            "LOCK = threading.Lock()\n\n\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0  # guarded-by: _lock\n\n"
+            "    def bump(self):\n"
+            "        self._n += 1\n",
+            encoding="utf-8",
+        )
+        return repo
+
+    def test_changed_matches_full_run_on_touched_files(
+        self, capsys, tmp_path
+    ):
+        repo = self._seed_repo(tmp_path)
+
+        main(["lint", "--root", str(repo), "--changed", "--json"])
+        changed = json.loads(capsys.readouterr().out)
+
+        main(["lint", "--root", str(repo), "--json"])
+        full = json.loads(capsys.readouterr().out)
+
+        touched = {"src/touched.py", "src/fresh.py"}
+        full_on_touched = {
+            f["fingerprint"]
+            for f in full["findings"]
+            if f["path"] in touched
+        }
+        changed_prints = {f["fingerprint"] for f in changed["findings"]}
+        assert changed_prints == full_on_touched
+        assert changed["count"] == 2  # sleep in touched.py, lock in fresh.py
+        # The pre-existing violation in the untouched file stays out of
+        # the changed run but is seen by the full sweep.
+        assert any(f["path"] == "src/stable.py" for f in full["findings"])
+        assert not any(
+            f["path"] == "src/stable.py" for f in changed["findings"]
+        )
+
+    def test_changed_with_no_changes_is_a_no_op(self, capsys, tmp_path):
+        repo = self._seed_repo(tmp_path)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "--quiet", "-m", "absorb")
+        code = main(["lint", "--root", str(repo), "--changed"])
+        assert code == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_changed_rejects_explicit_paths(self, capsys, tmp_path):
+        repo = self._seed_repo(tmp_path)
+        code = main(
+            ["lint", str(repo / "src"), "--root", str(repo), "--changed"]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_changed_ignores_files_outside_lint_dirs(
+        self, capsys, tmp_path
+    ):
+        repo = self._seed_repo(tmp_path)
+        _git(repo, "add", "-A")
+        _git(repo, "commit", "--quiet", "-m", "absorb")
+        (repo / "tests").mkdir()
+        (repo / "tests" / "fixture_bad.py").write_text(
+            "import time\n\n\nasync def nap():\n    time.sleep(1)\n",
+            encoding="utf-8",
+        )
+        code = main(["lint", "--root", str(repo), "--changed"])
+        assert code == 0
+        assert "no changed python files" in capsys.readouterr().out

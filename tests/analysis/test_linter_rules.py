@@ -5,7 +5,17 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.astcheck import SourceFile
-from repro.analysis import rules_determinism, rules_locks, rules_resources
+from repro.analysis import (
+    rules_asyncio,
+    rules_determinism,
+    rules_fork,
+    rules_locks,
+    rules_resources,
+)
+from repro.analysis.rules_invalidation import (
+    InvalidationConfig,
+    check_project as check_invalidation,
+)
 from repro.analysis.rules_spans import SpanConfig, check_project, load_catalogue
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -19,11 +29,19 @@ def by_line(findings):
     return sorted((f.line, f.severity) for f in findings)
 
 
+def clean_lines_of(source: SourceFile) -> set:
+    return {
+        index + 1
+        for index, line in enumerate(source.text.splitlines())
+        if "# clean" in line
+    }
+
+
 class TestLockDiscipline:
     def test_expected_findings(self):
         source = load("fixture_locks.py")
         findings = rules_locks.check(source)
-        assert len(findings) == 4
+        assert len(findings) == 7
         assert all(f.rule == "lock-discipline" for f in findings)
         assert all(f.severity == "error" for f in findings)
         messages = "\n".join(f.message for f in findings)
@@ -31,6 +49,27 @@ class TestLockDiscipline:
         assert "write to Account._balance" in messages
         assert "write to Account._pending" in messages
         assert "write to Account._snapshot" in messages
+        assert "write to Account._audit" in messages
+
+    def test_acquire_finally_idiom_counts_as_held(self):
+        # `drain` (acquire before the try) and `late_acquire` (acquire
+        # inside the try body) are both clean; the broken pairings are
+        # the only acquire/release lines flagged.
+        source = load("fixture_locks.py")
+        flagged = {f.line for f in rules_locks.check(source)}
+        text = source.text.splitlines()
+        assert not flagged & {
+            index + 1
+            for index, line in enumerate(text)
+            if "idiom" in line or "acquired inside" in line
+        }
+        assert {
+            index + 1
+            for index, line in enumerate(text)
+            if "VIOLATION: finally releases nothing" in line
+            or "VIOLATION: and this write is bare too" in line
+            or "VIOLATION: release without an acquire" in line
+        } <= flagged
 
     def test_clean_accesses_not_flagged(self):
         source = load("fixture_locks.py")
@@ -164,6 +203,242 @@ class TestSpanHygiene:
             'span "gadget.insert" is not documented' in f.message
             for f in errors
         )
+
+
+class TestAsyncDiscipline:
+    def test_expected_findings(self):
+        findings = rules_asyncio.check(load("fixture_asyncio.py"))
+        assert len(findings) == 8
+        assert all(f.rule == "async-discipline" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert "time.sleep(...) inside async function bad_sleep" in messages
+        assert "open(...) inside async function bad_open" in messages
+        assert "os.fsync(...)" in messages
+        assert "subprocess.run(...)" in messages
+        assert "self._lock.acquire(...)" in messages
+        assert "sync `with self._lock:`" in messages
+        assert "await while holding sync lock lock" in messages
+
+    def test_clean_constructs_not_flagged(self):
+        source = load("fixture_asyncio.py")
+        flagged = {f.line for f in rules_asyncio.check(source)}
+        assert not flagged & clean_lines_of(source)
+
+    def test_allow_blocking_marker_suppresses(self):
+        source = load("fixture_asyncio.py")
+        messages = "\n".join(
+            f.message for f in rules_asyncio.check(source)
+        )
+        assert "good_allowed" not in messages
+
+    def test_executor_routes_and_sync_defs_excluded(self):
+        source = load("fixture_asyncio.py")
+        messages = "\n".join(
+            f.message for f in rules_asyncio.check(source)
+        )
+        assert "good_executor" not in messages
+        assert "good_thunk" not in messages
+        assert "sync_method" not in messages
+
+
+class TestForkSafety:
+    def test_expected_findings(self):
+        findings = rules_fork.check(load("fixture_fork.py"))
+        assert len(findings) == 4
+        assert all(f.rule == "fork-safety" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert "module-level Lock `REGISTRY_LOCK`" in messages
+        assert "module-level ThreadPoolExecutor `POOL`" in messages
+        assert "reached from fork target chained_target" in messages
+        assert "get_event_loop()" in messages
+        assert "Process spawned after Thread(...)" in messages
+
+    def test_clean_targets_not_flagged(self):
+        source = load("fixture_fork.py")
+        flagged = {f.line for f in rules_fork.check(source)}
+        assert not flagged & clean_lines_of(source)
+
+    def test_fork_before_thread_is_clean(self):
+        messages = "\n".join(
+            f.message for f in rules_fork.check(load("fixture_fork.py"))
+        )
+        assert "fork_before_thread" not in messages
+
+
+class TestLockOrder:
+    def test_single_file_cycles(self):
+        findings = rules_locks.check_order([load("fixture_lockorder.py")])
+        assert len(findings) == 3
+        assert all(f.rule == "lock-order" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert (
+            "Transfer._accounts_lock → Transfer._journal_lock" in messages
+        )
+        assert "ManualCycle._a_lock → ManualCycle._b_lock" in messages
+        assert "GuardedBridge._x_lock → GuardedBridge._y_lock" in messages
+        # The consistent hierarchy and the allowed reverse edge stay out.
+        assert "Hierarchy" not in messages
+        assert "Allowed" not in messages
+
+    def test_cross_file_cycle_needs_both_files(self):
+        main_only = rules_locks.check_order([load("fixture_lockorder.py")])
+        assert not any("CrossFile" in f.message for f in main_only)
+        both = rules_locks.check_order(
+            [load("fixture_lockorder.py"), load("fixture_lockorder_peer.py")]
+        )
+        assert len(both) == 4
+        cross = [f for f in both if "CrossFile" in f.message]
+        assert len(cross) == 1
+        # The message names both files: one per edge of the cycle.
+        assert "fixture_lockorder.py" in cross[0].message
+        assert "fixture_lockorder_peer.py" in cross[0].message
+
+    def test_cycle_message_spells_out_the_path(self):
+        findings = rules_locks.check_order([load("fixture_lockorder.py")])
+        for finding in findings:
+            assert "lock-order cycle" in finding.message
+            assert "deadlock" in finding.message
+            assert "→" in finding.message
+
+
+INVALIDATION_CONFIG = InvalidationConfig(
+    required={
+        "fixture_invalidation.py::MiniEngine.insert": ("_note_write",),
+        "fixture_invalidation.py::MiniEngine.delete": ("_note_write",),
+        "fixture_invalidation.py::MiniEngine.batch": ("insert",),
+        "fixture_invalidation.py::replay_records": ("insert", "delete"),
+    },
+    exempt={
+        "fixture_invalidation.py::MiniEngine.rollback": "no state produced"
+    },
+)
+
+
+class TestCacheInvalidation:
+    def test_expected_findings(self):
+        findings = check_invalidation(
+            [load("fixture_invalidation.py")], INVALIDATION_CONFIG
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "cache-invalidation"
+        assert finding.severity == "error"
+        assert "MiniEngine.delete never stamps the read cache" in (
+            finding.message
+        )
+
+    def test_delegation_and_exemption_hold(self):
+        findings = check_invalidation(
+            [load("fixture_invalidation.py")], INVALIDATION_CONFIG
+        )
+        messages = "\n".join(f.message for f in findings)
+        assert "batch" not in messages  # delegates to insert
+        assert "rollback" not in messages  # exempt
+        assert "replay_records" not in messages  # applies via engine
+
+    def test_vanished_sites_warn(self):
+        import dataclasses
+
+        config = dataclasses.replace(
+            INVALIDATION_CONFIG,
+            required={
+                **INVALIDATION_CONFIG.required,
+                "fixture_invalidation.py::vanished": ("_note_write",),
+            },
+            exempt={
+                **INVALIDATION_CONFIG.exempt,
+                "fixture_invalidation.py::gone": "stale entry",
+            },
+        )
+        findings = check_invalidation(
+            [load("fixture_invalidation.py")], config
+        )
+        warnings = [f for f in findings if f.severity == "warning"]
+        messages = "\n".join(f.message for f in warnings)
+        assert len(warnings) == 2
+        assert "configured mutation site vanished no longer exists" in (
+            messages
+        )
+        assert "exempted mutation site gone no longer exists" in messages
+
+    def test_real_map_is_clean_on_src(self):
+        """The committed state-mutation map holds over the real tree."""
+        from repro.analysis import (
+            default_invalidation_config,
+            lint_paths,
+        )
+
+        repo_root = Path(__file__).resolve().parents[2]
+        findings = lint_paths(
+            [repo_root / "src"],
+            root=repo_root,
+            rules=("cache-invalidation",),
+            invalidation_config=default_invalidation_config(),
+        )
+        assert findings == []
+
+
+class TestFingerprintStability:
+    """Renamed-line immunity: padding lines inserted above a finding
+    must not change its fingerprint (messages carry no line numbers)."""
+
+    CASES = (
+        ("fixture_asyncio.py", lambda s: rules_asyncio.check(s)),
+        ("fixture_fork.py", lambda s: rules_fork.check(s)),
+        (
+            "fixture_lockorder.py",
+            lambda s: rules_locks.check_order([s]),
+        ),
+        (
+            "fixture_invalidation.py",
+            lambda s: check_invalidation([s], INVALIDATION_CONFIG),
+        ),
+    )
+
+    @pytest.mark.parametrize("name,run", CASES, ids=[c[0] for c in CASES])
+    def test_padding_preserves_fingerprints(self, name, run, tmp_path):
+        original = load(name)
+        before = run(original)
+        assert before, f"{name} must seed at least one finding"
+
+        lines = original.text.splitlines(keepends=True)
+        # Pad right below the module docstring so every finding moves.
+        padded = tmp_path / name
+        padded.write_text(
+            "".join(lines[:4]) + "# padding\n" * 7 + "".join(lines[4:]),
+            encoding="utf-8",
+        )
+        after = run(SourceFile.load(padded, display=name))
+
+        assert {f.line for f in before} != {f.line for f in after}
+        assert {f.fingerprint for f in before} == {
+            f.fingerprint for f in after
+        }
+
+    @pytest.mark.parametrize("name,run", CASES, ids=[c[0] for c in CASES])
+    def test_finding_counts_bounded(self, name, run):
+        # Ceilings: a rule-pack regression that sprays findings over
+        # its own fixture fails loudly here.
+        counts = {
+            "fixture_asyncio.py": 8,
+            "fixture_fork.py": 4,
+            "fixture_lockorder.py": 3,
+            "fixture_invalidation.py": 1,
+        }
+        assert len(run(load(name))) == counts[name]
+
+
+class TestRegistry:
+    def test_rule_codes_and_registry_agree(self):
+        from repro.analysis import ALL_RULES, RULE_CODES
+        from repro.analysis.linter import FILE_RULES, PROJECT_RULES
+
+        assert set(ALL_RULES) == set(RULE_CODES)
+        assert set(FILE_RULES) | set(PROJECT_RULES) == set(ALL_RULES)
+        assert not set(FILE_RULES) & set(PROJECT_RULES)
 
 
 class TestFindings:
